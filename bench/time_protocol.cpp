@@ -1,0 +1,105 @@
+// Protocol-level timing (Sections 3.1-3.2 claims, measured in simulated
+// time rather than round counts):
+//
+//   * LBI aggregation and dissemination completion time over the K-nary
+//     tree with unit remote-message latency (parent-child edges between
+//     KT nodes on the same physical node are free) -- the paper's
+//     "bound in O(log_K N) time";
+//   * soft-state self-repair: time for the maintenance protocol to
+//     reconverge after crashing 10% of the nodes, in units of the
+//     periodic check interval -- the paper's "completely reconstructed
+//     in O(log_K N) time in a top-down fashion".
+#include <iostream>
+
+#include "bench_util.h"
+#include "ktree/protocol.h"
+#include "ktree/tree.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace p2plb;
+
+/// Binary-search the reconvergence instant to one check period.
+sim::Time measure_recovery(sim::Engine& engine,
+                           ktree::MaintenanceProtocol& protocol,
+                           sim::Time interval, sim::Time budget) {
+  const sim::Time start = engine.now();
+  while (engine.now() - start < budget) {
+    engine.run_until(engine.now() + interval);
+    if (protocol.converged()) return engine.now() - start;
+  }
+  return -1.0;  // did not converge within budget (reported as such)
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("sizes", "comma-separated node counts", "128,512,2048");
+  cli.add_flag("degrees", "comma-separated K values", "2,8");
+  cli.add_flag("servers", "virtual servers per node", "5");
+  cli.add_flag("seed", "root RNG seed", "1");
+  cli.add_flag("crash-fraction", "fraction of nodes to crash", "0.1");
+  cli.add_flag("csv", "emit CSV instead of aligned tables", "false");
+  if (!cli.parse(argc, argv)) return 0;
+  const bool csv = cli.get_bool("csv");
+  const auto servers = static_cast<std::size_t>(cli.get_int("servers"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const double crash_fraction = cli.get_double("crash-fraction");
+
+  print_heading(std::cout,
+                "simulated sweep latency and self-repair time vs N");
+  Table t({"N", "K", "aggregate time", "disseminate time", "remote msgs",
+           "local hops", "repair time (intervals)", "repair msgs"});
+  for (const auto n : cli.get_int_list("sizes")) {
+    for (const auto k : cli.get_int_list("degrees")) {
+      const auto degree = static_cast<std::uint32_t>(k);
+      // --- sweep latency over the converged tree -----------------------
+      Rng rng(seed);
+      chord::Ring ring;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const auto node = ring.add_node(1.0);
+        for (std::size_t v = 0; v < servers; ++v)
+          (void)ring.add_random_virtual_server(node, rng);
+      }
+      const ktree::KTree tree(ring, degree);
+      sim::Engine up_engine, down_engine;
+      const auto up = ktree::simulate_aggregation(
+          up_engine, tree, ktree::unit_latency(ring));
+      const auto down = ktree::simulate_dissemination(
+          down_engine, tree, ktree::unit_latency(ring));
+
+      // --- self-repair after a correlated crash ------------------------
+      sim::Engine engine;
+      constexpr sim::Time kInterval = 1.0;
+      ktree::MaintenanceProtocol protocol(engine, ring, degree, kInterval,
+                                          ktree::unit_latency(ring));
+      protocol.start();
+      engine.run_until(4.0 * tree.height() + 20.0);
+      const std::uint64_t messages_before_crash = protocol.messages();
+      Rng crash_rng(seed + 2);
+      const auto crash_count = static_cast<std::size_t>(
+          crash_fraction * static_cast<double>(n));
+      for (std::size_t c = 0; c < crash_count; ++c) {
+        const auto live = ring.live_nodes();
+        protocol.crash_node(live[crash_rng.below(live.size())]);
+      }
+      const sim::Time repair = measure_recovery(
+          engine, protocol, kInterval, 6.0 * tree.height() + 60.0);
+
+      t.add_row({std::to_string(n), std::to_string(k),
+                 Table::num(up.completion_time, 1),
+                 Table::num(down.completion_time, 1),
+                 std::to_string(up.messages),
+                 std::to_string(up.local_hops),
+                 repair < 0 ? std::string("timeout") : Table::num(repair, 0),
+                 std::to_string(protocol.messages() -
+                                messages_before_crash)});
+    }
+  }
+  bench::emit(t, csv);
+  std::cout << "\n(All time columns must grow logarithmically with N and "
+               "shrink as K grows.)\n";
+  return 0;
+}

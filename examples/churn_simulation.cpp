@@ -1,0 +1,149 @@
+// Scenario: a P2P system under continuous churn, with periodic load
+// balancing driven by the discrete-event engine.
+//
+//   $ ./build/examples/churn_simulation [--hours H] [--nodes N]
+//
+// Nodes join and leave continuously (exponential inter-arrival times);
+// object load shifts as arcs split and merge.  Every simulated
+// "balancing interval" the K-nary tree sweep runs and re-levels the
+// system.  The example prints a time series of the heavy-node fraction
+// and the max unit load right before and right after each sweep --
+// showing the balancer repeatedly absorbing churn-induced imbalance.
+#include <iostream>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "lb/balancer.h"
+#include "sim/engine.h"
+#include "workload/capacity.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace p2plb;
+
+struct World {
+  chord::Ring ring;
+  Rng rng{99};
+  workload::CapacityProfile capacities =
+      workload::CapacityProfile::gnutella_like();
+  double utilization = 0.25;
+
+  void reassign_loads() {
+    const auto model = workload::scaled_load_model(
+        ring, workload::LoadDistribution::kGaussian, utilization);
+    workload::assign_loads(ring, model, rng);
+  }
+
+  void join() {
+    const auto fresh = ring.add_node(capacities.sample(rng));
+    for (int v = 0; v < 5; ++v)
+      (void)ring.add_random_virtual_server(fresh, rng);
+  }
+
+  void leave() {
+    const auto live = ring.live_nodes();
+    if (live.size() <= 8) return;  // keep a core alive
+    const auto leaving = live[rng.below(live.size())];
+    // Graceful leave: hand servers to random survivors (a crash would
+    // instead drop them onto ring successors).
+    auto survivors = live;
+    std::erase(survivors, leaving);
+    for (const chord::Key vs :
+         std::vector<chord::Key>(ring.node(leaving).servers))
+      ring.transfer_virtual_server(vs,
+                                   survivors[rng.below(survivors.size())]);
+    ring.remove_node(leaving);
+  }
+
+  /// (heavy fraction, max load / fair share).  A node is heavy when its
+  /// load exceeds (1 + epsilon) times its capacity-proportional share --
+  /// the same criterion the balancer enforces.
+  [[nodiscard]] std::pair<double, double> imbalance(double epsilon) const {
+    const double fair = ring.total_load() / ring.total_capacity();
+    std::size_t heavy = 0;
+    double worst = 0.0;
+    for (const chord::NodeIndex i : ring.live_nodes()) {
+      const double share = fair * ring.node(i).capacity;
+      const double load = ring.node_load(i);
+      if (load > (1.0 + epsilon) * share) ++heavy;
+      worst = std::max(worst, load / share);
+    }
+    return {static_cast<double>(heavy) /
+                static_cast<double>(ring.live_node_count()),
+            worst};
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("nodes", "initial node count", "512");
+  cli.add_flag("intervals", "number of balancing intervals to simulate",
+               "8");
+  cli.add_flag("churn-per-interval", "expected joins (and leaves) between "
+                                     "balancing sweeps",
+               "24");
+  if (!cli.parse(argc, argv)) return 0;
+
+  World world;
+  const auto initial = static_cast<std::size_t>(cli.get_int("nodes"));
+  world.ring = workload::build_ring(initial, 5, world.capacities, world.rng);
+  world.reassign_loads();
+
+  const auto intervals = static_cast<int>(cli.get_int("intervals"));
+  const double churn_rate = cli.get_double("churn-per-interval");
+  constexpr sim::Time kBalanceInterval = 600.0;  // "10 minutes"
+
+  sim::Engine engine;
+  Table t({"t (s)", "nodes", "heavy % pre", "max overload pre",
+           "heavy % post", "max overload post", "moved load"});
+
+  // Churn process: joins and leaves as independent Poisson streams.
+  auto schedule_churn = [&](auto&& self, bool is_join) -> void {
+    const double mean_gap = kBalanceInterval / churn_rate;
+    engine.schedule_after(world.rng.exponential(mean_gap), [&, is_join] {
+      if (is_join) {
+        world.join();
+      } else {
+        world.leave();
+      }
+      // Loads shift with membership: redraw for the new arc layout.
+      world.reassign_loads();
+      self(self, is_join);
+    });
+  };
+  schedule_churn(schedule_churn, true);
+  schedule_churn(schedule_churn, false);
+
+  int rounds_done = 0;
+  constexpr double kEpsilon = 0.1;
+  engine.every(kBalanceInterval, [&] {
+    const auto [pre_heavy, pre_worst] = world.imbalance(kEpsilon);
+    lb::BalancerConfig config;
+    config.epsilon = kEpsilon;
+    const auto report =
+        lb::run_balance_round(world.ring, config, world.rng);
+    const auto [post_heavy, post_worst] = world.imbalance(kEpsilon);
+    t.add_row({Table::num(engine.now(), 0),
+               std::to_string(world.ring.live_node_count()),
+               Table::num(100.0 * pre_heavy, 1), Table::num(pre_worst, 2),
+               Table::num(100.0 * post_heavy, 1), Table::num(post_worst, 2),
+               Table::num(report.vsa.assigned_load(), 0)});
+    return ++rounds_done < intervals;
+  });
+
+  // The churn processes reschedule themselves forever; run to a horizon
+  // just past the last balancing sweep instead of draining the queue.
+  engine.run_until(kBalanceInterval * (intervals + 0.5));
+  std::cout << "churn simulation: " << intervals << " balancing intervals, "
+            << engine.events_executed() << " events, final membership "
+            << world.ring.live_node_count() << " nodes\n\n";
+  t.print_text(std::cout);
+  std::cout << "\n(each sweep pulls the heavy fraction back to ~0; churn "
+               "between sweeps rebuilds it)\n";
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "chord/ring.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace p2plb::chord {
+
+NodeIndex Ring::add_node(double capacity, std::uint32_t attachment) {
+  P2PLB_REQUIRE(capacity > 0.0);
+  P2PLB_REQUIRE_MSG(nodes_.size() < std::numeric_limits<NodeIndex>::max(),
+                    "node index space exhausted");
+  Node n;
+  n.capacity = capacity;
+  n.attachment = attachment;
+  nodes_.push_back(std::move(n));
+  ++live_nodes_;
+  return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+Node& Ring::mutable_node(NodeIndex i) {
+  P2PLB_REQUIRE(i < nodes_.size());
+  return nodes_[i];
+}
+
+void Ring::add_virtual_server(NodeIndex owner, Key id) {
+  Node& n = mutable_node(owner);
+  P2PLB_REQUIRE_MSG(n.alive, "cannot add a virtual server to a dead node");
+  P2PLB_REQUIRE_MSG(!servers_.contains(id), "virtual server id collision");
+  servers_.emplace(id, VirtualServer{id, owner, 0.0});
+  n.servers.push_back(id);
+}
+
+Key Ring::add_random_virtual_server(NodeIndex owner, Rng& rng) {
+  for (;;) {
+    const Key id = static_cast<Key>(rng() >> 32);
+    if (!servers_.contains(id)) {
+      add_virtual_server(owner, id);
+      return id;
+    }
+  }
+}
+
+void Ring::remove_virtual_server(Key id) {
+  const auto it = servers_.find(id);
+  P2PLB_REQUIRE_MSG(it != servers_.end(), "no such virtual server");
+  Node& n = mutable_node(it->second.owner);
+  std::erase(n.servers, id);
+  servers_.erase(it);
+}
+
+void Ring::remove_node(NodeIndex node) {
+  Node& n = mutable_node(node);
+  P2PLB_REQUIRE_MSG(n.alive, "node already removed");
+  for (const Key id : n.servers) servers_.erase(id);
+  n.servers.clear();
+  n.alive = false;
+  --live_nodes_;
+}
+
+void Ring::transfer_virtual_server(Key id, NodeIndex new_owner) {
+  const auto it = servers_.find(id);
+  P2PLB_REQUIRE_MSG(it != servers_.end(), "no such virtual server");
+  Node& dst = mutable_node(new_owner);
+  P2PLB_REQUIRE_MSG(dst.alive, "cannot transfer to a dead node");
+  if (it->second.owner == new_owner) return;
+  Node& src = mutable_node(it->second.owner);
+  std::erase(src.servers, id);
+  dst.servers.push_back(id);
+  it->second.owner = new_owner;
+}
+
+const VirtualServer& Ring::server(Key id) const {
+  const auto it = servers_.find(id);
+  P2PLB_REQUIRE_MSG(it != servers_.end(), "no such virtual server");
+  return it->second;
+}
+
+const VirtualServer& Ring::successor(Key k) const {
+  P2PLB_REQUIRE_MSG(!servers_.empty(), "successor() on an empty ring");
+  const auto it = servers_.lower_bound(k);
+  return it != servers_.end() ? it->second : servers_.begin()->second;
+}
+
+Key Ring::predecessor_key(Key id) const {
+  const auto it = servers_.find(id);
+  P2PLB_REQUIRE_MSG(it != servers_.end(), "no such virtual server");
+  if (it == servers_.begin()) return servers_.rbegin()->first;
+  return std::prev(it)->first;
+}
+
+std::uint64_t Ring::arc_size(Key id) const {
+  const Key pred = predecessor_key(id);
+  if (pred == id) return kSpaceSize;  // singleton ring owns everything
+  return distance_cw(pred, id);
+}
+
+bool Ring::arc_contains_region(Key holder, Key lo, std::uint64_t len) const {
+  P2PLB_REQUIRE(len >= 1);
+  if (len > kSpaceSize) return false;
+  const std::uint64_t arc = arc_size(holder);
+  if (arc >= kSpaceSize) return true;
+  if (len > arc) return false;
+  // Arc is (pred, holder]; region is [lo, lo+len).  Containment needs both
+  // endpoints inside and no wrap mismatch; with len <= arc it suffices
+  // that lo and lo+len-1 both lie in (pred, holder].
+  const Key pred = predecessor_key(holder);
+  const Key last = static_cast<Key>(lo + static_cast<std::uint32_t>(len - 1));
+  return in_oc(pred, holder, lo) && in_oc(pred, holder, last) &&
+         distance_cw(pred, lo) <= distance_cw(pred, last);
+}
+
+std::vector<Key> Ring::server_ids() const {
+  std::vector<Key> out;
+  out.reserve(servers_.size());
+  for (const auto& [id, vs] : servers_) out.push_back(id);
+  return out;
+}
+
+std::vector<NodeIndex> Ring::live_nodes() const {
+  std::vector<NodeIndex> out;
+  out.reserve(live_nodes_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].alive) out.push_back(static_cast<NodeIndex>(i));
+  return out;
+}
+
+void Ring::set_load(Key id, double load) {
+  P2PLB_REQUIRE(load >= 0.0);
+  const auto it = servers_.find(id);
+  P2PLB_REQUIRE_MSG(it != servers_.end(), "no such virtual server");
+  it->second.load = load;
+}
+
+double Ring::node_load(NodeIndex i) const {
+  const Node& n = node(i);
+  double total = 0.0;
+  for (const Key id : n.servers) total += server(id).load;
+  return total;
+}
+
+std::optional<double> Ring::node_min_server_load(NodeIndex i) const {
+  const Node& n = node(i);
+  if (n.servers.empty()) return std::nullopt;
+  double best = std::numeric_limits<double>::infinity();
+  for (const Key id : n.servers) best = std::min(best, server(id).load);
+  return best;
+}
+
+double Ring::total_load() const {
+  double total = 0.0;
+  for (const auto& [id, vs] : servers_) total += vs.load;
+  return total;
+}
+
+double Ring::total_capacity() const {
+  double total = 0.0;
+  for (const Node& n : nodes_)
+    if (n.alive) total += n.capacity;
+  return total;
+}
+
+double Ring::min_server_load() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [id, vs] : servers_) best = std::min(best, vs.load);
+  return servers_.empty() ? 0.0 : best;
+}
+
+}  // namespace p2plb::chord

@@ -1,0 +1,164 @@
+// The Chord ring with virtual servers (Section 2).
+//
+// Physical DHT nodes host multiple virtual servers (VS); each VS owns the
+// arc (predecessor, id] of the 32-bit identifier space.  Moving a VS
+// between physical nodes (the paper's load-movement primitive) changes
+// only the VS's host: the ring structure, and therefore every arc, is
+// unaffected -- which is why the paper models it as a leave+join pair.
+//
+// This class is the authoritative ring state used by the tree, the
+// balancer and the experiments.  It is a simulator: operations execute
+// immediately and atomically (the message-level behaviour is modelled by
+// the sim/ layer where experiments need latency).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "chord/id.h"
+
+namespace p2plb::chord {
+
+/// Dense index of a physical DHT node.  Stable across node removal
+/// (removed nodes leave a tombstone).
+using NodeIndex = std::uint32_t;
+
+/// A physical DHT node.
+struct Node {
+  /// Relative capacity (the paper's Gnutella-like profile spans 1..10^4).
+  double capacity = 1.0;
+  /// Attachment vertex in the physical topology (kNoAttachment if the
+  /// experiment runs without a topology).
+  std::uint32_t attachment = kNoAttachment;
+  /// False once the node has left or crashed.
+  bool alive = true;
+  /// Ids of the virtual servers this node currently hosts.
+  std::vector<Key> servers;
+
+  static constexpr std::uint32_t kNoAttachment = 0xFFFFFFFFu;
+};
+
+/// A virtual server: one contiguous arc of the identifier space.
+struct VirtualServer {
+  Key id = 0;
+  NodeIndex owner = 0;
+  /// Abstract load (storage / bandwidth / CPU -- the scheme is agnostic).
+  double load = 0.0;
+};
+
+/// The simulated Chord ring.
+class Ring {
+ public:
+  Ring() = default;
+
+  // --- membership -------------------------------------------------------
+
+  /// Add a physical node with the given capacity (> 0) and optional
+  /// topology attachment.  Returns its index.
+  NodeIndex add_node(double capacity,
+                     std::uint32_t attachment = Node::kNoAttachment);
+
+  /// Place a new virtual server with the exact id, owned by `owner`.
+  /// Throws if the id is already taken or the owner is not alive.
+  void add_virtual_server(NodeIndex owner, Key id);
+
+  /// Place a new virtual server at a fresh uniformly-random id.
+  Key add_random_virtual_server(NodeIndex owner, Rng& rng);
+
+  /// Remove one virtual server (its arc is absorbed by the successor).
+  void remove_virtual_server(Key id);
+
+  /// Crash/leave: removes the node's virtual servers and marks it dead.
+  void remove_node(NodeIndex node);
+
+  /// Move a virtual server to a new live host.  Ring arcs are unchanged.
+  void transfer_virtual_server(Key id, NodeIndex new_owner);
+
+  // --- queries ----------------------------------------------------------
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t live_node_count() const noexcept {
+    return live_nodes_;
+  }
+  [[nodiscard]] std::size_t virtual_server_count() const noexcept {
+    return servers_.size();
+  }
+
+  [[nodiscard]] const Node& node(NodeIndex i) const {
+    P2PLB_REQUIRE(i < nodes_.size());
+    return nodes_[i];
+  }
+
+  [[nodiscard]] const VirtualServer& server(Key id) const;
+  [[nodiscard]] bool has_server(Key id) const {
+    return servers_.contains(id);
+  }
+
+  /// The virtual server whose arc contains `k` (first id clockwise from
+  /// k, inclusive).  Requires a non-empty ring.
+  [[nodiscard]] const VirtualServer& successor(Key k) const;
+
+  /// Id of the predecessor virtual server of `id` (the id counter-
+  /// clockwise-adjacent on the ring).  With a single VS this is itself.
+  [[nodiscard]] Key predecessor_key(Key id) const;
+
+  /// Number of keys in the arc (pred, id] owned by this virtual server.
+  /// A singleton ring owns the whole space (2^32).
+  [[nodiscard]] std::uint64_t arc_size(Key id) const;
+
+  /// arc_size / 2^32.
+  [[nodiscard]] double arc_fraction(Key id) const {
+    return static_cast<double>(arc_size(id)) /
+           static_cast<double>(kSpaceSize);
+  }
+
+  /// Whether the arc (pred(holder), holder] fully contains the region
+  /// [lo, lo+len) -- the K-nary tree leaf test.
+  [[nodiscard]] bool arc_contains_region(Key holder, Key lo,
+                                         std::uint64_t len) const;
+
+  /// All virtual-server ids in ring order (ascending key).
+  [[nodiscard]] std::vector<Key> server_ids() const;
+
+  /// Iterate over all virtual servers in ring order.
+  template <typename Fn>
+  void for_each_server(Fn&& fn) const {
+    for (const auto& [id, vs] : servers_) fn(vs);
+  }
+
+  /// Live node indices, ascending.
+  [[nodiscard]] std::vector<NodeIndex> live_nodes() const;
+
+  // --- load -------------------------------------------------------------
+
+  /// Set the load carried by a virtual server (>= 0).
+  void set_load(Key id, double load);
+
+  /// Total load over a node's virtual servers.
+  [[nodiscard]] double node_load(NodeIndex i) const;
+
+  /// Minimum virtual-server load on a node; nullopt if it hosts none.
+  [[nodiscard]] std::optional<double> node_min_server_load(NodeIndex i) const;
+
+  /// Sum of all virtual-server loads in the system.
+  [[nodiscard]] double total_load() const;
+  /// Sum of live nodes' capacities.
+  [[nodiscard]] double total_capacity() const;
+  /// Smallest virtual-server load in the system (0 if no servers).
+  [[nodiscard]] double min_server_load() const;
+
+ private:
+  Node& mutable_node(NodeIndex i);
+
+  std::vector<Node> nodes_;
+  std::map<Key, VirtualServer> servers_;  // ring order
+  std::size_t live_nodes_ = 0;
+};
+
+}  // namespace p2plb::chord

@@ -1,0 +1,77 @@
+#include "chord/router.h"
+
+#include <algorithm>
+
+namespace p2plb::chord {
+
+Router::Router(const Ring& ring) : ring_(ring) {
+  const auto ids = ring.server_ids();
+  P2PLB_REQUIRE_MSG(!ids.empty(), "cannot build a router over an empty ring");
+  fingers_.reserve(ids.size());
+  for (const Key id : ids) {
+    Entry entry;
+    entry.fingers.resize(kFingerCount);
+    for (std::uint32_t i = 0; i < kFingerCount; ++i) {
+      const Key target = static_cast<Key>(id + (Key{1} << i));
+      entry.fingers[i] = ring.successor(target).id;
+    }
+    entry.successor = ring.successor(static_cast<Key>(id + 1)).id;
+    fingers_.emplace(id, std::move(entry));
+  }
+}
+
+Key Router::finger(Key vs, std::uint32_t i) const {
+  P2PLB_REQUIRE(i < kFingerCount);
+  const auto it = fingers_.find(vs);
+  P2PLB_REQUIRE_MSG(it != fingers_.end(), "unknown virtual server");
+  return it->second.fingers[i];
+}
+
+LookupResult Router::lookup(Key start, Key key) const {
+  auto it = fingers_.find(start);
+  P2PLB_REQUIRE_MSG(it != fingers_.end(), "unknown starting virtual server");
+
+  LookupResult result;
+  result.path.push_back(start);
+  // Local short-circuit: the starting VS already owns the key.
+  if (in_oc(ring_.predecessor_key(start), start, key)) {
+    result.responsible = start;
+    return result;
+  }
+  Key current = start;
+  // Bounded by the ring size: each hop strictly shrinks the clockwise
+  // distance to the key, so termination is guaranteed; the cap turns a
+  // hypothetical routing bug into a loud failure instead of a hang.
+  const std::size_t hop_cap = 2 * fingers_.size() + kFingerCount;
+  while (true) {
+    const Entry& entry = it->second;
+    // Done when key lies in (current, successor]: successor owns it.
+    if (in_oc(current, entry.successor, key)) {
+      // One final hop to the responsible successor, unless we are it.
+      if (entry.successor != current) {
+        result.path.push_back(entry.successor);
+        ++result.hops;
+      }
+      result.responsible = entry.successor;
+      return result;
+    }
+    // Forward to the closest finger strictly preceding the key.
+    Key next = entry.successor;
+    for (std::uint32_t i = kFingerCount; i-- > 0;) {
+      const Key f = entry.fingers[i];
+      if (in_oo(current, key, f)) {
+        next = f;
+        break;
+      }
+    }
+    P2PLB_ASSERT_MSG(next != current, "routing made no progress");
+    current = next;
+    it = fingers_.find(current);
+    P2PLB_ASSERT(it != fingers_.end());
+    result.path.push_back(current);
+    ++result.hops;
+    P2PLB_ASSERT_MSG(result.hops <= hop_cap, "routing hop cap exceeded");
+  }
+}
+
+}  // namespace p2plb::chord

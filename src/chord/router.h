@@ -1,0 +1,57 @@
+// Chord finger-table routing over a Ring snapshot.
+//
+// The load-balancing algorithms read ring state directly (the standard
+// simulator shortcut, also taken by the paper); the Router exists so
+// experiments and benchmarks can account for the O(log N) overlay hop
+// counts of real lookups -- e.g. when a node publishes its VSA record at
+// its Hilbert key.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/ring.h"
+
+namespace p2plb::chord {
+
+/// Result of a simulated lookup.
+struct LookupResult {
+  Key responsible = 0;        ///< id of the VS owning the key
+  std::uint32_t hops = 0;     ///< overlay hops taken (0 if local)
+  std::vector<Key> path;      ///< VS ids visited, starting point first
+};
+
+/// Immutable finger-table snapshot of a ring.
+///
+/// Build cost is O(V * 32 * log V) for V virtual servers; rebuild after
+/// churn.  Lookup follows the classic Chord rule: forward to the closest
+/// finger preceding the key until the key lands in the successor arc.
+class Router {
+ public:
+  static constexpr std::uint32_t kFingerCount = 32;  // one per key bit
+
+  /// Snapshot the ring's current membership.  `ring` must stay alive and
+  /// unchanged (in membership) while this Router is used.
+  explicit Router(const Ring& ring);
+
+  /// Route from the VS `start` to the VS responsible for `key`.
+  [[nodiscard]] LookupResult lookup(Key start, Key key) const;
+
+  /// The i-th finger (successor of start + 2^i) of a VS.
+  [[nodiscard]] Key finger(Key vs, std::uint32_t i) const;
+
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return fingers_.size();
+  }
+
+ private:
+  struct Entry {
+    Key successor = 0;  // immediate successor on the ring
+    std::vector<Key> fingers;
+  };
+  const Ring& ring_;
+  std::unordered_map<Key, Entry> fingers_;
+};
+
+}  // namespace p2plb::chord

@@ -1,0 +1,282 @@
+#include "chord/stabilization.h"
+
+#include <algorithm>
+
+namespace p2plb::chord {
+
+StabilizingRing::StabilizingRing(sim::Engine& engine,
+                                 const StabilizationParams& params)
+    : engine_(engine), params_(params) {
+  P2PLB_REQUIRE(params_.successor_list_length >= 1);
+  P2PLB_REQUIRE(params_.stabilize_interval > 0.0);
+  P2PLB_REQUIRE(params_.fix_fingers_interval > 0.0);
+  P2PLB_REQUIRE(params_.hop_latency >= 0.0);
+}
+
+bool StabilizingRing::is_live(Key id) const {
+  const auto it = members_.find(id);
+  return it != members_.end() && it->second.alive;
+}
+
+StabilizingRing::Participant& StabilizingRing::self(Key id) {
+  const auto it = members_.find(id);
+  P2PLB_REQUIRE_MSG(it != members_.end(), "unknown participant");
+  return it->second;
+}
+
+const StabilizingRing::Participant& StabilizingRing::self(Key id) const {
+  const auto it = members_.find(id);
+  P2PLB_REQUIRE_MSG(it != members_.end(), "unknown participant");
+  return it->second;
+}
+
+void StabilizingRing::bootstrap(Key first) {
+  P2PLB_REQUIRE_MSG(members_.empty(), "bootstrap() on a non-empty ring");
+  bootstrap_ = first;
+  Participant p;
+  p.successors.assign(params_.successor_list_length, first);
+  p.predecessor = first;
+  std::fill(p.fingers.begin(), p.fingers.end(), first);
+  members_.emplace(first, std::move(p));
+  ++live_;
+  start_timers(first);
+}
+
+void StabilizingRing::join(Key id, Key via) {
+  P2PLB_REQUIRE_MSG(!members_.contains(id) || !members_.at(id).alive,
+                    "participant id already live");
+  P2PLB_REQUIRE_MSG(is_live(via), "join via a dead participant");
+  // Lookup the successor through the existing member, then come alive.
+  const ProtocolLookup found = lookup(via, id);
+  const Key succ = found.failed ? via : found.responsible;
+  const sim::Time join_latency =
+      params_.hop_latency * static_cast<double>(found.hops + 2);
+  messages_ += found.hops + 2;
+  engine_.schedule_after(join_latency, [this, id, succ] {
+    // The target successor may have died while we joined; fall back to
+    // any live member (a real implementation would retry the lookup).
+    Key s = succ;
+    if (!is_live(s)) {
+      for (const auto& [k, m] : members_)
+        if (m.alive) {
+          s = k;
+          break;
+        }
+    }
+    Participant p;
+    p.successors.assign(params_.successor_list_length, s);
+    std::fill(p.fingers.begin(), p.fingers.end(), s);
+    auto [it, inserted] = members_.insert_or_assign(id, std::move(p));
+    (void)inserted;
+    ++live_;
+    start_timers(id);
+  });
+}
+
+void StabilizingRing::crash(Key id) {
+  Participant& p = self(id);
+  P2PLB_REQUIRE_MSG(p.alive, "participant already dead");
+  p.alive = false;
+  --live_;
+  // Its timers keep firing but exit immediately (alive check).
+}
+
+void StabilizingRing::start_timers(Key id) {
+  engine_.every(params_.stabilize_interval, [this, id] {
+    if (!is_live(id)) return false;
+    stabilize(id);
+    return true;
+  });
+  engine_.every(params_.fix_fingers_interval, [this, id] {
+    if (!is_live(id)) return false;
+    fix_one_finger(id);
+    return true;
+  });
+}
+
+std::optional<Key> StabilizingRing::first_live_successor(
+    const Participant& p) const {
+  for (const Key s : p.successors)
+    if (is_live(s)) return s;
+  return std::nullopt;
+}
+
+void StabilizingRing::stabilize(Key id) {
+  Participant& me = self(id);
+  // Failover past dead successors.
+  auto live_succ = first_live_successor(me);
+  ++messages_;  // the probe that discovered liveness
+  if (!live_succ) {
+    // The whole successor list died at once: fall back to any live
+    // finger (Chord's last-resort recovery)...
+    for (const Key f : me.fingers)
+      if (f != id && is_live(f)) {
+        live_succ = f;
+        break;
+      }
+    // ...and with zero live contacts left, re-join through the
+    // well-known bootstrap rendezvous, as a real node would.
+    if (!live_succ && bootstrap_ != id && is_live(bootstrap_)) {
+      const ProtocolLookup found =
+          lookup(bootstrap_, static_cast<Key>(id + 1));
+      messages_ += found.hops + 1;
+      if (!found.failed && found.responsible != id)
+        live_succ = found.responsible;
+    }
+  }
+  Key succ = live_succ.value_or(id);  // truly isolated: keep retrying
+
+  // Classic stabilize: adopt succ.pred if it sits between us.
+  const Participant& s = self(succ);
+  if (s.predecessor && is_live(*s.predecessor) &&
+      in_oo(id, succ, *s.predecessor)) {
+    succ = *s.predecessor;
+  }
+  // Rebuild our successor list from the (possibly new) successor's.
+  const Participant& ns = self(succ);
+  std::vector<Key> list;
+  list.push_back(succ);
+  for (const Key k : ns.successors) {
+    if (list.size() >= params_.successor_list_length) break;
+    if (k != id && is_live(k) &&
+        std::find(list.begin(), list.end(), k) == list.end())
+      list.push_back(k);
+  }
+  while (list.size() < params_.successor_list_length)
+    list.push_back(list.back());
+  me.successors = std::move(list);
+  ++messages_;  // the list pull
+
+  // Notify: we may be our successor's rightful predecessor.
+  Participant& sp = self(me.successors.front());
+  if (&sp != &me) {
+    if (!sp.predecessor || !is_live(*sp.predecessor) ||
+        in_oo(*sp.predecessor, me.successors.front(), id)) {
+      sp.predecessor = id;
+    }
+    ++messages_;
+  } else if (!me.predecessor || !is_live(*me.predecessor)) {
+    me.predecessor = id;  // singleton ring
+  }
+}
+
+void StabilizingRing::fix_one_finger(Key id) {
+  Participant& me = self(id);
+  const std::uint32_t i = me.next_finger;
+  me.next_finger = (me.next_finger + 1) % kFingerBits;
+  const Key target = static_cast<Key>(id + (Key{1} << i));
+  const ProtocolLookup found = lookup(id, target);
+  messages_ += found.hops;
+  if (!found.failed) me.fingers[i] = found.responsible;
+}
+
+ProtocolLookup StabilizingRing::lookup(Key from, Key key) const {
+  P2PLB_REQUIRE_MSG(is_live(from), "lookup from a dead participant");
+  ProtocolLookup result;
+  Key current = from;
+  const std::size_t hop_cap = 2 * live_ + kFingerBits;
+  for (;;) {
+    const Participant& p = self(current);
+    // Terminate when key in (current, live-successor].
+    const auto live_succ = first_live_successor(p);
+    if (!live_succ || *live_succ == current) {
+      result.responsible = current;  // singleton (or fully isolated)
+      return result;
+    }
+    if (in_oc(current, *live_succ, key)) {
+      result.responsible = *live_succ;
+      ++result.hops;
+      return result;
+    }
+    // Closest preceding live finger (successor list as fallback).
+    Key next = *live_succ;
+    for (std::uint32_t i = kFingerBits; i-- > 0;) {
+      const Key f = p.fingers[i];
+      if (f != current && is_live(f) && in_oo(current, key, f)) {
+        next = f;
+        break;
+      }
+    }
+    if (next == current) {
+      result.failed = true;
+      result.responsible = current;
+      return result;
+    }
+    current = next;
+    ++result.hops;
+    if (result.hops > hop_cap) {
+      result.failed = true;  // churn raced us into a loop
+      result.responsible = current;
+      return result;
+    }
+  }
+}
+
+Key StabilizingRing::oracle_successor(Key key) const {
+  P2PLB_REQUIRE_MSG(live_ > 0, "no live participants");
+  // First live id >= key, wrapping.
+  for (auto it = members_.lower_bound(key); it != members_.end(); ++it)
+    if (it->second.alive) return it->first;
+  for (const auto& [k, m] : members_)
+    if (m.alive) return k;
+  throw InvariantError("live count positive but no live member found");
+}
+
+bool StabilizingRing::ring_consistent() const {
+  if (live_ == 0) return true;
+  // Start from the smallest live id and walk successor pointers.
+  Key start = 0;
+  bool found = false;
+  for (const auto& [k, m] : members_)
+    if (m.alive) {
+      start = k;
+      found = true;
+      break;
+    }
+  P2PLB_ASSERT(found);
+  Key current = start;
+  std::size_t visited = 0;
+  do {
+    const Participant& p = self(current);
+    const auto next = first_live_successor(p);
+    if (!next) return live_ == 1;
+    // The protocol successor must equal the oracle successor.
+    if (*next != oracle_successor(static_cast<Key>(current + 1)))
+      return false;
+    current = *next;
+    ++visited;
+    if (visited > live_) return false;  // cycle does not cover the ring
+  } while (current != start);
+  return visited == live_;
+}
+
+bool StabilizingRing::predecessors_consistent() const {
+  for (const auto& [k, m] : members_) {
+    if (!m.alive) continue;
+    if (live_ == 1) return !m.predecessor || *m.predecessor == k;
+    // Oracle predecessor: the live id whose oracle successor is k.
+    Key oracle_pred = k;
+    for (const auto& [j, mj] : members_) {
+      if (!mj.alive || j == k) continue;
+      if (oracle_successor(static_cast<Key>(j + 1)) == k) oracle_pred = j;
+    }
+    if (!m.predecessor || *m.predecessor != oracle_pred) return false;
+  }
+  return true;
+}
+
+double StabilizingRing::finger_staleness() const {
+  std::uint64_t total = 0, stale = 0;
+  for (const auto& [k, m] : members_) {
+    if (!m.alive) continue;
+    for (std::uint32_t i = 0; i < kFingerBits; ++i) {
+      ++total;
+      const Key target = static_cast<Key>(k + (Key{1} << i));
+      if (m.fingers[i] != oracle_successor(target)) ++stale;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(stale) / static_cast<double>(total);
+}
+
+}  // namespace p2plb::chord

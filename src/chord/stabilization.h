@@ -1,0 +1,131 @@
+// Event-driven Chord stabilization (the DHT's self-organizing layer).
+//
+// The load-balancing paper assumes its DHT substrate "already has the
+// self-organizing property": nodes join through a lookup, failures are
+// absorbed by successor lists, and periodic stabilize / fix-finger /
+// check-predecessor timers repair the ring -- the classic Chord
+// maintenance protocol (Stoica et al., SIGCOMM'01).  This module
+// implements that protocol over the discrete-event engine at virtual-
+// server granularity: each participant is one virtual server, matching
+// the paper's "a virtual server looks like a single DHT node".
+//
+// The implementation models RPCs as latency-delayed reads of the remote
+// participant's state; a dead participant simply never answers, and the
+// caller's timeout path runs instead.  That captures the failure
+// dynamics that matter for ring convergence without simulating byte-
+// level messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <map>
+#include <vector>
+
+#include "chord/id.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace p2plb::chord {
+
+/// Protocol tuning knobs.
+struct StabilizationParams {
+  /// Successor-list length r: tolerates up to r-1 consecutive failures.
+  std::size_t successor_list_length = 4;
+  /// Period of the stabilize timer (also drives list refresh).
+  sim::Time stabilize_interval = 1.0;
+  /// Period of the fix-fingers timer (one finger refreshed per firing).
+  sim::Time fix_fingers_interval = 0.5;
+  /// One-way latency of a remote RPC leg.
+  sim::Time hop_latency = 0.05;
+};
+
+/// A live lookup's outcome (protocol-state routing, not oracle routing).
+struct ProtocolLookup {
+  Key responsible = 0;
+  std::uint32_t hops = 0;
+  bool failed = false;  ///< ran out of live fingers / hop budget
+};
+
+/// The event-driven Chord ring.
+///
+/// Drive it by scheduling joins/crashes and running the engine; query
+/// consistency with ring_consistent() and routing with lookup().
+class StabilizingRing {
+ public:
+  StabilizingRing(sim::Engine& engine, const StabilizationParams& params);
+
+  /// Create the first participant (owns the whole ring) and start its
+  /// maintenance timers.
+  void bootstrap(Key first);
+
+  /// Join a new participant through an existing live one.  The join
+  /// completes asynchronously: the newcomer's successor is set after a
+  /// lookup latency, and stabilization gradually fixes everyone else.
+  void join(Key id, Key via);
+
+  /// Crash a participant: it stops answering immediately.
+  void crash(Key id);
+
+  /// Number of live participants.
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
+
+  /// Whether a given participant id is currently live.
+  [[nodiscard]] bool is_live_participant(Key id) const { return is_live(id); }
+
+  /// True iff following successor pointers from the smallest live id
+  /// visits every live participant exactly once, in ring order.
+  [[nodiscard]] bool ring_consistent() const;
+
+  /// True iff every live participant's predecessor pointer is the live
+  /// participant immediately counter-clockwise of it.
+  [[nodiscard]] bool predecessors_consistent() const;
+
+  /// Route from `from` (must be live) toward `key` using the current
+  /// protocol state (fingers + successor lists), skipping dead entries.
+  [[nodiscard]] ProtocolLookup lookup(Key from, Key key) const;
+
+  /// The live participant that *should* own `key` (oracle successor).
+  [[nodiscard]] Key oracle_successor(Key key) const;
+
+  /// Maintenance RPCs issued so far.
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+
+  /// Mean finger-table staleness: fraction of finger entries (over live
+  /// participants) that differ from the oracle finger.
+  [[nodiscard]] double finger_staleness() const;
+
+ private:
+  static constexpr std::uint32_t kFingerBits = 32;
+
+  struct Participant {
+    bool alive = true;
+    std::optional<Key> predecessor;
+    std::vector<Key> successors;  // [0] = immediate successor
+    std::vector<Key> fingers = std::vector<Key>(kFingerBits, 0);
+    std::uint32_t next_finger = 0;
+  };
+
+  [[nodiscard]] bool is_live(Key id) const;
+  Participant& self(Key id);
+  [[nodiscard]] const Participant& self(Key id) const;
+
+  void start_timers(Key id);
+  void stabilize(Key id);
+  void fix_one_finger(Key id);
+  /// First live entry of `id`'s successor list (failover); nullopt if the
+  /// whole list is dead.
+  [[nodiscard]] std::optional<Key> first_live_successor(
+      const Participant& p) const;
+
+  sim::Engine& engine_;
+  StabilizationParams params_;
+  std::map<Key, Participant> members_;  // includes dead (tombstones)
+  /// The well-known rendezvous participant (the bootstrap() argument):
+  /// a node that lost every live contact re-joins through it.
+  Key bootstrap_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace p2plb::chord

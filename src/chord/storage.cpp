@@ -1,0 +1,87 @@
+#include "chord/storage.h"
+
+namespace p2plb::chord {
+
+ObjectStore::ObjectStore(const Ring& ring) : ring_(ring) {
+  P2PLB_REQUIRE_MSG(ring.virtual_server_count() > 0,
+                    "object store needs a non-empty ring");
+  router_.emplace(ring_);
+}
+
+void ObjectStore::refresh_router() { router_.emplace(ring_); }
+
+StoreAccess ObjectStore::put(Key via, Key object_key, double size) {
+  P2PLB_REQUIRE(size > 0.0);
+  const LookupResult route = router_->lookup(via, object_key);
+  StoreAccess access;
+  access.responsible = route.responsible;
+  access.hops = route.hops;
+  access.size = size;
+  // Overwrite semantics: retire the old size before accounting the new.
+  if (const auto it = objects_.find(object_key); it != objects_.end())
+    total_bytes_ -= it->second;
+  objects_[object_key] = size;
+  total_bytes_ += size;
+  return access;
+}
+
+StoreAccess ObjectStore::get(Key via, Key object_key) const {
+  const LookupResult route = router_->lookup(via, object_key);
+  StoreAccess access;
+  access.responsible = route.responsible;
+  access.hops = route.hops;
+  const auto it = objects_.find(object_key);
+  if (it == objects_.end()) {
+    access.found = false;
+    return access;
+  }
+  access.size = it->second;
+  return access;
+}
+
+bool ObjectStore::erase(Key object_key) {
+  const auto it = objects_.find(object_key);
+  if (it == objects_.end()) return false;
+  total_bytes_ -= it->second;
+  objects_.erase(it);
+  return true;
+}
+
+template <typename Fn>
+void ObjectStore::for_each_in_arc(Key vs, Fn&& fn) const {
+  const Key pred = ring_.predecessor_key(vs);
+  if (pred == vs) {  // singleton: owns everything
+    for (const auto& [key, size] : objects_) fn(key, size);
+    return;
+  }
+  // Arc (pred, vs]: keys in (pred, MAX] then [0, vs] if it wraps.
+  if (pred < vs) {
+    for (auto it = objects_.upper_bound(pred);
+         it != objects_.end() && it->first <= vs; ++it)
+      fn(it->first, it->second);
+  } else {
+    for (auto it = objects_.upper_bound(pred); it != objects_.end(); ++it)
+      fn(it->first, it->second);
+    for (auto it = objects_.begin();
+         it != objects_.end() && it->first <= vs; ++it)
+      fn(it->first, it->second);
+  }
+}
+
+double ObjectStore::bytes_at(Key vs) const {
+  double total = 0.0;
+  for_each_in_arc(vs, [&](Key, double size) { total += size; });
+  return total;
+}
+
+std::size_t ObjectStore::count_at(Key vs) const {
+  std::size_t n = 0;
+  for_each_in_arc(vs, [&](Key, double) { ++n; });
+  return n;
+}
+
+void ObjectStore::set_ring_loads(Ring& ring) const {
+  for (const Key id : ring.server_ids()) ring.set_load(id, bytes_at(id));
+}
+
+}  // namespace p2plb::chord

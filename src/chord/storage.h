@@ -1,0 +1,79 @@
+// DHT object storage (the "put/get" abstraction of Section 1).
+//
+// Objects are stored at the virtual server owning their key; routing a
+// put or get costs the Chord lookup's overlay hops.  Because objects are
+// keyed by identifier-space position, responsibility follows the ring
+// automatically: removing a virtual server re-homes its objects to the
+// successor arc, and *transferring* a virtual server moves exactly the
+// bytes stored in its arc -- which is what the paper's virtual-server
+// transfer cost physically is.  set_ring_loads() projects the stored
+// bytes onto the ring's load field so the balancer operates on real
+// storage load.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "chord/ring.h"
+#include "chord/router.h"
+
+namespace p2plb::chord {
+
+/// A put/get's routing outcome.
+struct StoreAccess {
+  Key responsible = 0;      ///< VS owning the object's key
+  std::uint32_t hops = 0;   ///< overlay hops of the lookup
+  bool found = true;        ///< false for a get() miss
+  double size = 0.0;        ///< object size (get only; 0 on miss)
+};
+
+/// Key-value object store over a ring snapshot.
+///
+/// The router snapshot must be refreshed (refresh_router) after ring
+/// membership changes; object residency needs no maintenance because it
+/// is defined by the identifier space itself.
+class ObjectStore {
+ public:
+  /// `ring` must outlive the store and be non-empty.
+  explicit ObjectStore(const Ring& ring);
+
+  /// Rebuild the finger-table snapshot after membership changes.
+  void refresh_router();
+
+  /// Store (or overwrite) an object, routing from the VS `via`.
+  /// size must be positive.
+  StoreAccess put(Key via, Key object_key, double size);
+
+  /// Fetch an object, routing from the VS `via`.
+  [[nodiscard]] StoreAccess get(Key via, Key object_key) const;
+
+  /// Remove an object; returns false if absent (no routing cost model --
+  /// deletions ride on the same lookup as a get).
+  bool erase(Key object_key);
+
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return objects_.size();
+  }
+  [[nodiscard]] double total_bytes() const noexcept { return total_bytes_; }
+
+  /// Bytes stored in the arc (pred, vs] of the given virtual server --
+  /// exactly what moves if that server is transferred.
+  [[nodiscard]] double bytes_at(Key vs) const;
+  /// Number of objects in that arc.
+  [[nodiscard]] std::size_t count_at(Key vs) const;
+
+  /// Set every virtual server's ring load to the bytes it stores.
+  void set_ring_loads(Ring& ring) const;
+
+ private:
+  template <typename Fn>
+  void for_each_in_arc(Key vs, Fn&& fn) const;
+
+  const Ring& ring_;
+  std::optional<Router> router_;
+  std::map<Key, double> objects_;  // object key -> size, ring order
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace p2plb::chord

@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing for the bench/example binaries.
+//
+// Supported syntax: --name=value, --name value, and bare --name for
+// booleans.  Unknown flags raise PreconditionError so typos in experiment
+// scripts fail loudly instead of silently running defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace p2plb {
+
+/// Parsed command line with typed accessors and a usage printer.
+class Cli {
+ public:
+  /// Declare a flag before parsing.  `doc` appears in usage output.
+  void add_flag(const std::string& name, const std::string& doc,
+                const std::string& default_value);
+
+  /// Parse argv; throws PreconditionError on unknown or malformed flags.
+  /// Returns false (after printing usage) if --help was given.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Comma-separated list of integers, e.g. --sweep=1,2,4,8.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name) const;
+  /// Comma-separated list of doubles.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name) const;
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string doc;
+    std::string value;
+    std::string default_value;
+  };
+  [[nodiscard]] const Flag& find(const std::string& name) const;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace p2plb

@@ -1,0 +1,75 @@
+// Error handling primitives shared by every p2plb module.
+//
+// The simulator is a library first: precondition violations throw
+// (so tests can assert on them) rather than abort.  Internal invariant
+// checks use P2PLB_ASSERT which compiles to a real check in all build
+// types -- simulation correctness bugs must never be optimized away.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace p2plb {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant of the library is violated.
+/// Seeing this exception always indicates a bug in p2plb itself.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace p2plb
+
+/// Validate a documented precondition of a public entry point.
+#define P2PLB_REQUIRE(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::p2plb::detail::throw_precondition(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+/// Validate a documented precondition, with an explanatory message.
+#define P2PLB_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::p2plb::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant.  Active in every build type.
+#define P2PLB_ASSERT(expr)                                                   \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::p2plb::detail::throw_invariant(#expr, __FILE__, __LINE__, "");       \
+  } while (false)
+
+/// Check an internal invariant, with an explanatory message.
+#define P2PLB_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::p2plb::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg));    \
+  } while (false)

@@ -1,0 +1,102 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace p2plb {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  P2PLB_REQUIRE(edges_.size() >= 2);
+  P2PLB_REQUIRE_MSG(std::is_sorted(edges_.begin(), edges_.end()) &&
+                        std::adjacent_find(edges_.begin(), edges_.end()) ==
+                            edges_.end(),
+                    "histogram edges must be strictly increasing");
+  counts_.assign(edges_.size() - 1, 0.0);
+}
+
+Histogram Histogram::uniform(double lo, double hi, std::size_t bins) {
+  P2PLB_REQUIRE(bins >= 1);
+  P2PLB_REQUIRE(lo < hi);
+  std::vector<double> edges(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i)
+    edges[i] = lo + (hi - lo) * static_cast<double>(i) /
+                        static_cast<double>(bins);
+  edges.back() = hi;  // guard against floating-point drift
+  return Histogram(std::move(edges));
+}
+
+void Histogram::add(double x, double weight) {
+  P2PLB_REQUIRE(weight >= 0.0);
+  total_ += weight;
+  if (x < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[idx] += weight;
+}
+
+std::vector<double> Histogram::fractions() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0.0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] / total_;
+  return out;
+}
+
+std::vector<double> Histogram::cumulative_fractions() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0.0) return out;
+  double running = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    out[i] = running / total_;
+  }
+  return out;
+}
+
+std::vector<CdfPoint> weighted_cdf(std::span<const double> values,
+                                   std::span<const double> weights) {
+  P2PLB_REQUIRE(values.size() == weights.size());
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  double total = 0.0;
+  for (double w : weights) {
+    P2PLB_REQUIRE(w >= 0.0);
+    total += w;
+  }
+  std::vector<CdfPoint> cdf;
+  if (total == 0.0) return cdf;
+  double running = 0.0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    running += weights[order[k]];
+    // Collapse ties: only emit the last point for a given x.
+    if (k + 1 < order.size() && values[order[k + 1]] == values[order[k]])
+      continue;
+    cdf.push_back({values[order[k]], running / total});
+  }
+  return cdf;
+}
+
+double weight_fraction_below(std::span<const double> values,
+                             std::span<const double> weights,
+                             double threshold) {
+  P2PLB_REQUIRE(values.size() == weights.size());
+  double total = 0.0;
+  double below = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    total += weights[i];
+    if (values[i] <= threshold) below += weights[i];
+  }
+  return total == 0.0 ? 0.0 : below / total;
+}
+
+}  // namespace p2plb

@@ -1,0 +1,66 @@
+// Weighted histograms and CDFs for the moved-load-by-distance figures.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace p2plb {
+
+/// Histogram over explicit bin edges.  A sample x with weight w lands in
+/// bin i such that edges[i] <= x < edges[i+1]; samples below the first edge
+/// land in bin 0's underflow, samples at/above the last edge in overflow.
+class Histogram {
+ public:
+  /// Edges must be strictly increasing and contain at least two entries.
+  explicit Histogram(std::vector<double> edges);
+
+  /// Convenience: `bins` equal-width bins covering [lo, hi).
+  static Histogram uniform(double lo, double hi, std::size_t bins);
+
+  /// Add a sample with the given weight (default 1).
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] double bin_lo(std::size_t i) const { return edges_.at(i); }
+  [[nodiscard]] double bin_hi(std::size_t i) const { return edges_.at(i + 1); }
+  [[nodiscard]] double count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  /// Total weight added, including under/overflow.
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Per-bin fraction of total weight (empty histogram -> all zeros).
+  [[nodiscard]] std::vector<double> fractions() const;
+
+  /// Cumulative fraction of weight at or below each bin's upper edge.
+  /// Underflow weight is included in every entry; overflow in none.
+  [[nodiscard]] std::vector<double> cumulative_fractions() const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// A point of an empirical, weight-based CDF.
+struct CdfPoint {
+  double x = 0.0;        ///< sample value
+  double fraction = 0.0; ///< cumulative weight fraction <= x
+};
+
+/// Build an exact weighted empirical CDF from (value, weight) pairs.
+[[nodiscard]] std::vector<CdfPoint> weighted_cdf(
+    std::span<const double> values, std::span<const double> weights);
+
+/// Fraction of total weight carried by samples with value <= threshold.
+[[nodiscard]] double weight_fraction_below(std::span<const double> values,
+                                           std::span<const double> weights,
+                                           double threshold);
+
+}  // namespace p2plb

@@ -1,0 +1,17 @@
+// 128-bit unsigned integer alias.
+//
+// Hilbert indices (up to dims * bits = 128 significant bits) and exact
+// 64x64 multiplication in the RNG need a 128-bit type.  GCC and Clang
+// provide __int128 as an extension; the __extension__ marker keeps
+// -Wpedantic builds clean.
+#pragma once
+
+namespace p2plb {
+
+#if defined(__SIZEOF_INT128__)
+__extension__ typedef unsigned __int128 uint128;
+#else
+#error "p2plb requires a compiler with unsigned __int128 support"
+#endif
+
+}  // namespace p2plb

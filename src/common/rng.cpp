@@ -1,0 +1,39 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace p2plb {
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  P2PLB_REQUIRE(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    P2PLB_REQUIRE_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  P2PLB_REQUIRE_MSG(total > 0.0, "at least one weight must be positive");
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point underrun: the draw landed past the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;)
+    if (weights[i] > 0.0) return i;
+  throw InvariantError("weighted draw failed");
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  P2PLB_REQUIRE(k <= n);
+  // Partial Fisher-Yates over an index vector: O(n) setup, O(k) swaps.
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace p2plb

@@ -1,0 +1,179 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// Every stochastic component of the library draws from an explicitly seeded
+// Rng; the global C++ engines are never used, so a (seed, parameters) pair
+// fully determines an experiment.  The generator is xoshiro256**, seeded
+// through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/int128.h"
+
+namespace p2plb {
+
+/// SplitMix64 step: used for seeding and for cheap stateless hashing of
+/// (seed, stream) pairs into independent generator states.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with distribution helpers.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>
+/// distributions, but the members below are the supported API: they are
+/// stable across platforms, unlike libstdc++/libc++ distribution internals.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed the generator.  Identical seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x5EEDF00DULL) noexcept { reseed(seed); }
+
+  /// Derive an independent stream: fork(i) and fork(j) are decorrelated
+  /// for i != j, enabling per-node / per-trial substreams from one root seed.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept {
+    std::uint64_t mix = state_[0] ^ (stream * 0x9E3779B97F4A7C15ULL);
+    Rng child(0);
+    child.reseed(mix ^ (state_[2] + stream));
+    return child;
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    P2PLB_REQUIRE(bound > 0);
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      const uint128 m = static_cast<uint128>(r) * static_cast<uint128>(bound);
+      if (static_cast<std::uint64_t>(m) >= threshold)
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    P2PLB_REQUIRE(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    const std::uint64_t draw = (span == 0) ? (*this)() : below(span);
+    return lo + static_cast<std::int64_t>(draw);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Standard normal via Marsaglia polar method (cached spare).
+  [[nodiscard]] double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  [[nodiscard]] double normal(double mean, double sigma) {
+    P2PLB_REQUIRE(sigma >= 0.0);
+    return mean + sigma * normal();
+  }
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) {
+    P2PLB_REQUIRE(mean > 0.0);
+    double u;
+    do {
+      u = uniform01();
+    } while (u == 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Pareto with shape alpha (> 0) and scale xm (> 0): density
+  /// alpha * xm^alpha / x^(alpha+1) for x >= xm.
+  [[nodiscard]] double pareto(double alpha, double xm) {
+    P2PLB_REQUIRE(alpha > 0.0);
+    P2PLB_REQUIRE(xm > 0.0);
+    double u;
+    do {
+      u = uniform01();
+    } while (u == 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Draw an index according to the given non-negative weights.
+  /// At least one weight must be positive.
+  [[nodiscard]] std::size_t weighted(std::span<const double> weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace p2plb

@@ -1,0 +1,98 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace p2plb {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  P2PLB_REQUIRE(!headers_.empty());
+}
+
+Table::Table(std::initializer_list<std::string> headers)
+    : Table(std::vector<std::string>(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  P2PLB_REQUIRE_MSG(cells.size() == headers_.size(),
+                    "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(std::initializer_list<double> values,
+                            int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(num(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+void Table::print_text(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t line = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    line += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(line, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << csv_escape(cells[c]);
+      if (c + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_heading(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace p2plb

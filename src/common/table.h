@@ -1,0 +1,51 @@
+// Plain-text and CSV table rendering for benchmark/figure output.
+//
+// Every figure-reproduction binary prints its series as an aligned text
+// table (human-readable in the terminal) and can optionally emit CSV for
+// downstream plotting.  Keeping the emitters here means every bench target
+// reports in the same format.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace p2plb {
+
+/// Column-aligned text / CSV table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  Table(std::initializer_list<std::string> headers);
+
+  /// Append a row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format each value with the given precision.
+  void add_row_numeric(std::initializer_list<double> values, int precision = 4);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return headers_.size();
+  }
+
+  /// Render as an aligned text table with a header separator line.
+  void print_text(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  /// Format a double with fixed precision, trimming trailing zeros.
+  [[nodiscard]] static std::string num(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section heading used by the figure binaries, e.g.
+/// "== Figure 7(a): moved load distribution, ts5k-large ==".
+void print_heading(std::ostream& os, const std::string& title);
+
+}  // namespace p2plb

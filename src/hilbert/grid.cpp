@@ -1,0 +1,45 @@
+#include "hilbert/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2plb::hilbert {
+
+GridQuantizer::GridQuantizer(const CurveSpec& spec, double max_value)
+    : spec_(spec), max_value_(max_value) {
+  spec_.validate();
+  P2PLB_REQUIRE(max_value_ > 0.0);
+}
+
+std::vector<std::uint32_t> GridQuantizer::quantize(
+    std::span<const double> vec) const {
+  P2PLB_REQUIRE_MSG(vec.size() == spec_.dims,
+                    "landmark vector dimension mismatch");
+  const std::uint32_t cells = 1u << spec_.bits;
+  std::vector<std::uint32_t> coords(vec.size());
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    P2PLB_REQUIRE_MSG(std::isfinite(vec[i]), "landmark distance must be finite");
+    const double clamped = std::clamp(vec[i], 0.0, max_value_);
+    auto cell = static_cast<std::uint32_t>(clamped / max_value_ *
+                                           static_cast<double>(cells));
+    coords[i] = std::min(cell, cells - 1);  // clamp the vec[i]==max case
+  }
+  return coords;
+}
+
+Index GridQuantizer::hilbert_number(std::span<const double> vec) const {
+  const auto coords = quantize(vec);
+  return encode(spec_, coords);
+}
+
+std::uint32_t GridQuantizer::scale_to_key(Index number) const {
+  const std::uint32_t bits = spec_.index_bits();
+  if (bits >= 32) return static_cast<std::uint32_t>(number >> (bits - 32));
+  return static_cast<std::uint32_t>(number) << (32 - bits);
+}
+
+std::uint32_t GridQuantizer::chord_key(std::span<const double> vec) const {
+  return scale_to_key(hilbert_number(vec));
+}
+
+}  // namespace p2plb::hilbert

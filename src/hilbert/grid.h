@@ -1,0 +1,49 @@
+// Landmark-space quantization: landmark vector -> grid cell -> Hilbert
+// number -> DHT key (Section 4.2.1).
+//
+// The m-dimensional landmark space is divided into 2^(m*b) equal grids
+// (b = bits per dimension, the paper's `n` knob); each node is numbered
+// with the Hilbert index of the grid its landmark vector falls in, and
+// that "Hilbert number" is scaled order-preservingly into the 32-bit
+// Chord key space.  A smaller b makes it more likely that two physically
+// close nodes share the same Hilbert number, exactly as the paper notes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hilbert/hilbert.h"
+
+namespace p2plb::hilbert {
+
+/// Quantizes real-valued landmark vectors onto a Hilbert curve and scales
+/// the resulting index into a fixed-width DHT key.
+class GridQuantizer {
+ public:
+  /// `spec.dims` must equal the landmark vector dimension; values are
+  /// clamped to [0, max_value] before quantization (max_value > 0).
+  GridQuantizer(const CurveSpec& spec, double max_value);
+
+  [[nodiscard]] const CurveSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] double max_value() const noexcept { return max_value_; }
+
+  /// Grid coordinates of a landmark vector (one per dimension).
+  [[nodiscard]] std::vector<std::uint32_t> quantize(
+      std::span<const double> vec) const;
+
+  /// Hilbert number of the grid containing `vec`.
+  [[nodiscard]] Index hilbert_number(std::span<const double> vec) const;
+
+  /// Hilbert number scaled (order-preservingly) into the 32-bit key space.
+  [[nodiscard]] std::uint32_t chord_key(std::span<const double> vec) const;
+
+  /// Scale a raw Hilbert number of this curve into a 32-bit key.
+  [[nodiscard]] std::uint32_t scale_to_key(Index number) const;
+
+ private:
+  CurveSpec spec_;
+  double max_value_;
+};
+
+}  // namespace p2plb::hilbert

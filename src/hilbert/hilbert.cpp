@@ -1,0 +1,130 @@
+#include "hilbert/hilbert.h"
+
+#include <algorithm>
+
+namespace p2plb::hilbert {
+
+void CurveSpec::validate() const {
+  P2PLB_REQUIRE_MSG(dims >= 1, "Hilbert curve needs at least 1 dimension");
+  P2PLB_REQUIRE_MSG(bits >= 1, "Hilbert curve needs at least 1 bit/dim");
+  P2PLB_REQUIRE_MSG(bits <= 32, "at most 32 bits per dimension");
+  P2PLB_REQUIRE_MSG(dims * bits <= 128,
+                    "Hilbert index would exceed 128 bits (dims*bits too big)");
+}
+
+namespace {
+
+// Skilling's transform works on the "transposed" index representation:
+// X[i] holds every dims-th bit of the index, i.e. index bit
+// (b-1-q)*dims + (dims-1-i) corresponds to bit q of X[i].
+
+/// Coordinates -> transposed Hilbert index, in place.
+void axes_to_transpose(std::span<std::uint32_t> x, std::uint32_t bits) {
+  const std::uint32_t n = static_cast<std::uint32_t>(x.size());
+  const std::uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert low bits of x[0]
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (std::uint32_t i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1)
+    if (x[n - 1] & q) t ^= q - 1;
+  for (std::uint32_t i = 0; i < n; ++i) x[i] ^= t;
+}
+
+/// Transposed Hilbert index -> coordinates, in place.
+void transpose_to_axes(std::span<std::uint32_t> x, std::uint32_t bits) {
+  const std::uint32_t n = static_cast<std::uint32_t>(x.size());
+  const std::uint32_t top = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[n - 1] >> 1;
+  for (std::uint32_t i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != top; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (std::uint32_t i = n; i-- > 0;) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t tt = (x[0] ^ x[i]) & p;
+        x[0] ^= tt;
+        x[i] ^= tt;
+      }
+    }
+  }
+}
+
+/// Pack the transposed form into a linear index: bit q of x[i] becomes
+/// index bit q*dims + (dims-1-i), scanning q from high to low.
+Index pack_transpose(std::span<const std::uint32_t> x, std::uint32_t bits) {
+  Index out = 0;
+  const std::size_t n = x.size();
+  for (std::uint32_t q = bits; q-- > 0;) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out <<= 1;
+      out |= static_cast<Index>((x[i] >> q) & 1u);
+    }
+  }
+  return out;
+}
+
+/// Inverse of pack_transpose.
+void unpack_transpose(Index index, std::span<std::uint32_t> x,
+                      std::uint32_t bits) {
+  std::fill(x.begin(), x.end(), 0u);
+  const std::size_t n = x.size();
+  for (std::uint32_t q = 0; q < bits; ++q) {
+    for (std::size_t i = n; i-- > 0;) {
+      x[i] |= static_cast<std::uint32_t>(index & 1u) << q;
+      index >>= 1;
+    }
+  }
+}
+
+}  // namespace
+
+Index encode(const CurveSpec& spec, std::span<const std::uint32_t> coords) {
+  spec.validate();
+  P2PLB_REQUIRE_MSG(coords.size() == spec.dims,
+                    "coordinate count must equal curve dimensions");
+  const std::uint32_t limit_shift = spec.bits;
+  for (std::uint32_t c : coords)
+    P2PLB_REQUIRE_MSG(limit_shift == 32 || c < (1u << limit_shift),
+                      "coordinate out of range for curve resolution");
+  std::vector<std::uint32_t> x(coords.begin(), coords.end());
+  axes_to_transpose(x, spec.bits);
+  return pack_transpose(x, spec.bits);
+}
+
+std::vector<std::uint32_t> decode(const CurveSpec& spec, Index index) {
+  spec.validate();
+  P2PLB_REQUIRE_MSG(spec.index_bits() == 128 || index < spec.cell_count(),
+                    "Hilbert index out of range");
+  std::vector<std::uint32_t> x(spec.dims, 0u);
+  unpack_transpose(index, x, spec.bits);
+  transpose_to_axes(x, spec.bits);
+  return x;
+}
+
+std::uint64_t l1_distance(std::span<const std::uint32_t> a,
+                          std::span<const std::uint32_t> b) {
+  P2PLB_REQUIRE(a.size() == b.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    total += a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+  return total;
+}
+
+}  // namespace p2plb::hilbert

@@ -1,0 +1,58 @@
+// Generic m-dimensional Hilbert space-filling curve (Section 4.2.1).
+//
+// The paper maps each node's m-dimensional landmark vector (m = 15) to a
+// one-dimensional "Hilbert number" used as a DHT key, relying on the
+// curve's locality: points close in R^m map to nearby indices.  This
+// implementation uses John Skilling's compact transform ("Programming the
+// Hilbert curve", AIP 2004): O(m * b) bit operations per conversion for a
+// curve over m dimensions with b bits of resolution per dimension.
+//
+// Indices are 128-bit, so any curve with dims * bits <= 128 is supported
+// (the paper's configuration, 15 dims x 2 bits = 30 bits, fits easily).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/int128.h"
+
+namespace p2plb::hilbert {
+
+/// Hilbert index; holds dims * bits significant bits.
+using Index = p2plb::uint128;
+
+/// Shape of a Hilbert curve: `dims` dimensions, `bits` of resolution per
+/// dimension (each coordinate lies in [0, 2^bits)).
+struct CurveSpec {
+  std::uint32_t dims = 2;
+  std::uint32_t bits = 8;
+
+  /// Total significant bits of an index on this curve.
+  [[nodiscard]] std::uint32_t index_bits() const noexcept {
+    return dims * bits;
+  }
+  /// Number of cells on the curve (2^(dims*bits)), as an Index.
+  [[nodiscard]] Index cell_count() const noexcept {
+    return Index{1} << index_bits();
+  }
+  /// Throws PreconditionError if the spec is unsupported.
+  void validate() const;
+};
+
+/// Map grid coordinates to the Hilbert index.
+/// Each coordinate must be < 2^spec.bits.
+[[nodiscard]] Index encode(const CurveSpec& spec,
+                           std::span<const std::uint32_t> coords);
+
+/// Map a Hilbert index (must be < spec.cell_count()) back to coordinates.
+[[nodiscard]] std::vector<std::uint32_t> decode(const CurveSpec& spec,
+                                                Index index);
+
+/// L1 (Manhattan) distance between two coordinate vectors; consecutive
+/// Hilbert indices always decode to coordinates at L1 distance exactly 1.
+[[nodiscard]] std::uint64_t l1_distance(std::span<const std::uint32_t> a,
+                                        std::span<const std::uint32_t> b);
+
+}  // namespace p2plb::hilbert

@@ -1,0 +1,204 @@
+#include "ktree/protocol.h"
+
+#include <algorithm>
+
+namespace p2plb::ktree {
+
+VsLatencyFn unit_latency(const chord::Ring& ring, sim::Time unit) {
+  P2PLB_REQUIRE(unit >= 0.0);
+  return [&ring, unit](chord::Key from_vs, chord::Key to_vs) -> sim::Time {
+    if (from_vs == to_vs) return 0.0;
+    if (!ring.has_server(from_vs) || !ring.has_server(to_vs)) return unit;
+    return ring.server(from_vs).owner == ring.server(to_vs).owner ? 0.0
+                                                                  : unit;
+  };
+}
+
+SweepResult simulate_aggregation(sim::Engine& engine, const KTree& tree,
+                                 const VsLatencyFn& latency) {
+  P2PLB_REQUIRE(latency != nullptr);
+  SweepResult result;
+  const sim::Time start = engine.now();
+  // pending[i]: children yet to report; completion bubbles upward.
+  std::vector<std::uint16_t> pending(tree.size());
+  for (KtIndex i = 0; i < tree.size(); ++i)
+    pending[i] = tree.node(i).child_count;
+
+  sim::Time root_done = start;
+  // Recursive completion handler: when node i's subtree is aggregated,
+  // forward to the parent after the edge latency.
+  std::function<void(KtIndex)> complete = [&](KtIndex i) {
+    if (i == tree.root()) {
+      root_done = engine.now();
+      return;
+    }
+    const KtIndex parent = tree.node(i).parent;
+    const sim::Time lat =
+        latency(tree.node(i).host_vs, tree.node(parent).host_vs);
+    if (lat > 0.0) {
+      ++result.messages;
+    } else {
+      ++result.local_hops;
+    }
+    engine.schedule_after(lat, [&, parent] {
+      P2PLB_ASSERT(pending[parent] > 0);
+      if (--pending[parent] == 0) complete(parent);
+    });
+  };
+  // Leaves start immediately.
+  for (KtIndex i = 0; i < tree.size(); ++i)
+    if (tree.node(i).is_leaf()) {
+      engine.schedule_after(0.0, [&, i] { complete(i); });
+    }
+  engine.run();
+  result.completion_time = root_done - start;
+  return result;
+}
+
+SweepResult simulate_dissemination(sim::Engine& engine, const KTree& tree,
+                                   const VsLatencyFn& latency) {
+  P2PLB_REQUIRE(latency != nullptr);
+  SweepResult result;
+  const sim::Time start = engine.now();
+  sim::Time last_leaf = start;
+
+  std::function<void(KtIndex)> deliver = [&](KtIndex i) {
+    if (tree.node(i).is_leaf()) {
+      last_leaf = std::max(last_leaf, engine.now());
+      return;
+    }
+    const KtIndex first = tree.node(i).first_child;
+    for (std::uint16_t c = 0; c < tree.node(i).child_count; ++c) {
+      const KtIndex child = first + c;
+      const sim::Time lat =
+          latency(tree.node(i).host_vs, tree.node(child).host_vs);
+      if (lat > 0.0) {
+        ++result.messages;
+      } else {
+        ++result.local_hops;
+      }
+      engine.schedule_after(lat, [&, child] { deliver(child); });
+    }
+  };
+  engine.schedule_after(0.0, [&] { deliver(tree.root()); });
+  engine.run();
+  result.completion_time = last_leaf - start;
+  return result;
+}
+
+MaintenanceProtocol::MaintenanceProtocol(sim::Engine& engine,
+                                         chord::Ring& ring,
+                                         std::uint32_t degree,
+                                         sim::Time check_interval,
+                                         VsLatencyFn latency)
+    : engine_(engine),
+      ring_(ring),
+      degree_(degree),
+      interval_(check_interval),
+      latency_(std::move(latency)) {
+  P2PLB_REQUIRE(degree_ >= 2);
+  P2PLB_REQUIRE(check_interval > 0.0);
+  P2PLB_REQUIRE(latency_ != nullptr);
+}
+
+void MaintenanceProtocol::start() {
+  create_instance(Region::whole());
+  // The root is planted at the deterministic center of the identifier
+  // space; any node can locate (and if needed recreate) it.  Model that
+  // with a watchdog firing every check interval.
+  engine_.every(interval_, [this] {
+    if (!instances_.contains(Region::whole()) &&
+        ring_.virtual_server_count() > 0) {
+      ++messages_;  // the lookup that re-seeds the root
+      create_instance(Region::whole());
+    }
+    return true;  // runs for the lifetime of the simulation
+  });
+}
+
+void MaintenanceProtocol::create_instance(const Region& region) {
+  if (instances_.contains(region)) return;
+  if (ring_.virtual_server_count() == 0) return;
+  Instance inst;
+  inst.host_vs = ring_.successor(region.midpoint()).id;
+  instances_.emplace(region, inst);
+  schedule_check(region);
+}
+
+void MaintenanceProtocol::schedule_check(const Region& region) {
+  engine_.schedule_after(interval_, [this, region] {
+    check_instance(region);
+  });
+}
+
+void MaintenanceProtocol::check_instance(const Region& region) {
+  const auto it = instances_.find(region);
+  if (it == instances_.end()) return;  // destroyed meanwhile: stop checking
+  if (ring_.virtual_server_count() == 0) return;
+
+  // Re-plant: the proper host is the current successor of the midpoint.
+  const chord::Key proper = ring_.successor(region.midpoint()).id;
+  if (it->second.host_vs != proper) {
+    ++messages_;  // state handoff to the new host
+    it->second.host_vs = proper;
+  }
+
+  const bool is_leaf = region.len <= ring_.arc_size(proper);
+  if (is_leaf) {
+    // Prune every strict descendant, including orphans whose intermediate
+    // ancestors already vanished.  Regions never wrap (children split
+    // without crossing 2^32), so all descendants have lo in
+    // [region.lo, region.lo + region.len) and smaller len -- a contiguous
+    // range of the (lo, len)-ordered instance map.
+    auto it2 = instances_.lower_bound(Region{region.lo, 0});
+    while (it2 != instances_.end() &&
+           chord::distance_cw(region.lo, it2->first.lo) < region.len) {
+      // Ancestors can share our lo with a larger len; skip non-descendants.
+      if (it2->first.len >= region.len) {
+        ++it2;
+        continue;
+      }
+      ++messages_;  // prune notification
+      it2 = instances_.erase(it2);
+    }
+  } else {
+    // Grow: create any missing child after the create-message latency.
+    for (std::uint32_t c = 0; c < degree_; ++c) {
+      const Region child = region.child(c, degree_);
+      if (child.len == 0 || instances_.contains(child)) continue;
+      const chord::Key child_host = ring_.successor(child.midpoint()).id;
+      const sim::Time lat = latency_(proper, child_host);
+      if (lat > 0.0) ++messages_;
+      engine_.schedule_after(lat,
+                             [this, child] { create_instance(child); });
+    }
+  }
+  schedule_check(region);
+}
+
+void MaintenanceProtocol::crash_node(chord::NodeIndex node) {
+  // Capture the victim's servers, then remove it from the ring.
+  const std::vector<chord::Key> victims = ring_.node(node).servers;
+  ring_.remove_node(node);
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    const bool hosted_by_victim =
+        std::find(victims.begin(), victims.end(), it->second.host_vs) !=
+        victims.end();
+    it = hosted_by_victim ? instances_.erase(it) : std::next(it);
+  }
+}
+
+bool MaintenanceProtocol::converged() const {
+  if (ring_.virtual_server_count() == 0) return instances_.empty();
+  const KTree target(ring_, degree_);
+  if (instances_.size() != target.size()) return false;
+  for (KtIndex i = 0; i < target.size(); ++i) {
+    const KtNode& n = target.node(i);
+    const auto it = instances_.find(n.region);
+    if (it == instances_.end()) return false;
+    if (it->second.host_vs != n.host_vs) return false;
+  }
+  return true;
+}
+
+}  // namespace p2plb::ktree

@@ -1,0 +1,141 @@
+// Event-driven K-nary tree protocols (Section 3.1's dynamic behaviour).
+//
+// The KTree class materializes the *converged* tree; this module models
+// the protocol that reaches and maintains it:
+//
+//   * simulate_sweep -- a bottom-up aggregation (or, symmetrically, a
+//     top-down dissemination) over the converged tree with real message
+//     latencies: a child forwards to its parent as soon as its own
+//     subtree is complete; parent-child edges between KT nodes hosted on
+//     the same virtual server cost nothing (they are local state).  The
+//     completion time is the paper's "LBI aggregation is bound in
+//     O(log_K N) time" quantity.
+//
+//   * MaintenanceProtocol -- soft-state tree maintenance: every KT-node
+//     instance periodically re-checks its planting (host = successor of
+//     the region midpoint), its leaf condition, and its children,
+//     creating missing children and pruning redundant ones.  Crashing a
+//     DHT node destroys the instances it hosted; the periodic checks
+//     regrow them top-down, which is the self-repair property the paper
+//     claims completes in O(log_K N) rounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "chord/ring.h"
+#include "ktree/region.h"
+#include "ktree/tree.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace p2plb::ktree {
+
+/// Latency between two *virtual servers* (in practice: between their
+/// hosts' topology attachments, or a constant for abstract experiments).
+using VsLatencyFn =
+    std::function<sim::Time(chord::Key from_vs, chord::Key to_vs)>;
+
+/// A VsLatencyFn charging `unit` per remote message and 0 when both
+/// servers live on the same physical node.
+[[nodiscard]] VsLatencyFn unit_latency(const chord::Ring& ring,
+                                       sim::Time unit = 1.0);
+
+/// Result of one simulated sweep.
+struct SweepResult {
+  sim::Time completion_time = 0.0;  ///< when the root (or last leaf) fired
+  std::uint64_t messages = 0;       ///< remote messages only
+  std::uint64_t local_hops = 0;     ///< same-host parent-child handoffs
+};
+
+/// Simulate a bottom-up sweep (leaves start at t = now): each KT node
+/// reports to its parent once all children have reported.  Returns when
+/// the root completes.
+[[nodiscard]] SweepResult simulate_aggregation(sim::Engine& engine,
+                                               const KTree& tree,
+                                               const VsLatencyFn& latency);
+
+/// Simulate a top-down dissemination (root starts at t = now): each node
+/// forwards to its children on receipt.  Returns when the last leaf has
+/// received.
+[[nodiscard]] SweepResult simulate_dissemination(sim::Engine& engine,
+                                                 const KTree& tree,
+                                                 const VsLatencyFn& latency);
+
+/// Soft-state maintenance protocol over a (mutable) ring.
+///
+/// The experiment owns the ring and the engine; the protocol installs a
+/// periodic check per live KT-node instance.  After membership changes,
+/// call on_ring_changed() (and crash_node() *instead of* calling
+/// Ring::remove_node directly, so instances hosted by the crashed node
+/// disappear with it).  converged() compares the live instance set with
+/// the converged KTree of the ring's current membership.
+class MaintenanceProtocol {
+ public:
+  /// `ring`, `engine` must outlive the protocol.  `check_interval` is
+  /// the paper's periodic-check period T.
+  MaintenanceProtocol(sim::Engine& engine, chord::Ring& ring,
+                      std::uint32_t degree, sim::Time check_interval,
+                      VsLatencyFn latency);
+
+  /// Bootstrap: create the root instance and start its periodic check.
+  void start();
+
+  /// Crash a node: removes it from the ring and destroys every KT-node
+  /// instance hosted by one of its virtual servers.
+  void crash_node(chord::NodeIndex node);
+
+  /// True iff the live instances exactly match the converged tree of the
+  /// ring's current membership (same regions, same hosts).
+  [[nodiscard]] bool converged() const;
+
+  /// Number of live KT-node instances.
+  [[nodiscard]] std::size_t instance_count() const {
+    return instances_.size();
+  }
+  /// Remote maintenance messages sent so far.
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+
+  /// Visit every live instance as fn(region, host_vs) -- diagnostics.
+  template <typename Fn>
+  void for_each_instance(Fn&& fn) const {
+    for (const auto& [region, inst] : instances_) fn(region, inst.host_vs);
+  }
+
+  /// The tree degree K.
+  [[nodiscard]] std::uint32_t degree() const noexcept { return degree_; }
+
+  /// Whether an instance currently exists for this exact region.
+  [[nodiscard]] bool has_instance(const Region& region) const {
+    return instances_.contains(region);
+  }
+
+  /// The hosting VS of an instance (throws if absent).
+  [[nodiscard]] chord::Key instance_host(const Region& region) const {
+    const auto it = instances_.find(region);
+    P2PLB_REQUIRE_MSG(it != instances_.end(), "no such instance");
+    return it->second.host_vs;
+  }
+
+ private:
+  struct Instance {
+    chord::Key host_vs = 0;
+    bool alive = true;
+  };
+
+  void create_instance(const Region& region);
+  void check_instance(const Region& region);
+  void schedule_check(const Region& region);
+
+  sim::Engine& engine_;
+  chord::Ring& ring_;
+  std::uint32_t degree_;
+  sim::Time interval_;
+  VsLatencyFn latency_;
+  std::map<Region, Instance, RegionOrder> instances_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace p2plb::ktree

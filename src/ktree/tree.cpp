@@ -1,0 +1,165 @@
+#include "ktree/tree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace p2plb::ktree {
+
+KTree::KTree(const chord::Ring& ring, std::uint32_t degree)
+    : ring_(ring), degree_(degree) {
+  P2PLB_REQUIRE_MSG(degree_ >= 2, "K-nary tree degree must be >= 2");
+  P2PLB_REQUIRE_MSG(degree_ <= 256, "unreasonable K-nary tree degree");
+  rebuild();
+}
+
+void KTree::rebuild() {
+  P2PLB_REQUIRE_MSG(ring_.virtual_server_count() > 0,
+                    "cannot build a K-nary tree over an empty ring");
+  nodes_.clear();
+  levels_.clear();
+  leaves_by_vs_.clear();
+  leaf_count_ = 0;
+
+  // BFS construction: process one level at a time so children of a node
+  // are contiguous and levels_ ranges are exact.
+  const Region whole = Region::whole();
+  nodes_.push_back(KtNode{whole, ring_.successor(whole.midpoint()).id,
+                          kNoKtNode, kNoKtNode, 0, 0});
+  KtIndex level_begin = 0;
+  std::uint16_t depth = 0;
+  while (level_begin < nodes_.size()) {
+    const auto level_end = static_cast<KtIndex>(nodes_.size());
+    levels_.push_back({level_begin, level_end});
+    height_ = depth;
+    for (KtIndex i = level_begin; i < level_end; ++i) {
+      // Leaf iff the region is no larger than the hosting VS's arc (the
+      // paper's size check; see the class comment).
+      const Region region = nodes_[i].region;
+      if (region.len <= ring_.arc_size(nodes_[i].host_vs)) {
+        continue;  // leaf: no children
+      }
+      P2PLB_ASSERT_MSG(region.len >= 2,
+                       "a length-1 region is always covered by an arc");
+      nodes_[i].first_child = static_cast<KtIndex>(nodes_.size());
+      std::uint16_t created = 0;
+      for (std::uint32_t c = 0; c < degree_; ++c) {
+        const Region child = region.child(c, degree_);
+        if (child.len == 0) continue;  // region smaller than the degree
+        P2PLB_ASSERT(nodes_.size() <
+                     std::numeric_limits<KtIndex>::max() - 1);
+        nodes_.push_back(KtNode{child, ring_.successor(child.midpoint()).id,
+                                i, kNoKtNode, 0,
+                                static_cast<std::uint16_t>(depth + 1)});
+        ++created;
+      }
+      nodes_[i].child_count = created;
+    }
+    level_begin = level_end;
+    ++depth;
+  }
+
+  // Effective (communication) depth: count host changes along each path.
+  std::vector<std::uint16_t> eff(nodes_.size(), 0);
+  effective_height_ = 0;
+  for (KtIndex i = 0; i < nodes_.size(); ++i) {
+    if (i != root()) {
+      const KtNode& parent = nodes_[nodes_[i].parent];
+      eff[i] = static_cast<std::uint16_t>(
+          eff[nodes_[i].parent] +
+          (parent.host_vs == nodes_[i].host_vs ? 0 : 1));
+      effective_height_ = std::max(effective_height_, eff[i]);
+    }
+    if (nodes_[i].is_leaf()) {
+      leaves_by_vs_[nodes_[i].host_vs].push_back(i);
+      ++leaf_count_;
+    }
+  }
+}
+
+std::span<const KtNode> KTree::children(KtIndex i) const {
+  const KtNode& n = node(i);
+  if (n.is_leaf()) return {};
+  return {nodes_.data() + n.first_child, n.child_count};
+}
+
+KTree::LevelRange KTree::level(std::uint16_t depth) const {
+  P2PLB_REQUIRE(depth < levels_.size());
+  return levels_[depth];
+}
+
+std::span<const KtIndex> KTree::leaves_of(chord::Key vs) const {
+  const auto it = leaves_by_vs_.find(vs);
+  if (it == leaves_by_vs_.end()) return {};
+  return it->second;
+}
+
+KtIndex KTree::primary_leaf_of(chord::Key vs) const {
+  const auto leaves = leaves_of(vs);
+  P2PLB_REQUIRE_MSG(!leaves.empty(), "virtual server hosts no leaf");
+  return leaves.front();
+}
+
+KtIndex KTree::entry_leaf_for(chord::Key vs_id) const {
+  P2PLB_REQUIRE_MSG(ring_.has_server(vs_id), "unknown virtual server");
+  const auto leaves = leaves_of(vs_id);
+  if (!leaves.empty()) return leaves.front();
+  return leaf_containing(vs_id);
+}
+
+KtIndex KTree::leaf_containing(chord::Key key) const {
+  KtIndex i = root();
+  while (!nodes_[i].is_leaf()) {
+    const KtIndex first = nodes_[i].first_child;
+    KtIndex next = kNoKtNode;
+    for (std::uint16_t c = 0; c < nodes_[i].child_count; ++c) {
+      if (nodes_[first + c].region.contains(key)) {
+        next = first + c;
+        break;
+      }
+    }
+    P2PLB_ASSERT_MSG(next != kNoKtNode,
+                     "children must partition the parent region");
+    i = next;
+  }
+  return i;
+}
+
+void KTree::check_invariants() const {
+  P2PLB_ASSERT(!nodes_.empty());
+  P2PLB_ASSERT(nodes_[0].region == Region::whole());
+  std::uint64_t leaf_coverage = 0;
+  for (KtIndex i = 0; i < nodes_.size(); ++i) {
+    const KtNode& n = nodes_[i];
+    // Hosting: the VS planted at the region midpoint.
+    P2PLB_ASSERT(n.host_vs == ring_.successor(n.region.midpoint()).id);
+    if (n.is_leaf()) {
+      P2PLB_ASSERT_MSG(n.region.len <= ring_.arc_size(n.host_vs),
+                       "leaf region must fit in its hosting VS arc");
+      leaf_coverage += n.region.len;
+      continue;
+    }
+    P2PLB_ASSERT_MSG(n.region.len > ring_.arc_size(n.host_vs),
+                     "interior node should have been a leaf");
+    // Children partition the parent region exactly, in order.
+    std::uint64_t covered = 0;
+    chord::Key cursor = n.region.lo;
+    for (std::uint16_t c = 0; c < n.child_count; ++c) {
+      const KtNode& child = nodes_[n.first_child + c];
+      P2PLB_ASSERT(child.parent == i);
+      P2PLB_ASSERT(child.depth == n.depth + 1);
+      P2PLB_ASSERT(child.region.lo == cursor);
+      cursor = static_cast<chord::Key>(
+          cursor + static_cast<std::uint32_t>(child.region.len));
+      covered += child.region.len;
+    }
+    P2PLB_ASSERT_MSG(covered == n.region.len,
+                     "children must cover the parent region exactly");
+  }
+  P2PLB_ASSERT_MSG(leaf_coverage == chord::kSpaceSize,
+                   "leaf regions must tile the identifier space");
+  // Every VS has a well-defined entry leaf (its own, or the covering one).
+  for (const chord::Key id : ring_.server_ids())
+    P2PLB_ASSERT(node(entry_leaf_for(id)).is_leaf());
+}
+
+}  // namespace p2plb::ktree

@@ -1,0 +1,76 @@
+// The end-to-end load balancer: the paper's four phases in one call.
+//
+//   1. LBI aggregation over the K-nary tree          (Section 3.2)
+//   2. Node classification                           (Section 3.3)
+//   3. Virtual server assignment, bottom-up sweep    (Sections 3.4, 4.3)
+//   4. Virtual server transferring                   (Section 3.5)
+//
+// This is the library's primary entry point.  Callers that need a
+// physical-cost breakdown pass a topology-aware ring (nodes attached to
+// vertices) and use lb::transfer_costs on the returned assignments.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "chord/ring.h"
+#include "common/rng.h"
+#include "lb/classify.h"
+#include "lb/lbi.h"
+#include "lb/reporting.h"
+#include "lb/vsa.h"
+#include "lb/vst.h"
+
+namespace p2plb::lb {
+
+/// Which VSA entry mapping to use.
+enum class BalanceMode : std::uint8_t {
+  kProximityIgnorant,  ///< Section 3.4 -- records enter at random VSs
+  kProximityAware,     ///< Section 4.3 -- records enter at Hilbert keys
+};
+
+/// Balancer configuration (defaults follow the paper's experiments).
+struct BalancerConfig {
+  std::uint32_t tree_degree = 2;  ///< K (paper: 2 and 8)
+  /// Target slack: T_i = (1 + epsilon) * (L/C) * C_i.  The paper calls 0
+  /// ideal, but with epsilon exactly 0 the aggregate light spare equals
+  /// the aggregate heavy excess *minus* what neutral nodes hold back,
+  /// while heavy nodes offer their excess *plus* subset-rounding
+  /// overshoot -- so a few percent of shed servers can never place, in
+  /// any number of rounds.  A small positive epsilon (0.05 here) restores
+  /// the slack and reproduces the paper's "all heavy nodes become light"
+  /// figures in a single round; bench/ablation_epsilon sweeps the knob.
+  double epsilon = 0.05;
+  std::size_t rendezvous_threshold = 30; ///< interior pairing threshold
+  SelectionPolicy selection = SelectionPolicy::kExact;
+  BalanceMode mode = BalanceMode::kProximityIgnorant;
+  /// Pair same-Hilbert-number records first at their entry leaf (see
+  /// VsaParams::key_local_rendezvous).  Only affects kProximityAware.
+  bool key_local_rendezvous = true;
+  /// When false, phase 4 is skipped (assignments are reported but the
+  /// ring is left untouched -- useful for what-if analysis).
+  bool apply_transfers = true;
+};
+
+/// Everything one balancing round produced.
+struct BalanceReport {
+  Lbi system;                    ///< root triple after aggregation
+  LbiAggregation aggregation;    ///< phase-1 details
+  LbiDissemination dissemination;
+  Classification before;         ///< phase-2 classes, pre-transfer
+  VsaResult vsa;                 ///< phase-3 pairings
+  std::size_t transfers_applied = 0;  ///< phase-4 count
+  Classification after;          ///< re-classification post-transfer
+                                 ///< (same system triple)
+};
+
+/// Run one complete balancing round over the ring.
+///
+/// For kProximityAware, `node_keys[i]` must hold node i's Hilbert-derived
+/// DHT key (see hilbert::GridQuantizer and lb/proximity.h); it may be
+/// empty for kProximityIgnorant.
+[[nodiscard]] BalanceReport run_balance_round(
+    chord::Ring& ring, const BalancerConfig& config, Rng& rng,
+    std::span<const chord::Key> node_keys = {});
+
+}  // namespace p2plb::lb

@@ -1,0 +1,189 @@
+#include "lb/baselines.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "lb/lbi.h"
+#include "lb/selection.h"
+
+namespace p2plb::lb {
+
+namespace {
+
+/// Baselines are granted free, exact global knowledge of <L, C, L_min>
+/// each round (no aggregation cost) -- a strictly generous assumption
+/// that biases comparisons *against* the paper's scheme.
+Classification classify_now(const chord::Ring& ring, double epsilon) {
+  return classify_all(ring, ground_truth_lbi(ring), epsilon);
+}
+
+}  // namespace
+
+CfsShedResult run_cfs_shedding(chord::Ring& ring, double epsilon,
+                               std::uint32_t max_rounds) {
+  CfsShedResult result;
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    const Classification before = classify_now(ring, epsilon);
+    if (before.heavy_count == 0) break;
+    ++result.rounds;
+    std::set<chord::NodeIndex> heavy_at_start;
+    for (const NodeAssessment& a : before.nodes)
+      if (a.cls == NodeClass::kHeavy) heavy_at_start.insert(a.node);
+
+    bool any_shed = false;
+    for (const NodeAssessment& a : before.nodes) {
+      if (a.cls != NodeClass::kHeavy) continue;
+      // Delete lightest servers until at/below target; never delete the
+      // last server (the node would leave the system).
+      std::vector<chord::Key> servers = ring.node(a.node).servers;
+      std::sort(servers.begin(), servers.end(),
+                [&](chord::Key x, chord::Key y) {
+                  return ring.server(x).load < ring.server(y).load;
+                });
+      double load = ring.node_load(a.node);
+      for (const chord::Key vs : servers) {
+        if (load <= a.target) break;
+        if (ring.node(a.node).servers.size() <= 1) break;
+        const double shed_load = ring.server(vs).load;
+        ring.remove_virtual_server(vs);
+        // The arc joins the ring successor of the deleted id, and so
+        // does the load it carried.
+        const chord::VirtualServer& absorber = ring.successor(vs);
+        ring.set_load(absorber.id, absorber.load + shed_load);
+        load -= shed_load;
+        result.load_moved += shed_load;
+        ++result.servers_shed;
+        any_shed = true;
+      }
+    }
+    if (!any_shed) break;  // stuck: every heavy is down to one server
+
+    // Thrash: nodes that were not heavy this round but are heavy now.
+    const Classification after = classify_now(ring, epsilon);
+    for (const NodeAssessment& a : after.nodes)
+      if (a.cls == NodeClass::kHeavy && !heavy_at_start.contains(a.node))
+        ++result.thrash_events;
+  }
+  result.residual_heavy = classify_now(ring, epsilon).heavy_count;
+  return result;
+}
+
+OneToOneResult run_one_to_one(chord::Ring& ring, double epsilon, Rng& rng,
+                              std::uint32_t max_rounds,
+                              std::uint32_t probes_per_round) {
+  P2PLB_REQUIRE(probes_per_round >= 1);
+  OneToOneResult result;
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    const Classification c = classify_now(ring, epsilon);
+    if (c.heavy_count == 0) break;
+    ++result.rounds;
+    // Mutable per-round view of loads and classes.
+    std::vector<NodeAssessment> nodes = c.nodes;
+    std::vector<std::size_t> order(nodes.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+
+    bool any_transfer = false;
+    for (const std::size_t idx : order) {
+      NodeAssessment& light = nodes[idx];
+      if (light.cls != NodeClass::kLight) continue;
+      double spare = light.target - light.load;
+      for (std::uint32_t p = 0; p < probes_per_round; ++p) {
+        ++result.probes;
+        const auto probe_key = static_cast<chord::Key>(rng() >> 32);
+        const chord::NodeIndex owner = ring.successor(probe_key).owner;
+        NodeAssessment* heavy = nullptr;
+        for (auto& n : nodes)
+          if (n.node == owner) {
+            heavy = &n;
+            break;
+          }
+        if (heavy == nullptr || heavy->cls != NodeClass::kHeavy) continue;
+        // Move the heaviest server that fits the light node's spare.
+        chord::Key best = 0;
+        double best_load = -1.0;
+        for (const chord::Key vs : ring.node(owner).servers) {
+          const double l = ring.server(vs).load;
+          if (l <= spare && l > best_load) {
+            best = vs;
+            best_load = l;
+          }
+        }
+        if (best_load <= 0.0) continue;  // nothing fits (or empty server)
+        ring.transfer_virtual_server(best, light.node);
+        result.assignments.push_back(
+            {best, owner, light.node, best_load, 0});
+        result.load_moved += best_load;
+        ++result.transfers;
+        any_transfer = true;
+        // Update the local view.
+        heavy->load -= best_load;
+        if (heavy->load <= heavy->target) heavy->cls = NodeClass::kNeutral;
+        light.load += best_load;
+        spare -= best_load;
+        break;  // this light node is served this round
+      }
+    }
+    if (!any_transfer) break;  // probing no longer finds placeable load
+  }
+  result.residual_heavy = classify_now(ring, epsilon).heavy_count;
+  return result;
+}
+
+OneToManyResult run_one_to_many(chord::Ring& ring, double epsilon, Rng& rng,
+                                std::size_t directory_count,
+                                std::uint32_t max_rounds) {
+  P2PLB_REQUIRE(directory_count >= 1);
+  OneToManyResult result;
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    const Classification c = classify_now(ring, epsilon);
+    if (c.heavy_count == 0) break;
+    ++result.rounds;
+
+    // Lights register their spare with one random directory each.
+    std::vector<std::multimap<double, chord::NodeIndex>> directories(
+        directory_count);
+    for (const NodeAssessment& a : c.nodes) {
+      if (a.cls != NodeClass::kLight) continue;
+      directories[rng.below(directory_count)].emplace(a.delta, a.node);
+      ++result.messages;  // registration
+    }
+
+    bool any_transfer = false;
+    for (const NodeAssessment& a : c.nodes) {
+      if (a.cls != NodeClass::kHeavy) continue;
+      auto& directory = directories[rng.below(directory_count)];
+      ++result.messages;  // query
+      const double excess = a.load - a.target;
+      // Best-fit the heavy's shed candidates against this directory's
+      // registrations (heaviest candidate first, as the tree does).
+      auto shed = select_servers_to_shed(ring, a.node, excess);
+      std::sort(shed.begin(), shed.end(),
+                [&](chord::Key x, chord::Key y) {
+                  return ring.server(x).load > ring.server(y).load;
+                });
+      for (const chord::Key vs : shed) {
+        const double load = ring.server(vs).load;
+        const auto it = directory.lower_bound(load);
+        if (it == directory.end()) continue;
+        const chord::NodeIndex dest = it->second;
+        const double spare = it->first;
+        directory.erase(it);
+        ring.transfer_virtual_server(vs, dest);
+        result.assignments.push_back({vs, a.node, dest, load, 0});
+        result.load_moved += load;
+        ++result.transfers;
+        result.messages += 2;  // notify both ends
+        any_transfer = true;
+        if (spare - load > 0.0)
+          directory.emplace(spare - load, dest);
+      }
+    }
+    if (!any_transfer) break;
+  }
+  result.residual_heavy = classify_now(ring, epsilon).heavy_count;
+  return result;
+}
+
+}  // namespace p2plb::lb

@@ -1,0 +1,90 @@
+// Baseline load-balancing schemes the paper positions itself against
+// (Sections 1.1 and 6).
+//
+//   * CFS-style shedding [CFS, SOSP'01]: an overloaded node simply
+//     *deletes* virtual servers; their arcs (and load) are absorbed by
+//     the ring successors, which can overload *them* -- the "load
+//     thrashing" failure mode the paper cites.
+//   * Rao et al. one-to-one [IPTPS'03]: each light node probes random
+//     points of the identifier space; when a probe lands on a heavy
+//     node, one virtual server moves directly.  Simple and fully
+//     decentralized, but needs many probes and is proximity-blind.
+//   * Rao et al. many-to-many is equivalent to running the K-nary-tree
+//     VSA with an infinite rendezvous threshold (all records pair at one
+//     directory); bench/baseline_comparison configures the main balancer
+//     that way rather than duplicating code here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chord/ring.h"
+#include "common/rng.h"
+#include "lb/classify.h"
+#include "lb/vsa.h"
+
+namespace p2plb::lb {
+
+/// Outcome of a CFS-style shedding run.
+struct CfsShedResult {
+  /// Rounds executed (classification + shed per round).
+  std::uint32_t rounds = 0;
+  /// Virtual servers deleted across all rounds.
+  std::size_t servers_shed = 0;
+  /// Load absorbed by successors (== load shed).
+  double load_moved = 0.0;
+  /// Nodes that were not heavy at the start of some round but became
+  /// heavy by absorbing a shed arc -- the thrashing measure.
+  std::size_t thrash_events = 0;
+  /// Heavy nodes remaining after the final round.
+  std::size_t residual_heavy = 0;
+};
+
+/// Run CFS-style shedding until no node is heavy, a node would have to
+/// delete its last server, or `max_rounds` elapse.  Shedding deletes the
+/// node's lightest servers first (smallest disruption per round, as CFS
+/// does); each deleted server's load joins its successor server.
+/// The ring is modified in place.
+CfsShedResult run_cfs_shedding(chord::Ring& ring, double epsilon,
+                               std::uint32_t max_rounds = 32);
+
+/// Outcome of the one-to-one random-probing scheme.
+struct OneToOneResult {
+  std::uint32_t rounds = 0;
+  std::uint64_t probes = 0;        ///< random lookups performed
+  std::size_t transfers = 0;       ///< virtual servers moved
+  double load_moved = 0.0;
+  std::size_t residual_heavy = 0;
+  /// The (from, to, load) triples, for transfer-cost accounting.
+  std::vector<Assignment> assignments;
+};
+
+/// Run one-to-one probing: each round, every light node probes
+/// `probes_per_round` random identifiers; if the owning node is heavy,
+/// the heaviest virtual server that fits the light node's spare moves.
+/// Stops when no node is heavy or after `max_rounds`.
+OneToOneResult run_one_to_one(chord::Ring& ring, double epsilon, Rng& rng,
+                              std::uint32_t max_rounds = 64,
+                              std::uint32_t probes_per_round = 4);
+
+/// Outcome of the one-to-many directory scheme.
+struct OneToManyResult {
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;  ///< registrations + queries + notifications
+  std::size_t transfers = 0;
+  double load_moved = 0.0;
+  std::size_t residual_heavy = 0;
+  std::vector<Assignment> assignments;
+};
+
+/// Run one-to-many (Rao et al.'s middle scheme): `directory_count`
+/// directories each hold the registrations of a random subset of light
+/// nodes; every heavy node contacts one random directory per round,
+/// which best-fit-matches the heavy's shed candidates against its own
+/// registrations only.  Stops when no node is heavy, nothing moved in a
+/// round, or after `max_rounds`.
+OneToManyResult run_one_to_many(chord::Ring& ring, double epsilon, Rng& rng,
+                                std::size_t directory_count = 16,
+                                std::uint32_t max_rounds = 16);
+
+}  // namespace p2plb::lb

@@ -1,0 +1,48 @@
+#include "lb/classify.h"
+
+#include "common/error.h"
+
+namespace p2plb::lb {
+
+NodeAssessment classify_node(const chord::Ring& ring, chord::NodeIndex node,
+                             const Lbi& system, double epsilon) {
+  P2PLB_REQUIRE(epsilon >= 0.0);
+  P2PLB_REQUIRE_MSG(system.capacity > 0.0,
+                    "system capacity must be positive to classify");
+  NodeAssessment a;
+  a.node = node;
+  a.load = ring.node_load(node);
+  a.capacity = ring.node(node).capacity;
+  a.target = (1.0 + epsilon) * (system.load / system.capacity) * a.capacity;
+  a.delta = a.target - a.load;
+  if (a.load > a.target) {
+    a.cls = NodeClass::kHeavy;
+  } else if (a.delta >= system.min_load) {
+    a.cls = NodeClass::kLight;
+  } else {
+    a.cls = NodeClass::kNeutral;
+  }
+  return a;
+}
+
+Classification classify_all(const chord::Ring& ring, const Lbi& system,
+                            double epsilon) {
+  Classification out;
+  for (const chord::NodeIndex i : ring.live_nodes()) {
+    out.nodes.push_back(classify_node(ring, i, system, epsilon));
+    switch (out.nodes.back().cls) {
+      case NodeClass::kHeavy:
+        ++out.heavy_count;
+        break;
+      case NodeClass::kLight:
+        ++out.light_count;
+        break;
+      case NodeClass::kNeutral:
+        ++out.neutral_count;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace p2plb::lb

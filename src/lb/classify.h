@@ -1,0 +1,64 @@
+// Node classification (Section 3.3).
+//
+// With the system triple <L, C, L_min> in hand, every node i computes its
+// capacity-proportional target load
+//
+//     T_i = (1 + epsilon) * (L / C) * C_i
+//
+// (epsilon trades movement volume against balance quality; ideally 0) and
+// classifies itself:
+//
+//     heavy    iff  L_i > T_i
+//     light    iff  T_i - L_i >= L_min
+//     neutral  iff  0 <= T_i - L_i < L_min
+//
+// Note the gap semantics: a node whose spare target capacity cannot fit
+// even the lightest virtual server in the system is neutral -- it would
+// be useless (and harmful) as a transfer destination.
+#pragma once
+
+#include <vector>
+
+#include "chord/ring.h"
+#include "lb/lbi.h"
+
+namespace p2plb::lb {
+
+/// Classification outcome for one node.
+enum class NodeClass : std::uint8_t { kHeavy, kLight, kNeutral };
+
+/// Per-node classification record.
+struct NodeAssessment {
+  chord::NodeIndex node = 0;
+  NodeClass cls = NodeClass::kNeutral;
+  double load = 0.0;      ///< L_i
+  double capacity = 0.0;  ///< C_i
+  double target = 0.0;    ///< T_i
+  /// T_i - L_i: positive spare for lights, negative excess for heavies.
+  double delta = 0.0;
+};
+
+/// Classify a single node given the system triple.
+[[nodiscard]] NodeAssessment classify_node(const chord::Ring& ring,
+                                           chord::NodeIndex node,
+                                           const Lbi& system, double epsilon);
+
+/// Classification of every live node.
+struct Classification {
+  std::vector<NodeAssessment> nodes;  // one entry per live node
+  std::size_t heavy_count = 0;
+  std::size_t light_count = 0;
+  std::size_t neutral_count = 0;
+
+  [[nodiscard]] double heavy_fraction() const noexcept {
+    return nodes.empty() ? 0.0
+                         : static_cast<double>(heavy_count) /
+                               static_cast<double>(nodes.size());
+  }
+};
+
+/// Classify all live nodes (epsilon >= 0).
+[[nodiscard]] Classification classify_all(const chord::Ring& ring,
+                                          const Lbi& system, double epsilon);
+
+}  // namespace p2plb::lb

@@ -1,0 +1,62 @@
+// Continuous LBI aggregation over the self-repairing tree (Section 3.2's
+// resilience claim).
+//
+// The paper: "In the event of the crashing of DHT nodes during the
+// process of LBI aggregation ... the K-nary tree can recover in
+// O(log_K N) time.  Hence, the LBI process can continue along the
+// K-nary tree in a bottom-up sweep after the tree is reconstructed."
+//
+// This module implements aggregation the way a soft-state system
+// actually runs it: every KT-node instance keeps a cached summary of its
+// subtree and refreshes it periodically -- a leaf recomputes its local
+// contribution, an interior node pulls its live children's caches.  The
+// root's cache therefore converges to the true system triple within
+// (height x interval) and *re*-converges after any crash once the
+// maintenance protocol has regrown the lost instances.  No sweep ever
+// has to restart from scratch; staleness is bounded, not fatal.
+#pragma once
+
+#include <map>
+
+#include "ktree/protocol.h"
+#include "lb/lbi.h"
+
+namespace p2plb::lb {
+
+/// Soft-state aggregation daemon attached to a MaintenanceProtocol tree.
+class ContinuousLbi {
+ public:
+  /// `engine`, `ring` and `tree` must outlive this object; `interval` is
+  /// the refresh period T of Section 3.2 (> 0).
+  ContinuousLbi(sim::Engine& engine, const chord::Ring& ring,
+                const ktree::MaintenanceProtocol& tree, sim::Time interval,
+                ktree::VsLatencyFn latency);
+
+  /// Start the periodic refresh.
+  void start();
+
+  /// The root's current (possibly stale) view of <L, C, L_min>.
+  [[nodiscard]] Lbi root_estimate() const;
+
+  /// True iff the root estimate matches the ring's ground truth within a
+  /// relative tolerance on L and C (and exactly on L_min).
+  [[nodiscard]] bool root_is_accurate(double relative_tolerance) const;
+
+  /// Refresh messages sent to remote children so far.
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+
+ private:
+  void refresh_all();
+  [[nodiscard]] Lbi local_contribution(const ktree::Region& region) const;
+
+  sim::Engine& engine_;
+  const chord::Ring& ring_;
+  const ktree::MaintenanceProtocol& tree_;
+  sim::Time interval_;
+  ktree::VsLatencyFn latency_;
+  /// Cached subtree summaries, keyed like the protocol's instances.
+  std::map<ktree::Region, Lbi, ktree::RegionOrder> cache_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace p2plb::lb

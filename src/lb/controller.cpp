@@ -1,0 +1,32 @@
+#include "lb/controller.h"
+
+namespace p2plb::lb {
+
+ControllerResult balance_until_stable(chord::Ring& ring,
+                                      const ControllerConfig& config,
+                                      Rng& rng,
+                                      std::span<const chord::Key> node_keys) {
+  P2PLB_REQUIRE(config.max_rounds >= 1);
+  ControllerResult result;
+  for (std::uint32_t round = 0; round < config.max_rounds; ++round) {
+    const BalanceReport report =
+        run_balance_round(ring, config.balancer, rng, node_keys);
+    RoundStats stats;
+    stats.heavy_before = report.before.heavy_count;
+    stats.heavy_after = report.after.heavy_count;
+    stats.transfers = report.transfers_applied;
+    stats.moved_load = report.vsa.assigned_load();
+    stats.unassigned = report.vsa.unassigned_heavy.size();
+    stats.messages = report.aggregation.messages +
+                     report.dissemination.messages + report.vsa.messages;
+    result.rounds.push_back(stats);
+    if (report.after.heavy_count <= config.target_heavy_count) {
+      result.converged = true;
+      break;
+    }
+    if (report.transfers_applied == 0) break;  // stagnation
+  }
+  return result;
+}
+
+}  // namespace p2plb::lb

@@ -1,0 +1,59 @@
+// Multi-round balancing orchestration.
+//
+// The paper evaluates a single sweep, but a deployed balancer runs
+// periodically (loads drift, epsilon = 0 leaves residue, Pareto tails
+// leave unassignable candidates).  The controller repeats balancing
+// rounds until the system is stable -- no heavy nodes, or no further
+// progress -- and records a per-round time series for analysis.
+#pragma once
+
+#include <vector>
+
+#include "lb/balancer.h"
+
+namespace p2plb::lb {
+
+/// Controller limits.
+struct ControllerConfig {
+  BalancerConfig balancer;
+  /// Hard cap on rounds.
+  std::uint32_t max_rounds = 8;
+  /// Stop when the heavy count after a round is <= this.
+  std::size_t target_heavy_count = 0;
+};
+
+/// One round's footprint in the time series.
+struct RoundStats {
+  std::size_t heavy_before = 0;
+  std::size_t heavy_after = 0;
+  std::size_t transfers = 0;
+  double moved_load = 0.0;
+  std::size_t unassigned = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Outcome of a controller run.
+struct ControllerResult {
+  std::vector<RoundStats> rounds;
+  /// True iff the final round reached target_heavy_count.
+  bool converged = false;
+
+  [[nodiscard]] double total_moved() const {
+    double t = 0.0;
+    for (const auto& r : rounds) t += r.moved_load;
+    return t;
+  }
+  [[nodiscard]] std::size_t total_transfers() const {
+    std::size_t t = 0;
+    for (const auto& r : rounds) t += r.transfers;
+    return t;
+  }
+};
+
+/// Run balancing rounds until convergence, stagnation (a round performs
+/// no transfers), or the round cap.  `node_keys` as in run_balance_round.
+[[nodiscard]] ControllerResult balance_until_stable(
+    chord::Ring& ring, const ControllerConfig& config, Rng& rng,
+    std::span<const chord::Key> node_keys = {});
+
+}  // namespace p2plb::lb

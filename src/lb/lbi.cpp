@@ -1,0 +1,77 @@
+#include "lb/lbi.h"
+
+namespace p2plb::lb {
+
+LbiAggregation aggregate_lbi(const ktree::KTree& tree, Rng& rng) {
+  const chord::Ring& ring = tree.ring();
+  LbiAggregation result;
+
+  // Phase 1: every node picks one reporting VS and delivers its triple to
+  // that VS's designated leaf (one message per reporting node).
+  std::vector<Lbi> scratch(tree.size());
+  for (const chord::NodeIndex i : ring.live_nodes()) {
+    const chord::Node& n = ring.node(i);
+    Lbi lbi;
+    lbi.load = ring.node_load(i);
+    lbi.capacity = n.capacity;
+    ktree::KtIndex leaf;
+    if (n.servers.empty()) {
+      // No identity of its own: publish at a hash of the node index.
+      std::uint64_t h = 0xB10C0DE5ULL + i;
+      const auto key = static_cast<chord::Key>(splitmix64(h) >> 32);
+      result.reporter_vs.emplace(i, key);
+      leaf = tree.leaf_containing(key);
+      // min_load stays +inf: the node contributes no server to L_min.
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.below(n.servers.size()));
+      const chord::Key vs = n.servers[pick];
+      result.reporter_vs.emplace(i, vs);
+      lbi.min_load = *ring.node_min_server_load(i);
+      leaf = tree.entry_leaf_for(vs);
+    }
+    scratch[leaf].merge(lbi);
+    ++result.messages;
+  }
+
+  // Phase 2: bottom-up fold, one round per tree level.
+  for (std::uint16_t d = tree.height(); d > 0; --d) {
+    const auto range = tree.level(d);
+    for (ktree::KtIndex i = range.begin; i < range.end; ++i) {
+      const ktree::KtIndex parent = tree.node(i).parent;
+      scratch[parent].merge(scratch[i]);
+      ++result.messages;
+    }
+  }
+  result.rounds = static_cast<std::uint32_t>(tree.height()) + 1;
+  result.system = scratch[tree.root()];
+  if (result.system.min_load == std::numeric_limits<double>::infinity())
+    result.system.min_load = 0.0;  // no node reported
+  return result;
+}
+
+LbiDissemination disseminate_lbi(const ktree::KTree& tree) {
+  LbiDissemination result;
+  // Top-down: each interior node forwards the root triple to its
+  // children; each leaf forwards it to its hosting VS's node.
+  for (std::uint16_t d = 0; d <= tree.height(); ++d) {
+    const auto range = tree.level(d);
+    for (ktree::KtIndex i = range.begin; i < range.end; ++i)
+      result.messages += tree.node(i).child_count;
+  }
+  result.messages += tree.leaf_count();  // leaf -> hosting node handoff
+  result.rounds = static_cast<std::uint32_t>(tree.height()) + 1;
+  return result;
+}
+
+Lbi ground_truth_lbi(const chord::Ring& ring) {
+  Lbi lbi;
+  lbi.load = ring.total_load();
+  lbi.capacity = ring.total_capacity();
+  lbi.min_load = ring.virtual_server_count() == 0
+                     ? 0.0
+                     : ring.min_server_load();
+  return lbi;
+}
+
+}  // namespace p2plb::lb

@@ -1,0 +1,75 @@
+// Proximity pipeline glue (Sections 4.1 and 4.2).
+//
+// Ties the pieces together: select landmarks in the topology, compute
+// every DHT node's landmark vector from its attachment vertex, quantize
+// into the Hilbert grid, and emit one Hilbert-derived DHT key per node.
+// Feed the resulting keys to run_balance_round with kProximityAware.
+#pragma once
+
+#include <vector>
+
+#include "chord/ring.h"
+#include "common/rng.h"
+#include "hilbert/grid.h"
+#include "topo/landmarks.h"
+
+namespace p2plb::lb {
+
+/// Knobs of the proximity mapping (defaults follow the paper: m = 15
+/// landmarks; a coarse grid so same-stub-domain nodes share a number).
+struct ProximityConfig {
+  std::size_t landmark_count = 15;
+  std::uint32_t bits_per_dimension = 2;  ///< the paper's `n` knob
+  /// Landmarks "chosen from the overlay itself" (Section 4.1): random
+  /// stub vertices.  kTransitSpread models landmarks placed in the core.
+  topo::LandmarkStrategy strategy = topo::LandmarkStrategy::kRandomStub;
+  /// Subtract each vector's own mean before quantization (each node does
+  /// this locally).  A node's distance-to-gateway adds the same scalar
+  /// to every coordinate; that diagonal offset carries no cross-domain
+  /// information but splits same-domain nodes across grid cells.
+  /// Centering removes it.  bench/ablation_proximity toggles this.
+  bool center_vectors = true;
+};
+
+/// The computed mapping.
+struct ProximityMap {
+  /// node_keys[i] = Hilbert-derived DHT key of ring node i.
+  std::vector<chord::Key> node_keys;
+  /// Raw Hilbert numbers (before key scaling), for diagnostics.
+  std::vector<hilbert::Index> hilbert_numbers;
+  /// The selected landmark vertices.
+  std::vector<topo::Vertex> landmarks;
+};
+
+/// Build the proximity map for every node of the ring.  Every ring node
+/// must be attached to a vertex of `topology`.
+[[nodiscard]] ProximityMap build_proximity_map(
+    const chord::Ring& ring, const topo::TransitStubTopology& topology,
+    const ProximityConfig& config, Rng& rng);
+
+/// Clustering quality of a proximity map (Section 4.1: "a sufficient
+/// number of landmark nodes need to be used to reduce the probability of
+/// false clustering where nodes that are physically far away have
+/// similar landmark vectors").
+struct ClusteringQuality {
+  /// Node pairs sampled that share a Hilbert number.
+  std::size_t same_number_pairs = 0;
+  /// Fraction of those pairs whose physical distance exceeds the radius:
+  /// the paper's false-clustering probability.
+  double false_clustering_rate = 0.0;
+  /// Mean physical distance of same-number pairs vs random pairs; the
+  /// ratio is the discrimination power of the mapping.
+  double mean_same_number_distance = 0.0;
+  double mean_random_distance = 0.0;
+};
+
+/// Sample up to `sample_pairs` same-Hilbert-number node pairs (and as
+/// many random pairs) and measure their physical distances.
+/// `near_radius` defines "physically close" (the paper's intent: within
+/// a couple of intradomain hops).
+[[nodiscard]] ClusteringQuality measure_clustering_quality(
+    const chord::Ring& ring, const topo::TransitStubTopology& topology,
+    const ProximityMap& map, double near_radius, std::size_t sample_pairs,
+    Rng& rng);
+
+}  // namespace p2plb::lb

@@ -1,0 +1,41 @@
+// Heavy-node virtual-server selection (Section 3.4, first step).
+//
+// A heavy node i picks the subset of its virtual servers {v_i,1..v_i,m}
+// that minimizes the total load moved, subject to the remaining load not
+// exceeding its target:  minimize sum(L_i,k)  s.t.  L_i - sum >= excess
+// where excess = L_i - T_i.  Equivalently: the minimum-sum subset whose
+// load sum is at least the excess.  Moving everything is always feasible,
+// so a solution exists whenever the node hosts at least one server.
+#pragma once
+
+#include <vector>
+
+#include "chord/ring.h"
+
+namespace p2plb::lb {
+
+/// Which algorithm picks the shed set.
+enum class SelectionPolicy : std::uint8_t {
+  /// Exact subset enumeration for up to kExactLimit servers, greedy above.
+  kExact,
+  /// Greedy: best of (ascending-load prefix) and (smallest single server
+  /// covering the excess).  Feasible and fast for any server count.
+  kGreedy,
+};
+
+/// Exact enumeration is used up to this many servers (2^16 subsets).
+inline constexpr std::size_t kExactLimit = 16;
+
+/// Choose the servers a heavy node sheds.  `excess` must be positive;
+/// returns server ids whose loads sum to >= excess, minimizing that sum
+/// (exactly under kExact when feasible, heuristically otherwise).
+/// Returns an empty vector when the node hosts no servers.
+[[nodiscard]] std::vector<chord::Key> select_servers_to_shed(
+    const chord::Ring& ring, chord::NodeIndex node, double excess,
+    SelectionPolicy policy = SelectionPolicy::kExact);
+
+/// Total load of the given servers (helper shared with tests).
+[[nodiscard]] double total_load_of(const chord::Ring& ring,
+                                   const std::vector<chord::Key>& servers);
+
+}  // namespace p2plb::lb

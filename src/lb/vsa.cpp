@@ -1,0 +1,187 @@
+#include "lb/vsa.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace p2plb::lb {
+
+std::size_t VsaEntries::heavy_count() const {
+  std::size_t n = 0;
+  for (const auto& [leaf, records] : heavy) n += records.size();
+  return n;
+}
+
+std::size_t VsaEntries::light_count() const {
+  std::size_t n = 0;
+  for (const auto& [leaf, records] : light) n += records.size();
+  return n;
+}
+
+double VsaResult::assigned_load() const {
+  double total = 0.0;
+  for (const Assignment& a : assignments) total += a.load;
+  return total;
+}
+
+namespace {
+
+/// Working lists of one KT node during the sweep.  Both are ordered maps
+/// so the best-fit rule ("smallest delta >= load") and the "heaviest
+/// first" rule are O(log n) each.
+struct Lists {
+  std::multimap<double, SpareCapacity> lights;   // keyed by delta
+  std::multimap<double, ShedCandidate> heavies;  // keyed by load
+
+  [[nodiscard]] std::size_t total() const {
+    return lights.size() + heavies.size();
+  }
+};
+
+/// The rendezvous pairing loop (Section 3.4).  `now` is the simulated
+/// time the rendezvous fired (0 without a latency model).
+void pair_at(Lists& lists, std::uint16_t depth, double min_load, double now,
+             VsaResult& out) {
+  // Candidates that found no light stay parked for the parent; lighter
+  // candidates may still pair, so the loop continues past them.
+  std::vector<ShedCandidate> parked;
+  while (!lists.heavies.empty()) {
+    // Heaviest candidate first.
+    const auto heaviest = std::prev(lists.heavies.end());
+    const ShedCandidate candidate = heaviest->second;
+    lists.heavies.erase(heaviest);
+    // Best fit: the light node with the smallest delta >= load.
+    const auto light_it = lists.lights.lower_bound(candidate.load);
+    if (light_it == lists.lights.end()) {
+      parked.push_back(candidate);
+      continue;
+    }
+    const SpareCapacity spare = light_it->second;
+    lists.lights.erase(light_it);
+    out.assignments.push_back({candidate.vs, candidate.from, spare.node,
+                               candidate.load, depth, now});
+    if (depth >= out.pairs_per_depth.size())
+      out.pairs_per_depth.resize(static_cast<std::size_t>(depth) + 1, 0);
+    ++out.pairs_per_depth[depth];
+    out.messages += 2;  // notify both endpoints directly
+    const double residual = spare.delta - candidate.load;
+    if (residual > 0.0 && residual >= min_load)
+      lists.lights.emplace(residual, SpareCapacity{residual, spare.node});
+  }
+  for (const ShedCandidate& c : parked) lists.heavies.emplace(c.load, c);
+}
+
+}  // namespace
+
+VsaResult run_vsa(const ktree::KTree& tree, const VsaEntries& entries,
+                  const VsaParams& params) {
+  VsaResult result;
+  result.rounds = static_cast<std::uint32_t>(tree.height()) + 1;
+
+  // Scratch lists exist only for touched KT nodes.
+  std::unordered_map<ktree::KtIndex, Lists> scratch;
+  // Record-arrival times per touched node (latency model only).
+  std::unordered_map<ktree::KtIndex, double> ready;
+  auto seed_entries = [&](ktree::KtIndex leaf, const auto& records,
+                          auto member) {
+    Lists& lists = scratch[leaf];
+    for (const auto& r : records) {
+      double key_value;
+      if constexpr (std::is_same_v<std::decay_t<decltype(r)>,
+                                   ShedCandidate>) {
+        key_value = r.load;
+      } else {
+        key_value = r.delta;
+      }
+      (lists.*member).emplace(key_value, r);
+      ++result.messages;  // node -> leaf report
+    }
+  };
+  for (const auto& [leaf, records] : entries.heavy) {
+    P2PLB_REQUIRE(leaf < tree.size());
+    P2PLB_REQUIRE_MSG(tree.node(leaf).is_leaf(),
+                      "VSA records must enter at leaves");
+    seed_entries(leaf, records, &Lists::heavies);
+  }
+  for (const auto& [leaf, records] : entries.light) {
+    P2PLB_REQUIRE(leaf < tree.size());
+    P2PLB_REQUIRE_MSG(tree.node(leaf).is_leaf(),
+                      "VSA records must enter at leaves");
+    seed_entries(leaf, records, &Lists::lights);
+  }
+
+  // Finest-level rendezvous: within each leaf, records published under
+  // identical DHT keys pair first (see VsaParams::key_local_rendezvous).
+  // This happens at the leaf's host, so it costs no extra messages.
+  if (params.key_local_rendezvous) {
+    for (auto& [leaf, lists] : scratch) {
+      const std::uint16_t depth = tree.node(leaf).depth;
+      std::unordered_map<chord::Key, Lists> by_key;
+      for (auto& [load, record] : lists.heavies)
+        by_key[record.origin_key].heavies.emplace(load, record);
+      for (auto& [delta, record] : lists.lights)
+        by_key[record.origin_key].lights.emplace(delta, record);
+      lists.heavies.clear();
+      lists.lights.clear();
+      for (auto& [key, group] : by_key) {
+        if (!group.heavies.empty() && !group.lights.empty() &&
+            group.total() >= params.rendezvous_threshold) {
+          pair_at(group, depth, params.min_load, 0.0, result);
+        }
+        lists.heavies.merge(group.heavies);
+        lists.lights.merge(group.lights);
+      }
+    }
+  }
+
+  // Bottom-up sweep: deepest level first.  Children at level d+1 have
+  // already pushed their leftovers into the parent's scratch by the time
+  // level d is processed (leaves can exist at any depth).
+  for (std::uint16_t d = static_cast<std::uint16_t>(tree.height() + 1);
+       d-- > 0;) {
+    const auto range = tree.level(d);
+    for (ktree::KtIndex i = range.begin; i < range.end; ++i) {
+      const auto it = scratch.find(i);
+      if (it == scratch.end()) continue;
+      // Move the lists out before touching the map again: inserting the
+      // parent's scratch entry may rehash and invalidate iterators.
+      Lists lists = std::move(it->second);
+      scratch.erase(it);
+      const double now = params.latency ? ready[i] : 0.0;
+      const bool is_root = (i == tree.root());
+      if (is_root || lists.total() >= params.rendezvous_threshold)
+        pair_at(lists, d, params.min_load, now, result);
+      if (is_root) {
+        result.sweep_completion_time =
+            std::max(result.sweep_completion_time, now);
+        for (auto& [k, r] : lists.heavies)
+          result.unassigned_heavy.push_back(r);
+        for (auto& [k, r] : lists.lights)
+          result.unassigned_light.push_back(r);
+        continue;
+      }
+      // Push leftovers to the parent (one message per record).
+      if (lists.total() > 0) {
+        const ktree::KtIndex parent_index = tree.node(i).parent;
+        Lists& parent = scratch[parent_index];
+        result.messages += lists.total();
+        parent.heavies.merge(lists.heavies);
+        parent.lights.merge(lists.lights);
+        if (params.latency) {
+          const double arrive =
+              now + (*params.latency)(tree.node(i).host_vs,
+                                      tree.node(parent_index).host_vs);
+          ready[parent_index] = std::max(ready[parent_index], arrive);
+        }
+      } else {
+        // Nothing moved up, but the sweep still "finished" here.
+        result.sweep_completion_time =
+            std::max(result.sweep_completion_time, now);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace p2plb::lb

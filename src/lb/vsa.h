@@ -1,0 +1,123 @@
+// Virtual Server Assignment (Sections 3.4 and 4.3).
+//
+// Heavy nodes publish <L_i,k, v_i,k, addr(i)> for each virtual server
+// they intend to shed; light nodes publish <delta_j = T_j - L_j, addr(j)>.
+// Records enter the K-nary tree at a leaf (which leaf depends on the
+// mode: the reporter's own random VS for the proximity-ignorant scheme,
+// the leaf owning the node's Hilbert key for the proximity-aware scheme)
+// and climb toward the root.  Any KT node whose two lists together reach
+// the rendezvous threshold pairs them greedily:
+//
+//   repeat: take the heaviest unassigned server load L; pick the light
+//   node with the smallest delta >= L (best fit); re-insert the residual
+//   delta' = delta - L if delta' >= L_min.
+//
+// Unpairable records propagate to the parent; the root pairs without the
+// threshold constraint.  Because each subtree covers a contiguous arc of
+// the identifier space, pairing happens first among records that entered
+// close together -- which the proximity-aware mapping turns into
+// *physical* closeness.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/ring.h"
+#include "ktree/protocol.h"
+#include "ktree/tree.h"
+
+namespace p2plb::lb {
+
+/// A virtual server a heavy node offers to shed.
+struct ShedCandidate {
+  double load = 0.0;
+  chord::Key vs = 0;
+  chord::NodeIndex from = 0;
+  /// The DHT key the record was published under (the node's Hilbert
+  /// number in proximity-aware mode; its reporting VS id otherwise).
+  chord::Key origin_key = 0;
+};
+
+/// A light node's spare target capacity.
+struct SpareCapacity {
+  double delta = 0.0;
+  chord::NodeIndex node = 0;
+  /// See ShedCandidate::origin_key.
+  chord::Key origin_key = 0;
+};
+
+/// One matched transfer decided by the VSA sweep.
+struct Assignment {
+  chord::Key vs = 0;
+  chord::NodeIndex from = 0;
+  chord::NodeIndex to = 0;
+  double load = 0.0;
+  /// Tree depth of the rendezvous KT node that made the pairing (root=0).
+  std::uint16_t rendezvous_depth = 0;
+  /// Simulated time at which the rendezvous fired (0 unless the sweep
+  /// ran with a latency model; see VsaParams::latency).  Deep rendezvous
+  /// fire early -- this is what lets VST overlap VSA (Section 3.5).
+  double available_at = 0.0;
+};
+
+/// Where each record enters the tree: leaf index -> records.
+struct VsaEntries {
+  std::unordered_map<ktree::KtIndex, std::vector<ShedCandidate>> heavy;
+  std::unordered_map<ktree::KtIndex, std::vector<SpareCapacity>> light;
+
+  [[nodiscard]] std::size_t heavy_count() const;
+  [[nodiscard]] std::size_t light_count() const;
+};
+
+/// Sweep parameters.
+struct VsaParams {
+  /// Interior KT nodes pair only once |heavy|+|light| reaches this
+  /// (the paper's example value is 30); the root always pairs.
+  std::size_t rendezvous_threshold = 30;
+  /// System L_min: a light's residual spare is re-inserted only if it
+  /// could still fit the smallest server in the system.
+  double min_load = 0.0;
+  /// When true, a leaf rendezvous first pairs records published under
+  /// *identical* DHT keys before mixing its whole list.  Records with
+  /// equal Hilbert numbers are certified physically close (Section
+  /// 4.2.1: "a smaller n increases the likelihood that two physically
+  /// close nodes have the same Hilbert number"), but several distinct
+  /// numbers usually share one leaf -- the identifier space is much
+  /// coarser than the grid -- so without this finest-level rendezvous
+  /// the leaf would mix nearby-but-distinct clusters.  No effect on the
+  /// proximity-ignorant scheme, whose origin keys are per-node unique.
+  bool key_local_rendezvous = true;
+  /// Optional sweep latency model.  When set, the sweep computes each
+  /// KT node's record-arrival time (leaves at 0; an interior node is
+  /// ready when its last contributing child's records arrive) and stamps
+  /// every Assignment with the simulated time its rendezvous fired.
+  /// Must outlive the run_vsa call.
+  const ktree::VsLatencyFn* latency = nullptr;
+};
+
+/// Outcome of one bottom-up VSA sweep.
+struct VsaResult {
+  std::vector<Assignment> assignments;
+  /// Records that reached the root and still could not be paired.
+  std::vector<ShedCandidate> unassigned_heavy;
+  std::vector<SpareCapacity> unassigned_light;
+  /// Bottom-up rounds (== tree height + 1): the O(log_K N) bound.
+  std::uint32_t rounds = 0;
+  /// Record-movement + pair-notification messages.
+  std::uint64_t messages = 0;
+  /// assignments-per-rendezvous-depth histogram (index = depth).
+  std::vector<std::uint32_t> pairs_per_depth;
+  /// With a latency model: time the whole bottom-up sweep completed
+  /// (records that climbed to the root arrived there).
+  double sweep_completion_time = 0.0;
+
+  [[nodiscard]] double assigned_load() const;
+};
+
+/// Run the bottom-up VSA sweep over the converged tree.
+[[nodiscard]] VsaResult run_vsa(const ktree::KTree& tree,
+                                const VsaEntries& entries,
+                                const VsaParams& params);
+
+}  // namespace p2plb::lb

@@ -1,0 +1,38 @@
+// Virtual Server Transferring (Section 3.5).
+//
+// Applying an assignment moves the virtual server to its destination node
+// (a leave+join pair in a real DHT; here an atomic host change -- the
+// ring's arcs are untouched).  Transfer cost is measured as the weighted
+// hop distance between the two physical nodes' topology attachments,
+// which is what Figures 7 and 8 plot moved load against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "chord/ring.h"
+#include "lb/vsa.h"
+#include "topo/distance_oracle.h"
+
+namespace p2plb::lb {
+
+/// Apply the assignments to the ring.  Returns the number of transfers
+/// actually performed (an assignment whose VS already moved or whose
+/// destination died is skipped, mirroring the lazy protocol).
+std::size_t apply_assignments(chord::Ring& ring,
+                              std::span<const Assignment> assignments);
+
+/// Per-assignment transfer record for cost accounting.
+struct Transfer {
+  Assignment assignment;
+  /// Weighted hop distance between source and destination attachments.
+  double distance = 0.0;
+};
+
+/// Compute the physical transfer distance of each assignment.  Every node
+/// referenced must carry a topology attachment.
+[[nodiscard]] std::vector<Transfer> transfer_costs(
+    const chord::Ring& ring, std::span<const Assignment> assignments,
+    topo::DistanceOracle& oracle);
+
+}  // namespace p2plb::lb

@@ -1,0 +1,133 @@
+#include "pastry/prefix_router.h"
+
+#include <algorithm>
+
+#include "chord/id.h"
+#include "common/error.h"
+
+namespace p2plb::pastry {
+
+PrefixRouter::PrefixRouter(const chord::Ring& ring,
+                           std::uint32_t bits_per_digit,
+                           std::size_t leaf_set_half)
+    : ring_(ring), bits_(bits_per_digit) {
+  P2PLB_REQUIRE_MSG(bits_ >= 1 && bits_ <= 8 && 32 % bits_ == 0,
+                    "bits per digit must divide 32 (1, 2, 4 or 8)");
+  P2PLB_REQUIRE(leaf_set_half >= 1);
+  P2PLB_REQUIRE_MSG(ring.virtual_server_count() > 0,
+                    "cannot build a router over an empty ring");
+  digits_ = 32 / bits_;
+  columns_ = 1u << bits_;
+
+  const auto ids = ring.server_ids();  // ascending
+  entries_.reserve(ids.size());
+  for (std::size_t idx = 0; idx < ids.size(); ++idx) {
+    const chord::Key id = ids[idx];
+    Entry entry;
+    entry.table.assign(static_cast<std::size_t>(digits_) * columns_, 0);
+    entry.present.assign(static_cast<std::size_t>(digits_) * columns_,
+                         false);
+    for (std::uint32_t row = 0; row < digits_; ++row) {
+      // All ids sharing `row` digits with us form one contiguous block;
+      // the (row, col) cell wants any member of the sub-block whose next
+      // digit is col.  The ring successor of the sub-block's lowest id
+      // is that member iff it falls inside the sub-block.
+      const std::uint32_t shift = 32 - (row + 1) * bits_;
+      for (std::uint32_t col = 0; col < columns_; ++col) {
+        if (col == digit(id, row)) continue;  // that's our own sub-block
+        // Lowest id with our first `row` digits and digit `col` at `row`.
+        chord::Key base = id;
+        // Clear digits from `row` onward, then set digit `row` to col.
+        const std::uint32_t keep_bits = row * bits_;
+        base = keep_bits == 0
+                   ? 0
+                   : static_cast<chord::Key>(base &
+                                             (~0u << (32 - keep_bits)));
+        base |= static_cast<chord::Key>(col) << shift;
+        const chord::Key found = ring_.successor(base).id;
+        // In range iff it still shares `row` digits and has digit col.
+        if (shared_prefix(found, base) >= row + 1) {
+          entry.table[static_cast<std::size_t>(row) * columns_ + col] =
+              found;
+          entry.present[static_cast<std::size_t>(row) * columns_ + col] =
+              true;
+        }
+      }
+    }
+    // Leaf set: nearest ring neighbours on both sides.
+    for (std::size_t k = 1; k <= leaf_set_half; ++k) {
+      entry.leaves.push_back(ids[(idx + k) % ids.size()]);
+      entry.leaves.push_back(ids[(idx + ids.size() - k) % ids.size()]);
+    }
+    entries_.emplace(id, std::move(entry));
+  }
+}
+
+std::uint32_t PrefixRouter::digit(chord::Key id, std::uint32_t index) const {
+  P2PLB_REQUIRE(index < digits_);
+  const std::uint32_t shift = 32 - (index + 1) * bits_;
+  return (id >> shift) & (columns_ - 1);
+}
+
+std::uint32_t PrefixRouter::shared_prefix(chord::Key a, chord::Key b) const {
+  for (std::uint32_t i = 0; i < digits_; ++i)
+    if (digit(a, i) != digit(b, i)) return i;
+  return digits_;
+}
+
+std::optional<chord::Key> PrefixRouter::table_entry(chord::Key vs,
+                                                    std::uint32_t row,
+                                                    std::uint32_t col) const {
+  const auto it = entries_.find(vs);
+  P2PLB_REQUIRE_MSG(it != entries_.end(), "unknown virtual server");
+  P2PLB_REQUIRE(row < digits_);
+  P2PLB_REQUIRE(col < columns_);
+  const std::size_t slot = static_cast<std::size_t>(row) * columns_ + col;
+  if (!it->second.present[slot]) return std::nullopt;
+  return it->second.table[slot];
+}
+
+PrefixLookup PrefixRouter::lookup(chord::Key from, chord::Key key) const {
+  P2PLB_REQUIRE_MSG(entries_.contains(from), "unknown starting server");
+  PrefixLookup result;
+  result.path.push_back(from);
+  chord::Key current = from;
+  const std::size_t hop_cap = 2 * entries_.size() + digits_;
+  for (;;) {
+    // Done when the current server's arc owns the key.
+    if (chord::in_oc(ring_.predecessor_key(current), current, key)) {
+      result.responsible = current;
+      return result;
+    }
+    const Entry& entry = entries_.at(current);
+    const std::uint32_t l = shared_prefix(current, key);
+    chord::Key next = current;
+    if (l < digits_) {
+      const std::size_t slot =
+          static_cast<std::size_t>(l) * columns_ + digit(key, l);
+      if (entry.present[slot]) next = entry.table[slot];
+    }
+    if (next == current) {
+      // No routing-table entry: fall back to the leaf closest to the
+      // key's owner in clockwise distance (guaranteed progress, since
+      // the immediate successor is always a leaf).
+      std::uint64_t best = chord::distance_cw(current, key);
+      for (const chord::Key leaf : entry.leaves) {
+        const std::uint64_t d = chord::distance_cw(leaf, key);
+        if (d < best) {
+          best = d;
+          next = leaf;
+        }
+      }
+      if (next == current) next = ring_.successor(current + 1).id;
+    }
+    P2PLB_ASSERT_MSG(next != current, "prefix routing made no progress");
+    current = next;
+    result.path.push_back(current);
+    ++result.hops;
+    P2PLB_ASSERT_MSG(result.hops <= hop_cap,
+                     "prefix routing hop cap exceeded");
+  }
+}
+
+}  // namespace p2plb::pastry

@@ -1,0 +1,79 @@
+// Pastry-style prefix routing over the virtual-server ring (Section 4.3:
+// "the techniques discussed here are applicable or easily adapted to
+// other DHTs such as Pastry and Tapestry").
+//
+// The load balancer only needs the DHT to (a) assign each key to the
+// virtual server owning its arc and (b) route messages to that server.
+// This module demonstrates (b) with Pastry's mechanism instead of
+// Chord's fingers: ids are strings of base-2^b digits; each participant
+// keeps a routing table with one row per shared-prefix length and one
+// column per next digit, plus a leaf set of ring neighbours.  A lookup
+// extends the shared prefix by at least one digit per hop, giving
+// O(log_{2^b} N) hops.  Ownership stays arc-based (the Chord successor
+// convention), so the whole lb/ stack runs unchanged on top of either
+// router -- which is exactly the paper's portability claim.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/ring.h"
+
+namespace p2plb::pastry {
+
+/// Result of a prefix-routed lookup.
+struct PrefixLookup {
+  chord::Key responsible = 0;
+  std::uint32_t hops = 0;
+  std::vector<chord::Key> path;  ///< participants visited, start first
+};
+
+/// Immutable prefix-routing snapshot of a ring.
+class PrefixRouter {
+ public:
+  /// `bits_per_digit` (Pastry's b) must divide 32; common values 2..4.
+  /// The ring must be non-empty and outlive the router.
+  explicit PrefixRouter(const chord::Ring& ring,
+                        std::uint32_t bits_per_digit = 4,
+                        std::size_t leaf_set_half = 4);
+
+  /// Route from the VS `from` to the VS owning `key` (arc convention).
+  [[nodiscard]] PrefixLookup lookup(chord::Key from, chord::Key key) const;
+
+  [[nodiscard]] std::uint32_t digits() const noexcept { return digits_; }
+  [[nodiscard]] std::uint32_t bits_per_digit() const noexcept {
+    return bits_;
+  }
+
+  /// The routing-table entry of `vs` at (row, column), or nullopt when
+  /// no participant with that prefix exists.
+  [[nodiscard]] std::optional<chord::Key> table_entry(chord::Key vs,
+                                                      std::uint32_t row,
+                                                      std::uint32_t col) const;
+
+  /// Length (in digits) of the longest common prefix of two ids.
+  [[nodiscard]] std::uint32_t shared_prefix(chord::Key a,
+                                            chord::Key b) const;
+
+  /// Digit of `id` at position `index` (0 = most significant).
+  [[nodiscard]] std::uint32_t digit(chord::Key id,
+                                    std::uint32_t index) const;
+
+ private:
+  struct Entry {
+    /// table[row * columns + col]: a live id, or kEmpty.
+    std::vector<chord::Key> table;
+    std::vector<bool> present;
+    /// Ring neighbours (leaf set): previous/next arcs.
+    std::vector<chord::Key> leaves;
+  };
+
+  const chord::Ring& ring_;
+  std::uint32_t bits_;
+  std::uint32_t digits_;
+  std::uint32_t columns_;
+  std::unordered_map<chord::Key, Entry> entries_;
+};
+
+}  // namespace p2plb::pastry

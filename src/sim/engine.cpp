@@ -1,0 +1,77 @@
+#include "sim/engine.h"
+
+#include <memory>
+#include <utility>
+
+namespace p2plb::sim {
+
+EventId Engine::schedule_at(Time t, EventFn fn) {
+  P2PLB_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+  P2PLB_REQUIRE(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Engine::schedule_after(Time delay, EventFn fn) {
+  P2PLB_REQUIRE(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+EventId Engine::every(Time period, std::function<bool()> fn) {
+  P2PLB_REQUIRE(period > 0.0);
+  P2PLB_REQUIRE(fn != nullptr);
+  // Each firing reschedules the next one; stopping is cooperative.
+  auto tick = std::make_shared<std::function<void()>>();
+  auto callback = std::make_shared<std::function<bool()>>(std::move(fn));
+  *tick = [this, period, tick, callback]() {
+    if ((*callback)()) schedule_after(period, *tick);
+  };
+  return schedule_after(period, *tick);
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    const auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    P2PLB_ASSERT(entry.time >= now_);
+    now_ = entry.time;
+    EventFn fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::uint64_t Engine::run_until(Time t_end) {
+  P2PLB_REQUIRE(t_end >= now_);
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Skip over cancelled entries without advancing time.
+    const QueueEntry entry = queue_.top();
+    if (!callbacks_.contains(entry.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > t_end) break;
+    step();
+    ++n;
+  }
+  now_ = t_end;
+  return n;
+}
+
+}  // namespace p2plb::sim

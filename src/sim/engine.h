@@ -1,0 +1,94 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event queue with deterministic ordering: events firing
+// at the same simulated time run in scheduling order, so a (seed, scenario)
+// pair always replays identically.  The engine knows nothing about the
+// network or the DHT; higher layers (sim::Network, the K-nary tree
+// protocols) build on `schedule_*`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace p2plb::sim {
+
+/// Simulated time, in abstract latency units (one intradomain hop = 1).
+using Time = double;
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+/// Callback invoked when an event fires.
+using EventFn = std::function<void()>;
+
+/// Deterministic discrete-event scheduler.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.  Starts at 0 and only moves forward.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+  /// Number of events currently pending (cancelled events excluded).
+  [[nodiscard]] std::size_t pending() const noexcept { return callbacks_.size(); }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, EventFn fn);
+
+  /// Schedule `fn` after `delay` (must be >= 0) from now.
+  EventId schedule_after(Time delay, EventFn fn);
+
+  /// Cancel a pending event.  Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Install a periodic timer with the given period (> 0), first firing
+  /// after one period.  The callback returns true to keep the timer alive,
+  /// false to stop it.  Returns the id of the *first* occurrence; periodic
+  /// timers are stopped from inside the callback, not via cancel().
+  EventId every(Time period, std::function<bool()> fn);
+
+  /// Execute the next pending event.  Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty or `max_events` executed.
+  /// Returns the number of events executed by this call.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Run events with firing time <= t_end, then advance the clock to
+  /// exactly t_end.  Returns the number of events executed by this call.
+  std::uint64_t run_until(Time t_end);
+
+ private:
+  struct QueueEntry {
+    Time time;
+    std::uint64_t seq;  // tie-break: schedule order
+    EventId id;
+    bool operator>(const QueueEntry& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue_;
+  std::unordered_map<EventId, EventFn> callbacks_;
+};
+
+}  // namespace p2plb::sim

@@ -1,0 +1,72 @@
+// Simulated message-passing network on top of the event engine.
+//
+// Endpoints are opaque integer ids (the physical node's attachment vertex
+// in the topology, or any other index the caller chooses).  Delivery delay
+// comes from a pluggable latency function, so unit tests can use constant
+// latency while experiments plug in topology shortest-path distances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/engine.h"
+
+namespace p2plb::sim {
+
+/// Identifier of a network endpoint (typically a physical node index).
+using Endpoint = std::uint32_t;
+
+/// Returns the one-way delivery latency between two endpoints, in the same
+/// units as sim::Time.  Must be non-negative and need not be symmetric.
+using LatencyFn = std::function<Time(Endpoint from, Endpoint to)>;
+
+/// Message-delivery layer with per-message latency and traffic accounting.
+class Network {
+ public:
+  /// `latency` must remain valid for the lifetime of the Network.
+  Network(Engine& engine, LatencyFn latency)
+      : engine_(engine), latency_(std::move(latency)) {
+    P2PLB_REQUIRE(latency_ != nullptr);
+  }
+
+  /// Deliver `on_receive` at the destination after the link latency plus
+  /// `processing_delay`.  `bytes` feeds the traffic counters only.
+  EventId send(Endpoint from, Endpoint to, EventFn on_receive,
+               double bytes = 0.0, Time processing_delay = 0.0) {
+    P2PLB_REQUIRE(processing_delay >= 0.0);
+    const Time lat = latency_(from, to);
+    P2PLB_ASSERT_MSG(lat >= 0.0, "latency function returned negative delay");
+    ++messages_sent_;
+    bytes_sent_ += bytes;
+    latency_sum_ += lat;
+    return engine_.schedule_after(lat + processing_delay,
+                                  std::move(on_receive));
+  }
+
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return messages_sent_;
+  }
+  [[nodiscard]] double bytes_sent() const noexcept { return bytes_sent_; }
+  /// Mean per-message latency over all sends so far (0 if none).
+  [[nodiscard]] double mean_latency() const noexcept {
+    return messages_sent_ == 0
+               ? 0.0
+               : latency_sum_ / static_cast<double>(messages_sent_);
+  }
+
+  void reset_counters() noexcept {
+    messages_sent_ = 0;
+    bytes_sent_ = 0.0;
+    latency_sum_ = 0.0;
+  }
+
+ private:
+  Engine& engine_;
+  LatencyFn latency_;
+  std::uint64_t messages_sent_ = 0;
+  double bytes_sent_ = 0.0;
+  double latency_sum_ = 0.0;
+};
+
+}  // namespace p2plb::sim

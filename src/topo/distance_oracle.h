@@ -1,0 +1,51 @@
+// Cached pairwise shortest-path queries.
+//
+// Transfer-cost accounting needs distances between arbitrary (heavy,
+// light) vertex pairs.  A full all-pairs table for a 5k-vertex topology
+// would be ~200 MB; instead the oracle runs one Dijkstra per distinct
+// source and keeps a bounded LRU cache of source rows, plus a batch API
+// that groups queries by source for the figure benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace p2plb::topo {
+
+/// Pairwise shortest-path distance oracle with per-source caching.
+class DistanceOracle {
+ public:
+  /// `graph` must outlive the oracle.  `max_cached_sources` bounds memory
+  /// at max_cached_sources * vertex_count * 8 bytes.
+  explicit DistanceOracle(const Graph& graph,
+                          std::size_t max_cached_sources = 64);
+
+  /// Distance between two vertices (kUnreachable if disconnected).
+  [[nodiscard]] double distance(Vertex from, Vertex to);
+
+  /// Resolve many pairs, grouping by source so each distinct source costs
+  /// exactly one Dijkstra regardless of cache size.
+  [[nodiscard]] std::vector<double> distances(
+      std::span<const std::pair<Vertex, Vertex>> pairs);
+
+  /// Number of Dijkstra runs performed so far (for perf assertions).
+  [[nodiscard]] std::uint64_t dijkstra_runs() const noexcept { return runs_; }
+
+ private:
+  const std::vector<double>& row(Vertex source);
+
+  const Graph& graph_;
+  std::size_t capacity_;
+  std::uint64_t runs_ = 0;
+  // LRU: most recently used at the front.
+  std::list<std::pair<Vertex, std::vector<double>>> rows_;
+  std::unordered_map<Vertex, decltype(rows_)::iterator> index_;
+};
+
+}  // namespace p2plb::topo

@@ -1,0 +1,77 @@
+// Weighted undirected graph with single-source shortest paths.
+//
+// The graph is the physical-network substrate: vertices are routers/hosts,
+// edge weights are latency units (1 per intradomain hop, 3 per interdomain
+// hop in the paper's model).  Vertex ids are dense [0, n).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace p2plb::topo {
+
+/// Dense vertex identifier.
+using Vertex = std::uint32_t;
+
+/// Distance value; unreachable vertices report `kUnreachable`.
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Outgoing half-edge.
+struct HalfEdge {
+  Vertex to = 0;
+  double weight = 0.0;
+};
+
+/// Undirected weighted graph (adjacency-list storage).
+class Graph {
+ public:
+  explicit Graph(std::size_t vertex_count) : adjacency_(vertex_count) {}
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Add an undirected edge (a != b, weight > 0).  Parallel edges are
+  /// rejected so generators cannot silently double-connect vertices.
+  void add_edge(Vertex a, Vertex b, double weight);
+
+  [[nodiscard]] bool has_edge(Vertex a, Vertex b) const;
+
+  [[nodiscard]] std::span<const HalfEdge> neighbors(Vertex v) const {
+    P2PLB_REQUIRE(v < adjacency_.size());
+    return adjacency_[v];
+  }
+
+  [[nodiscard]] std::size_t degree(Vertex v) const {
+    return neighbors(v).size();
+  }
+
+  /// True iff every vertex is reachable from vertex 0 (or the graph is
+  /// empty).
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Dijkstra single-source shortest path distances from `source`.
+[[nodiscard]] std::vector<double> shortest_paths(const Graph& graph,
+                                                 Vertex source);
+
+/// Shortest-path distance between two vertices (one Dijkstra run,
+/// early-exit when the target is settled).
+[[nodiscard]] double shortest_path_distance(const Graph& graph, Vertex from,
+                                            Vertex to);
+
+/// Unweighted hop counts from `source` (BFS) -- used as a test oracle for
+/// Dijkstra on unit-weight graphs.
+[[nodiscard]] std::vector<std::uint32_t> bfs_hops(const Graph& graph,
+                                                  Vertex source);
+
+}  // namespace p2plb::topo

@@ -1,0 +1,63 @@
+// Landmark selection and landmark-vector computation (Section 4.1).
+//
+// Each node measures its distance to m landmark nodes; the resulting
+// "landmark vector" is the node's coordinate in the m-dimensional landmark
+// space.  Physically close nodes get similar vectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "topo/transit_stub.h"
+
+namespace p2plb::topo {
+
+/// How to pick landmark nodes from a topology.
+enum class LandmarkStrategy : std::uint8_t {
+  /// Spread over transit vertices, round-robin across transit domains --
+  /// the highest-discrimination choice (default; with ts5k-large's 15
+  /// transit vertices and m = 15 this selects exactly the core routers).
+  kTransitSpread,
+  /// Uniformly random vertices of any kind.
+  kRandomAny,
+  /// Uniformly random stub vertices (landmarks drawn "from the overlay").
+  kRandomStub,
+};
+
+/// Select `count` distinct landmark vertices.  count must not exceed the
+/// number of eligible vertices for the chosen strategy.
+[[nodiscard]] std::vector<Vertex> select_landmarks(
+    const TransitStubTopology& topo, std::size_t count,
+    LandmarkStrategy strategy, Rng& rng);
+
+/// Precomputed distances from every landmark to every vertex.
+class LandmarkVectors {
+ public:
+  /// Runs one Dijkstra per landmark over the given graph.
+  LandmarkVectors(const Graph& graph, std::vector<Vertex> landmarks);
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return landmarks_.size();
+  }
+  [[nodiscard]] const std::vector<Vertex>& landmarks() const noexcept {
+    return landmarks_;
+  }
+
+  /// The landmark vector <d_1, ..., d_m> of vertex v.
+  [[nodiscard]] std::vector<double> vector_of(Vertex v) const;
+
+  /// Distance from landmark i to vertex v.
+  [[nodiscard]] double distance(std::size_t landmark_index, Vertex v) const;
+
+  /// Largest finite distance observed across all landmarks (used to scale
+  /// vectors into a quantization grid).
+  [[nodiscard]] double max_distance() const noexcept { return max_distance_; }
+
+ private:
+  std::vector<Vertex> landmarks_;
+  std::vector<std::vector<double>> distances_;  // [landmark][vertex]
+  double max_distance_ = 0.0;
+};
+
+}  // namespace p2plb::topo

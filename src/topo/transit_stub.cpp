@@ -1,0 +1,213 @@
+#include "topo/transit_stub.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace p2plb::topo {
+
+TransitStubParams TransitStubParams::ts5k_large() {
+  TransitStubParams p;
+  p.transit_domains = 5;
+  p.transit_nodes_per_domain = 3;
+  p.stub_domains_per_transit = 5;
+  p.stub_nodes_mean = 60;
+  p.extra_edge_prob_transit_domains = 0.3;
+  p.extra_edge_prob_intra_transit = 0.4;
+  p.extra_edge_prob_intra_stub = 0.42;
+  return p;
+}
+
+TransitStubParams TransitStubParams::ts5k_small() {
+  TransitStubParams p;
+  p.transit_domains = 120;
+  p.transit_nodes_per_domain = 5;
+  p.stub_domains_per_transit = 4;
+  p.stub_nodes_mean = 2;
+  // With 120 domains a per-pair probability must be small to keep the core
+  // realistically sparse (~190 interdomain links including the tree).
+  p.extra_edge_prob_transit_domains = 0.01;
+  p.extra_edge_prob_intra_transit = 0.4;
+  p.extra_edge_prob_intra_stub = 0.3;
+  p.stub_stub_edges_per_domain = 0.5;
+  return p;
+}
+
+std::vector<Vertex> TransitStubTopology::stub_vertices() const {
+  std::vector<Vertex> out;
+  for (std::size_t v = 0; v < vertices.size(); ++v)
+    if (vertices[v].kind == VertexKind::kStub)
+      out.push_back(static_cast<Vertex>(v));
+  return out;
+}
+
+std::vector<Vertex> TransitStubTopology::transit_vertices() const {
+  std::vector<Vertex> out;
+  for (std::size_t v = 0; v < vertices.size(); ++v)
+    if (vertices[v].kind == VertexKind::kTransit)
+      out.push_back(static_cast<Vertex>(v));
+  return out;
+}
+
+std::size_t TransitStubTopology::stub_domain_count() const {
+  std::uint32_t max_domain = 0;
+  bool any_stub = false;
+  std::uint32_t max_transit_domain = 0;
+  for (const auto& info : vertices) {
+    if (info.kind == VertexKind::kStub) {
+      any_stub = true;
+      max_domain = std::max(max_domain, info.domain);
+    } else {
+      max_transit_domain = std::max(max_transit_domain, info.domain);
+    }
+  }
+  if (!any_stub) return 0;
+  return max_domain - max_transit_domain;
+}
+
+namespace {
+
+/// Connect `members` into a random recursive tree with the given weight.
+void add_spanning_tree(Graph& g, std::span<const Vertex> members,
+                       double weight, Rng& rng) {
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    g.add_edge(members[i], members[j], weight);
+  }
+}
+
+/// Add each absent unordered pair among `members` with probability p.
+void add_extra_edges(Graph& g, std::span<const Vertex> members, double p,
+                     double weight, Rng& rng) {
+  if (p <= 0.0) return;
+  for (std::size_t i = 0; i < members.size(); ++i)
+    for (std::size_t j = i + 1; j < members.size(); ++j)
+      if (rng.chance(p) && !g.has_edge(members[i], members[j]))
+        g.add_edge(members[i], members[j], weight);
+}
+
+}  // namespace
+
+TransitStubTopology generate_transit_stub(const TransitStubParams& params,
+                                          Rng& rng, const std::string& name) {
+  P2PLB_REQUIRE(params.transit_domains >= 1);
+  P2PLB_REQUIRE(params.transit_nodes_per_domain >= 1);
+  P2PLB_REQUIRE(params.stub_domains_per_transit >= 1);
+  P2PLB_REQUIRE(params.stub_nodes_mean >= 1);
+  P2PLB_REQUIRE(params.inter_domain_weight > 0.0);
+  P2PLB_REQUIRE(params.intra_domain_weight > 0.0);
+
+  const std::uint32_t transit_count =
+      params.transit_domains * params.transit_nodes_per_domain;
+  const std::uint32_t stub_domain_count =
+      transit_count * params.stub_domains_per_transit;
+
+  // Draw stub-domain sizes up front so the total vertex count is known.
+  const std::uint32_t size_lo = std::max(1u, params.stub_nodes_mean / 2);
+  const std::uint32_t size_hi =
+      std::max(size_lo, params.stub_nodes_mean + params.stub_nodes_mean / 2);
+  std::vector<std::uint32_t> stub_sizes(stub_domain_count);
+  std::uint32_t stub_total = 0;
+  for (auto& size : stub_sizes) {
+    size = static_cast<std::uint32_t>(
+        rng.between(static_cast<std::int64_t>(size_lo),
+                    static_cast<std::int64_t>(size_hi)));
+    stub_total += size;
+  }
+
+  TransitStubTopology topo{Graph(transit_count + stub_total), {}, name};
+  topo.vertices.resize(transit_count + stub_total);
+
+  // --- Transit vertices: ids [0, transit_count), domain-major order. ---
+  std::vector<std::vector<Vertex>> transit_by_domain(params.transit_domains);
+  for (std::uint32_t d = 0; d < params.transit_domains; ++d) {
+    for (std::uint32_t k = 0; k < params.transit_nodes_per_domain; ++k) {
+      const Vertex v = d * params.transit_nodes_per_domain + k;
+      topo.vertices[v] = {VertexKind::kTransit, d, v};
+      transit_by_domain[d].push_back(v);
+    }
+  }
+
+  // Intra-transit-domain connectivity.
+  for (const auto& members : transit_by_domain) {
+    add_spanning_tree(topo.graph, members, params.intra_domain_weight, rng);
+    add_extra_edges(topo.graph, members, params.extra_edge_prob_intra_transit,
+                    params.intra_domain_weight, rng);
+  }
+
+  // Inter-transit-domain connectivity: random recursive tree over domains
+  // plus extra domain pairs; each domain-level link lands on uniformly
+  // random transit vertices of the two domains.
+  auto connect_domains = [&](std::uint32_t a, std::uint32_t b) {
+    const Vertex va = transit_by_domain[a][static_cast<std::size_t>(
+        rng.below(transit_by_domain[a].size()))];
+    const Vertex vb = transit_by_domain[b][static_cast<std::size_t>(
+        rng.below(transit_by_domain[b].size()))];
+    if (!topo.graph.has_edge(va, vb))
+      topo.graph.add_edge(va, vb, params.inter_domain_weight);
+  };
+  for (std::uint32_t d = 1; d < params.transit_domains; ++d)
+    connect_domains(d, static_cast<std::uint32_t>(rng.below(d)));
+  if (params.extra_edge_prob_transit_domains > 0.0) {
+    for (std::uint32_t a = 0; a < params.transit_domains; ++a)
+      for (std::uint32_t b = a + 1; b < params.transit_domains; ++b)
+        if (rng.chance(params.extra_edge_prob_transit_domains))
+          connect_domains(a, b);
+  }
+
+  // --- Stub domains: ids continue after transit domains. ---
+  Vertex next_vertex = transit_count;
+  std::uint32_t stub_domain_id = params.transit_domains;
+  std::uint32_t domain_index = 0;
+  for (Vertex t = 0; t < transit_count; ++t) {
+    for (std::uint32_t s = 0; s < params.stub_domains_per_transit; ++s) {
+      const std::uint32_t size = stub_sizes[domain_index++];
+      std::vector<Vertex> members(size);
+      for (std::uint32_t k = 0; k < size; ++k) {
+        const Vertex v = next_vertex++;
+        members[k] = v;
+        topo.vertices[v] = {VertexKind::kStub, stub_domain_id, t};
+      }
+      add_spanning_tree(topo.graph, members, params.intra_domain_weight, rng);
+      add_extra_edges(topo.graph, members, params.extra_edge_prob_intra_stub,
+                      params.intra_domain_weight, rng);
+      // Gateway link from a random stub vertex to the owning transit node.
+      const Vertex gateway = members[static_cast<std::size_t>(
+          rng.below(members.size()))];
+      topo.graph.add_edge(gateway, t, params.inter_domain_weight);
+      ++stub_domain_id;
+    }
+  }
+  P2PLB_ASSERT(next_vertex == topo.graph.vertex_count());
+
+  // GT-ITM-style extra stub-stub shortcut edges.  Each edge links random
+  // members of two distinct stub domains; every domain expects
+  // `stub_stub_edges_per_domain` incident shortcuts.
+  if (params.stub_stub_edges_per_domain > 0.0 && stub_domain_count >= 2) {
+    // Group stub vertices by domain for uniform domain-member picks.
+    std::vector<std::vector<Vertex>> stub_members(stub_domain_count);
+    for (Vertex v = transit_count; v < topo.graph.vertex_count(); ++v)
+      stub_members[topo.vertices[v].domain - params.transit_domains]
+          .push_back(v);
+    const auto edges = static_cast<std::uint64_t>(
+        params.stub_stub_edges_per_domain *
+        static_cast<double>(stub_domain_count) / 2.0);
+    for (std::uint64_t e = 0; e < edges; ++e) {
+      const auto da = static_cast<std::size_t>(
+          rng.below(stub_domain_count));
+      auto db = static_cast<std::size_t>(rng.below(stub_domain_count - 1));
+      if (db >= da) ++db;
+      const Vertex va = stub_members[da][static_cast<std::size_t>(
+          rng.below(stub_members[da].size()))];
+      const Vertex vb = stub_members[db][static_cast<std::size_t>(
+          rng.below(stub_members[db].size()))];
+      if (!topo.graph.has_edge(va, vb))
+        topo.graph.add_edge(va, vb, params.inter_domain_weight);
+    }
+  }
+
+  P2PLB_ASSERT_MSG(topo.graph.is_connected(),
+                   "generated transit-stub topology must be connected");
+  return topo;
+}
+
+}  // namespace p2plb::topo

@@ -1,0 +1,89 @@
+// GT-ITM-style transit-stub topology generator.
+//
+// Reproduces the two-level Internet model used by the paper's evaluation:
+// a core of transit domains whose routers interconnect stub domains.
+// The latency model follows Section 5.1: every interdomain edge (transit
+// domain <-> transit domain, and stub <-> transit gateway) costs 3 latency
+// units, every intradomain edge costs 1.
+//
+// The paper's two configurations are provided as presets:
+//   * ts5k-large: 5 transit domains x 3 transit nodes, 5 stub domains per
+//     transit node, ~60 nodes per stub domain  (~4.5k vertices)
+//   * ts5k-small: 120 transit domains x 5 transit nodes, 4 stub domains per
+//     transit node, ~2 nodes per stub domain   (~5.4k vertices)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "topo/graph.h"
+
+namespace p2plb::topo {
+
+/// Role of a vertex in the transit-stub hierarchy.
+enum class VertexKind : std::uint8_t { kTransit, kStub };
+
+/// Per-vertex metadata produced by the generator.
+struct VertexInfo {
+  VertexKind kind = VertexKind::kStub;
+  /// Dense id of the owning domain.  Transit domains and stub domains draw
+  /// from the same id space, so two vertices are in the same domain iff
+  /// their domain ids are equal.
+  std::uint32_t domain = 0;
+  /// For a stub vertex: the transit vertex its stub domain hangs off.
+  /// For a transit vertex: itself.
+  Vertex gateway_transit = 0;
+};
+
+/// Generator parameters.  Counts must all be >= 1.
+struct TransitStubParams {
+  std::uint32_t transit_domains = 5;
+  std::uint32_t transit_nodes_per_domain = 3;
+  std::uint32_t stub_domains_per_transit = 5;
+  /// Average stub-domain size; actual sizes are uniform over
+  /// [max(1, mean/2), mean*3/2] so domains vary like GT-ITM output.
+  std::uint32_t stub_nodes_mean = 60;
+  /// Probability of each extra (non-spanning-tree) edge between transit
+  /// domain pairs / within transit domains / within stub domains.
+  double extra_edge_prob_transit_domains = 0.3;
+  double extra_edge_prob_intra_transit = 0.4;
+  double extra_edge_prob_intra_stub = 0.42;  // GT-ITM's default density
+  /// Expected number of extra stub-domain-to-stub-domain shortcut edges
+  /// per stub domain (GT-ITM's "extra stub-stub edges").  These break the
+  /// symmetry between sibling stub domains hanging off the same transit
+  /// vertex, which is what lets landmark clustering tell them apart.
+  double stub_stub_edges_per_domain = 1.0;
+  /// Latency units per edge class (paper: interdomain 3, intradomain 1).
+  double inter_domain_weight = 3.0;
+  double intra_domain_weight = 1.0;
+
+  /// Paper preset "ts5k-large" (few big stub domains).
+  [[nodiscard]] static TransitStubParams ts5k_large();
+  /// Paper preset "ts5k-small" (many tiny stub domains).
+  [[nodiscard]] static TransitStubParams ts5k_small();
+};
+
+/// A generated topology: the graph plus per-vertex structure metadata.
+struct TransitStubTopology {
+  Graph graph;
+  std::vector<VertexInfo> vertices;
+  std::string name;
+
+  /// All stub vertices, in id order (Chord nodes attach to these).
+  [[nodiscard]] std::vector<Vertex> stub_vertices() const;
+  /// All transit vertices, in id order (landmark candidates).
+  [[nodiscard]] std::vector<Vertex> transit_vertices() const;
+  /// Number of distinct stub domains.
+  [[nodiscard]] std::size_t stub_domain_count() const;
+};
+
+/// Generate a random transit-stub topology.  The result is always
+/// connected; an InvariantError is thrown if generation fails to connect
+/// (which would indicate a generator bug).
+[[nodiscard]] TransitStubTopology generate_transit_stub(
+    const TransitStubParams& params, Rng& rng,
+    const std::string& name = "transit-stub");
+
+}  // namespace p2plb::topo

@@ -1,0 +1,46 @@
+#include "workload/capacity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace p2plb::workload {
+
+CapacityProfile::CapacityProfile(std::vector<double> levels,
+                                 std::vector<double> weights)
+    : levels_(std::move(levels)), weights_(std::move(weights)) {
+  P2PLB_REQUIRE(!levels_.empty());
+  P2PLB_REQUIRE(levels_.size() == weights_.size());
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    P2PLB_REQUIRE_MSG(levels_[i] > 0.0, "capacities must be positive");
+    P2PLB_REQUIRE_MSG(weights_[i] >= 0.0, "weights must be non-negative");
+    weight_sum += weights_[i];
+  }
+  P2PLB_REQUIRE_MSG(weight_sum > 0.0, "at least one weight must be positive");
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    mean_ += levels_[i] * weights_[i] / weight_sum;
+}
+
+CapacityProfile CapacityProfile::gnutella_like() {
+  return CapacityProfile({1.0, 10.0, 100.0, 1000.0, 10000.0},
+                         {0.20, 0.45, 0.30, 0.049, 0.001});
+}
+
+CapacityProfile CapacityProfile::uniform(double capacity) {
+  return CapacityProfile({capacity}, {1.0});
+}
+
+double CapacityProfile::sample(Rng& rng) const {
+  return levels_[rng.weighted(weights_)];
+}
+
+std::size_t CapacityProfile::level_index(double capacity) const {
+  const auto it = std::find(levels_.begin(), levels_.end(), capacity);
+  P2PLB_REQUIRE_MSG(it != levels_.end(),
+                    "capacity does not match any profile level");
+  return static_cast<std::size_t>(it - levels_.begin());
+}
+
+}  // namespace p2plb::workload

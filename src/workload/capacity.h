@@ -1,0 +1,50 @@
+// Node capacity profiles (Section 5.1).
+//
+// The paper models heterogeneity with a Gnutella-like profile: capacities
+// 1, 10, 10^2, 10^3, 10^4 with probabilities 20%, 45%, 30%, 4.9%, 0.1%,
+// spanning four orders of magnitude as observed in deployed P2P systems.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace p2plb::workload {
+
+/// Discrete distribution over capacity levels.
+class CapacityProfile {
+ public:
+  /// levels[i] is drawn with probability weights[i] / sum(weights).
+  CapacityProfile(std::vector<double> levels, std::vector<double> weights);
+
+  /// The paper's Gnutella-like profile.
+  [[nodiscard]] static CapacityProfile gnutella_like();
+
+  /// Homogeneous profile (every node has the same capacity) -- the
+  /// baseline assumption the paper argues against.
+  [[nodiscard]] static CapacityProfile uniform(double capacity = 1.0);
+
+  /// Draw one capacity.
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Expected capacity of a draw.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  [[nodiscard]] const std::vector<double>& levels() const noexcept {
+    return levels_;
+  }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Index of the level a sampled capacity belongs to (exact match).
+  [[nodiscard]] std::size_t level_index(double capacity) const;
+
+ private:
+  std::vector<double> levels_;
+  std::vector<double> weights_;
+  double mean_ = 0.0;
+};
+
+}  // namespace p2plb::workload

@@ -1,0 +1,54 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace p2plb::workload {
+
+double sample_session_length(const ChurnParams& params, Rng& rng) {
+  P2PLB_REQUIRE(params.session_mean > 0.0);
+  switch (params.session_model) {
+    case SessionModel::kExponential:
+      return rng.exponential(params.session_mean);
+    case SessionModel::kPareto: {
+      P2PLB_REQUIRE_MSG(params.pareto_alpha > 1.0,
+                        "Pareto sessions need alpha > 1 for a finite mean");
+      const double xm = params.session_mean *
+                        (params.pareto_alpha - 1.0) / params.pareto_alpha;
+      return rng.pareto(params.pareto_alpha, xm);
+    }
+  }
+  throw PreconditionError("unknown session model");
+}
+
+std::vector<ChurnEvent> generate_churn_schedule(const ChurnParams& params,
+                                                sim::Time horizon, Rng& rng) {
+  P2PLB_REQUIRE(params.join_interarrival_mean > 0.0);
+  P2PLB_REQUIRE(horizon > 0.0);
+  std::vector<ChurnEvent> events;
+  sim::Time t = 0.0;
+  std::uint64_t session = 0;
+  for (;;) {
+    t += rng.exponential(params.join_interarrival_mean);
+    if (t >= horizon) break;
+    events.push_back({t, ChurnEvent::Kind::kJoin, session});
+    const sim::Time leave_at = t + sample_session_length(params, rng);
+    if (leave_at < horizon)
+      events.push_back({leave_at, ChurnEvent::Kind::kLeave, session});
+    ++session;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.session < b.session;
+            });
+  return events;
+}
+
+double steady_state_population(const ChurnParams& params) {
+  P2PLB_REQUIRE(params.join_interarrival_mean > 0.0);
+  return params.session_mean / params.join_interarrival_mean;
+}
+
+}  // namespace p2plb::workload

@@ -1,0 +1,62 @@
+// Churn models: session and inter-arrival processes for membership
+// dynamics experiments.
+//
+// Measurement studies of deployed P2P systems (the paper cites Saroiu et
+// al.) consistently find heavy-tailed session lengths: most peers leave
+// within minutes, a few stay for days.  This module provides the two
+// standard models -- exponential (memoryless, the analytical baseline)
+// and Pareto (heavy-tailed, the empirical fit) -- plus a generator that
+// turns them into a time-ordered join/leave event schedule for the
+// discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace p2plb::workload {
+
+/// Session-length distribution family.
+enum class SessionModel : std::uint8_t {
+  kExponential,  ///< mean = session_mean
+  kPareto,       ///< shape = pareto_alpha, mean = session_mean (alpha > 1)
+};
+
+/// Churn process parameters.
+struct ChurnParams {
+  /// Mean time between successive joins (exponential inter-arrivals).
+  double join_interarrival_mean = 60.0;
+  /// Mean session length.
+  double session_mean = 3600.0;
+  SessionModel session_model = SessionModel::kPareto;
+  /// Pareto shape for kPareto (must be > 1 for a finite mean).
+  double pareto_alpha = 1.5;
+};
+
+/// One scheduled membership event.
+struct ChurnEvent {
+  sim::Time at = 0.0;
+  enum class Kind : std::uint8_t { kJoin, kLeave } kind = Kind::kJoin;
+  /// Sequential id of the session this event belongs to (the i-th join
+  /// and its matching leave share the id).
+  std::uint64_t session = 0;
+};
+
+/// Draw a session length from the model.
+[[nodiscard]] double sample_session_length(const ChurnParams& params,
+                                           Rng& rng);
+
+/// Generate the time-ordered join/leave schedule over [0, horizon):
+/// joins arrive as a Poisson process; each join's leave fires one session
+/// length later (leaves beyond the horizon are dropped -- those peers
+/// outlive the experiment).
+[[nodiscard]] std::vector<ChurnEvent> generate_churn_schedule(
+    const ChurnParams& params, sim::Time horizon, Rng& rng);
+
+/// The expected steady-state population of the process (Little's law:
+/// arrival rate x mean session length).
+[[nodiscard]] double steady_state_population(const ChurnParams& params);
+
+}  // namespace p2plb::workload

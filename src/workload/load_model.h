@@ -1,0 +1,50 @@
+// Virtual-server load models (Section 5.1).
+//
+// Let f be the fraction of the identifier space a virtual server owns
+// (for random ids this is approximately exponentially distributed -- here
+// we use each VS's *actual* arc fraction, which is even more faithful),
+// and let mu / sigma be the mean and standard deviation of the *total*
+// system load.  The paper's two models:
+//
+//   * Gaussian: load ~ N(mu * f, sigma * sqrt(f)), the limit of many
+//     small independent objects; negative draws clamp to 0.
+//   * Pareto:   load ~ Pareto(alpha = 1.5) with mean mu * f -- heavy
+//     tailed, infinite variance.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "chord/ring.h"
+
+namespace p2plb::workload {
+
+/// Which of the paper's load distributions to draw from.
+enum class LoadDistribution : int { kGaussian, kPareto };
+
+/// Parameters shared by the load models.
+struct LoadModel {
+  LoadDistribution distribution = LoadDistribution::kGaussian;
+  /// Mean of the total system load.
+  double mean_total = 1.0e6;
+  /// Standard deviation of the total system load (Gaussian only).
+  double stddev_total = 2.5e5;
+  /// Pareto shape parameter (Pareto only; must be > 1 for a finite mean).
+  double pareto_alpha = 1.5;
+
+  [[nodiscard]] static LoadModel gaussian(double mean_total,
+                                          double stddev_total);
+  [[nodiscard]] static LoadModel pareto(double mean_total,
+                                        double alpha = 1.5);
+  [[nodiscard]] std::string name() const;
+};
+
+/// Draw one virtual-server load for an arc covering fraction `f` of the
+/// identifier space (0 < f <= 1).
+[[nodiscard]] double sample_load(const LoadModel& model, double f, Rng& rng);
+
+/// Assign a fresh load to every virtual server in the ring according to
+/// its actual arc fraction.
+void assign_loads(chord::Ring& ring, const LoadModel& model, Rng& rng);
+
+}  // namespace p2plb::workload

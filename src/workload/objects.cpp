@@ -1,0 +1,68 @@
+#include "workload/objects.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace p2plb::workload {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  P2PLB_REQUIRE(n >= 1);
+  P2PLB_REQUIRE(exponent >= 0.0);
+  cdf_.resize(n);
+  double running = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    running += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = running;
+  }
+  // Normalize so the last entry is exactly 1.
+  const double total = cdf_.back();
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  P2PLB_REQUIRE(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+std::vector<StoredObject> generate_objects(const ObjectWorkloadParams& params,
+                                           Rng& rng) {
+  P2PLB_REQUIRE(params.object_count >= 1);
+  P2PLB_REQUIRE(params.total_load > 0.0);
+  const ZipfSampler zipf(params.object_count, params.zipf_exponent);
+  std::vector<StoredObject> catalog(params.object_count);
+  // Object i carries the mass of Zipf rank i (the catalog is the
+  // popularity distribution itself); keys are independent uniform
+  // hashes, so the hot objects land at random ring positions.
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    catalog[i].key = static_cast<chord::Key>(rng() >> 32);
+    catalog[i].load = params.total_load * zipf.pmf(i);
+  }
+  return catalog;
+}
+
+std::size_t assign_object_loads(chord::Ring& ring,
+                                const std::vector<StoredObject>& catalog) {
+  P2PLB_REQUIRE_MSG(ring.virtual_server_count() > 0,
+                    "cannot place objects on an empty ring");
+  // Accumulate per-server sums, then set loads once (set_load validates).
+  std::unordered_map<chord::Key, double> sums;
+  for (const StoredObject& obj : catalog)
+    sums[ring.successor(obj.key).id] += obj.load;
+  for (const chord::Key id : ring.server_ids()) {
+    const auto it = sums.find(id);
+    ring.set_load(id, it == sums.end() ? 0.0 : it->second);
+  }
+  return catalog.size();
+}
+
+}  // namespace p2plb::workload

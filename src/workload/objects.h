@@ -1,0 +1,69 @@
+// Object-level workloads: the micro-foundation of the paper's load model.
+//
+// Section 5.1 justifies the Gaussian virtual-server load as what
+// "would result if the load of a virtual server is attributed to a large
+// number of small objects it stores and the individual loads on these
+// objects are independent".  This module builds that world explicitly:
+// a catalog of objects with hashed keys and skewed (Zipf) popularity,
+// stored at the virtual server owning each key.  Summing per-object
+// loads over a server's arc reproduces the Gaussian regime when objects
+// are many and light, and a heavy-tailed regime when popularity is
+// concentrated -- letting experiments ground the abstract load models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chord/ring.h"
+#include "common/rng.h"
+
+namespace p2plb::workload {
+
+/// One stored object.
+struct StoredObject {
+  chord::Key key = 0;   ///< hashed object id (uniform over the ring)
+  double load = 0.0;    ///< cost it imposes on its home server
+};
+
+/// Zipf-distributed popularity sampler over ranks 1..n:
+/// P(rank = k) proportional to 1 / k^exponent.
+class ZipfSampler {
+ public:
+  /// n >= 1; exponent >= 0 (0 = uniform).
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Draw a rank in [0, n).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k (0-based).
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return cdf_.size();
+  }
+
+ private:
+  std::vector<double> cdf_;  // inclusive cumulative masses
+};
+
+/// Catalog generation parameters.
+struct ObjectWorkloadParams {
+  std::size_t object_count = 100000;
+  /// Popularity skew: 0 = uniform; ~0.8 is the classic web/P2P value.
+  double zipf_exponent = 0.8;
+  /// Total load carried by all objects together.
+  double total_load = 1.0e6;
+};
+
+/// Generate a catalog: keys uniform over the identifier space, loads
+/// proportional to Zipf popularity, normalized to params.total_load.
+[[nodiscard]] std::vector<StoredObject> generate_objects(
+    const ObjectWorkloadParams& params, Rng& rng);
+
+/// Install a catalog's load onto the ring: each virtual server's load is
+/// the sum of the loads of the objects whose keys fall in its arc.
+/// Returns the number of objects placed (== catalog size).
+std::size_t assign_object_loads(chord::Ring& ring,
+                                const std::vector<StoredObject>& catalog);
+
+}  // namespace p2plb::workload

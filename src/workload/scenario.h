@@ -1,0 +1,43 @@
+// Scenario assembly helpers: build the paper's experiment configurations
+// (N nodes x V virtual servers, a capacity profile, a load model, and
+// optionally attachment to a physical topology) in one call.
+#pragma once
+
+#include <span>
+
+#include "chord/ring.h"
+#include "common/rng.h"
+#include "workload/capacity.h"
+#include "workload/load_model.h"
+
+namespace p2plb::workload {
+
+/// Build a Chord ring with `node_count` physical nodes, each hosting
+/// `servers_per_node` virtual servers at uniformly random ids, with
+/// capacities drawn from `capacities`.
+///
+/// If `attachments` is non-empty it must have one topology vertex per
+/// node (node i attaches to attachments[i]); otherwise nodes carry no
+/// attachment and the scenario is topology-free.
+[[nodiscard]] chord::Ring build_ring(
+    std::size_t node_count, std::size_t servers_per_node,
+    const CapacityProfile& capacities, Rng& rng,
+    std::span<const std::uint32_t> attachments = {});
+
+/// A load model whose mean total load is `utilization` times the ring's
+/// total capacity.
+///
+/// For the Gaussian model, `cv` is the coefficient of variation of a
+/// mean-sized virtual server's load: a VS owning the average fraction
+/// f = 1/V draws from N(m, cv * m) where m = mean_total / V.  (The
+/// paper parameterizes by the total-load stddev sigma; sigma relates to
+/// cv as sigma = cv * mean_total / sqrt(V).)  cv around 1 gives visibly
+/// skewed per-node loads while keeping negative-draw clamping mild.
+/// Ignored for Pareto.
+[[nodiscard]] LoadModel scaled_load_model(const chord::Ring& ring,
+                                          LoadDistribution distribution,
+                                          double utilization = 0.25,
+                                          double cv = 1.0,
+                                          double pareto_alpha = 1.5);
+
+}  // namespace p2plb::workload

@@ -1,0 +1,194 @@
+// Tests for the baseline schemes (CFS-style shedding, one-to-one random
+// probing) and the multi-round controller.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "lb/baselines.h"
+#include "lb/controller.h"
+#include "lb/lbi.h"
+#include "workload/capacity.h"
+#include "workload/objects.h"
+#include "workload/scenario.h"
+
+namespace p2plb::lb {
+namespace {
+
+chord::Ring loaded_ring(std::size_t nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  auto ring = workload::build_ring(
+      nodes, 5, workload::CapacityProfile::gnutella_like(), rng);
+  workload::assign_loads(
+      ring,
+      workload::scaled_load_model(ring, workload::LoadDistribution::kGaussian,
+                                  0.25, 1.0),
+      rng);
+  return ring;
+}
+
+// --- CFS-style shedding --------------------------------------------------------
+
+TEST(CfsShedding, ConservesLoadAndReducesHeavies) {
+  auto ring = loaded_ring(256, 701);
+  const double load_before = ring.total_load();
+  const std::size_t heavy_before =
+      classify_all(ring, ground_truth_lbi(ring), 0.05).heavy_count;
+  const auto result = run_cfs_shedding(ring, 0.05);
+  EXPECT_NEAR(ring.total_load(), load_before, 1e-6 * load_before);
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_GT(result.servers_shed, 0u);
+  // Shedding cannot *create* total load, and it does remove servers.
+  EXPECT_LT(ring.virtual_server_count(), 256u * 5u);
+  // The paper's criticism: shedding thrashes -- absorbed arcs overload
+  // other nodes.
+  EXPECT_GT(result.thrash_events, 0u);
+  // It also cannot fix low-capacity heavies (they stop at one server),
+  // so plenty of heavy nodes remain.
+  EXPECT_GT(result.residual_heavy, heavy_before / 4);
+}
+
+TEST(CfsShedding, KeepsEveryNodeAtLeastOneServer) {
+  auto ring = loaded_ring(128, 702);
+  (void)run_cfs_shedding(ring, 0.05);
+  for (const chord::NodeIndex i : ring.live_nodes())
+    EXPECT_GE(ring.node(i).servers.size(), 1u);
+}
+
+TEST(CfsShedding, NoHeavyNodesMeansNoWork) {
+  // Homogeneous, perfectly balanced ring: nothing to shed.
+  Rng rng(703);
+  auto ring = workload::build_ring(
+      32, 2, workload::CapacityProfile::uniform(1.0), rng);
+  for (const chord::Key id : ring.server_ids()) ring.set_load(id, 1.0);
+  const auto result = run_cfs_shedding(ring, 0.5);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(result.servers_shed, 0u);
+  EXPECT_EQ(result.residual_heavy, 0u);
+}
+
+// --- one-to-one probing ----------------------------------------------------------
+
+TEST(OneToOne, MakesProgressAndConservesState) {
+  auto ring = loaded_ring(256, 704);
+  const double load_before = ring.total_load();
+  const std::size_t servers_before = ring.virtual_server_count();
+  const std::size_t heavy_before =
+      classify_all(ring, ground_truth_lbi(ring), 0.05).heavy_count;
+  Rng rng(705);
+  const auto result = run_one_to_one(ring, 0.05, rng);
+  EXPECT_NEAR(ring.total_load(), load_before, 1e-6 * load_before);
+  EXPECT_EQ(ring.virtual_server_count(), servers_before);
+  EXPECT_GT(result.transfers, 0u);
+  EXPECT_GT(result.probes, result.transfers);  // probing is wasteful
+  EXPECT_LT(result.residual_heavy, heavy_before);
+  EXPECT_EQ(result.assignments.size(), result.transfers);
+}
+
+TEST(OneToOne, AssignmentsAreValid) {
+  auto ring = loaded_ring(128, 706);
+  Rng rng(707);
+  const auto result = run_one_to_one(ring, 0.05, rng, 16);
+  for (const Assignment& a : result.assignments) {
+    // Every transferred server must now belong to its destination (or a
+    // later transfer's destination; at minimum it exists).
+    EXPECT_TRUE(ring.has_server(a.vs));
+    EXPECT_GT(a.load, 0.0);
+    EXPECT_NE(a.from, a.to);
+  }
+}
+
+// --- one-to-many directories -------------------------------------------------
+
+TEST(OneToMany, BalancesWithFewDirectories) {
+  auto ring = loaded_ring(256, 714);
+  const double load_before = ring.total_load();
+  const std::size_t heavy_before =
+      classify_all(ring, ground_truth_lbi(ring), 0.05).heavy_count;
+  Rng rng(715);
+  const auto result = run_one_to_many(ring, 0.05, rng, 8);
+  EXPECT_NEAR(ring.total_load(), load_before, 1e-6 * load_before);
+  EXPECT_GT(result.transfers, 0u);
+  EXPECT_LT(result.residual_heavy, heavy_before / 4);
+  EXPECT_EQ(result.assignments.size(), result.transfers);
+}
+
+TEST(OneToMany, MoreDirectoriesFragmentTheLightPool) {
+  // One directory sees every light (centralized: converges fast); many
+  // directories each see a sliver, needing more rounds / leaving more
+  // residue for the same budget.
+  std::size_t residual_one = 0, residual_many = 0;
+  for (const std::size_t dirs : {std::size_t{1}, std::size_t{64}}) {
+    auto ring = loaded_ring(256, 716);
+    Rng rng(717);
+    const auto result = run_one_to_many(ring, 0.05, rng, dirs, 2);
+    (dirs == 1 ? residual_one : residual_many) = result.residual_heavy;
+  }
+  EXPECT_LE(residual_one, residual_many);
+}
+
+TEST(OneToMany, RejectsBadParams) {
+  auto ring = loaded_ring(16, 718);
+  Rng rng(719);
+  EXPECT_THROW((void)run_one_to_many(ring, 0.05, rng, 0),
+               PreconditionError);
+}
+
+TEST(OneToOne, RejectsBadParams) {
+  auto ring = loaded_ring(16, 708);
+  Rng rng(709);
+  EXPECT_THROW((void)run_one_to_one(ring, 0.05, rng, 4, 0),
+               PreconditionError);
+}
+
+// --- controller --------------------------------------------------------------------
+
+TEST(Controller, ConvergesInOneRoundWithDefaultSlack) {
+  auto ring = loaded_ring(512, 710);
+  Rng rng(711);
+  ControllerConfig config;
+  const auto result = balance_until_stable(ring, config, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds.size(), 1u);
+  EXPECT_EQ(result.rounds.back().heavy_after, 0u);
+  EXPECT_GT(result.total_moved(), 0.0);
+  EXPECT_GT(result.total_transfers(), 0u);
+}
+
+TEST(Controller, ZeroEpsilonImprovesOverRoundsThenStops) {
+  auto ring = loaded_ring(512, 712);
+  Rng rng(713);
+  ControllerConfig config;
+  config.balancer.epsilon = 0.0;
+  config.max_rounds = 6;
+  const auto result = balance_until_stable(ring, config, rng);
+  ASSERT_GE(result.rounds.size(), 2u);
+  // Monotone improvement while it runs.
+  for (std::size_t r = 1; r < result.rounds.size(); ++r)
+    EXPECT_LE(result.rounds[r].heavy_after,
+              result.rounds[r - 1].heavy_after);
+  // eps = 0 cannot fully converge (conservation residue).
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(Controller, HeavyTailedObjectWorkloadEventuallyStabilizes) {
+  // Hotspot objects (Zipf 1.2) make single servers enormous; repeated
+  // rounds place what fits and stagnate on the truly unplaceable rest.
+  Rng rng(714);
+  auto ring = workload::build_ring(
+      256, 5, workload::CapacityProfile::gnutella_like(), rng);
+  workload::ObjectWorkloadParams params;
+  params.object_count = 50000;
+  params.zipf_exponent = 1.2;
+  params.total_load = 0.25 * ring.total_capacity();
+  workload::assign_object_loads(ring,
+                                workload::generate_objects(params, rng));
+  ControllerConfig config;
+  config.max_rounds = 6;
+  const auto result = balance_until_stable(ring, config, rng);
+  ASSERT_FALSE(result.rounds.empty());
+  EXPECT_LE(result.rounds.back().heavy_after,
+            result.rounds.front().heavy_before / 10);
+}
+
+}  // namespace
+}  // namespace p2plb::lb

@@ -1,0 +1,106 @@
+// Tests for the continuous soft-state LBI aggregation: convergence of
+// the root estimate, bounded staleness under load change, and the
+// Section 3.2 resilience claim -- re-convergence after crashes that hit
+// the tree mid-aggregation.
+#include <gtest/gtest.h>
+
+#include "chord/ring.h"
+#include "common/rng.h"
+#include "ktree/protocol.h"
+#include "lb/continuous.h"
+#include "sim/engine.h"
+#include "workload/capacity.h"
+#include "workload/scenario.h"
+
+namespace p2plb::lb {
+namespace {
+
+struct World {
+  sim::Engine engine;
+  chord::Ring ring;
+  std::unique_ptr<ktree::MaintenanceProtocol> tree;
+  std::unique_ptr<ContinuousLbi> lbi;
+
+  explicit World(std::size_t nodes, std::uint64_t seed) {
+    Rng rng(seed);
+    ring = workload::build_ring(
+        nodes, 3, workload::CapacityProfile::gnutella_like(), rng);
+    workload::assign_loads(
+        ring,
+        workload::scaled_load_model(ring,
+                                    workload::LoadDistribution::kGaussian),
+        rng);
+    tree = std::make_unique<ktree::MaintenanceProtocol>(
+        engine, ring, 2, 1.0, ktree::unit_latency(ring));
+    lbi = std::make_unique<ContinuousLbi>(engine, ring, *tree, 1.0,
+                                          ktree::unit_latency(ring));
+    tree->start();
+    lbi->start();
+  }
+};
+
+TEST(ContinuousLbi, ConvergesToGroundTruth) {
+  World w(32, 901);
+  // Tree growth: ~2 periods/level; estimate propagation: 1 period/level.
+  w.engine.run_until(80.0);
+  ASSERT_TRUE(w.tree->converged());
+  EXPECT_TRUE(w.lbi->root_is_accurate(1e-9));
+  const Lbi est = w.lbi->root_estimate();
+  EXPECT_NEAR(est.load, w.ring.total_load(), 1e-6 * w.ring.total_load());
+  EXPECT_NEAR(est.capacity, w.ring.total_capacity(), 1e-9);
+  EXPECT_GT(w.lbi->messages(), 0u);
+}
+
+TEST(ContinuousLbi, TracksLoadChangesWithBoundedStaleness) {
+  World w(32, 902);
+  w.engine.run_until(80.0);
+  ASSERT_TRUE(w.lbi->root_is_accurate(1e-9));
+  // Perturb the loads: the estimate is stale immediately, accurate again
+  // within ~height intervals.
+  for (const chord::Key id : w.ring.server_ids())
+    w.ring.set_load(id, w.ring.server(id).load * 2.0 + 1.0);
+  EXPECT_FALSE(w.lbi->root_is_accurate(1e-3));
+  w.engine.run_until(w.engine.now() + 40.0);
+  EXPECT_TRUE(w.lbi->root_is_accurate(1e-9));
+}
+
+TEST(ContinuousLbi, SurvivesCrashesMidAggregation) {
+  World w(48, 903);
+  w.engine.run_until(100.0);
+  ASSERT_TRUE(w.tree->converged());
+  ASSERT_TRUE(w.lbi->root_is_accurate(1e-9));
+
+  // Crash 25% of the nodes *between* refreshes: tree instances vanish,
+  // caches go stale, ground truth changes (their load is gone).
+  Rng rng(904);
+  for (int k = 0; k < 12; ++k) {
+    const auto live = w.ring.live_nodes();
+    w.tree->crash_node(live[rng.below(live.size())]);
+  }
+  // After the tree self-repairs and estimates re-propagate, the root
+  // view matches the *new* ground truth: the aggregation "continued
+  // along the K-nary tree after the tree is reconstructed" (S3.2).
+  w.engine.run_until(w.engine.now() + 120.0);
+  EXPECT_TRUE(w.tree->converged());
+  EXPECT_TRUE(w.lbi->root_is_accurate(1e-9));
+}
+
+TEST(ContinuousLbi, RootEstimateEmptyBeforeFirstRefresh) {
+  World w(8, 905);
+  const Lbi est = w.lbi->root_estimate();  // nothing ran yet
+  EXPECT_DOUBLE_EQ(est.load, 0.0);
+  EXPECT_DOUBLE_EQ(est.capacity, 0.0);
+  EXPECT_FALSE(w.lbi->root_is_accurate(1e-3));
+}
+
+TEST(ContinuousLbi, RejectsBadParams) {
+  World w(8, 906);
+  EXPECT_THROW(ContinuousLbi bad(w.engine, w.ring, *w.tree, 0.0,
+                                 ktree::unit_latency(w.ring)),
+               PreconditionError);
+  EXPECT_THROW(ContinuousLbi bad2(w.engine, w.ring, *w.tree, 1.0, nullptr),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace p2plb::lb

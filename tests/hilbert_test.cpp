@@ -1,0 +1,200 @@
+// Unit and property tests for the m-dimensional Hilbert curve and the
+// landmark-grid quantizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "hilbert/grid.h"
+#include "hilbert/hilbert.h"
+
+namespace p2plb::hilbert {
+namespace {
+
+TEST(Hilbert, IndexZeroIsOrigin) {
+  for (std::uint32_t dims : {1u, 2u, 3u, 5u, 15u}) {
+    const CurveSpec spec{dims, 3};
+    const auto coords = decode(spec, 0);
+    for (const std::uint32_t c : coords) EXPECT_EQ(c, 0u);
+  }
+}
+
+TEST(Hilbert, Canonical2dOrder2) {
+  // The 4x4 Hilbert curve starts (0,0) -> (1,0) -> (1,1) -> (0,1) under
+  // Skilling's axis convention (x[0] is the most significant axis).
+  const CurveSpec spec{2, 2};
+  const auto p0 = decode(spec, 0);
+  const auto p1 = decode(spec, 1);
+  const auto p2 = decode(spec, 2);
+  const auto p3 = decode(spec, 3);
+  EXPECT_EQ(l1_distance(p0, p1), 1u);
+  EXPECT_EQ(l1_distance(p1, p2), 1u);
+  EXPECT_EQ(l1_distance(p2, p3), 1u);
+  // After the first quadrant the curve must stay a single connected walk;
+  // spot-check the quadrant boundary too.
+  const auto p4 = decode(spec, 4);
+  EXPECT_EQ(l1_distance(p3, p4), 1u);
+}
+
+TEST(Hilbert, RejectsBadSpecsAndInputs) {
+  EXPECT_THROW(CurveSpec({0, 4}).validate(), PreconditionError);
+  EXPECT_THROW(CurveSpec({4, 0}).validate(), PreconditionError);
+  EXPECT_THROW(CurveSpec({33, 4}).validate(), PreconditionError);  // 132 bits
+  const CurveSpec spec{2, 2};
+  const std::vector<std::uint32_t> wrong_dims{1, 2, 3};
+  EXPECT_THROW((void)encode(spec, wrong_dims), PreconditionError);
+  const std::vector<std::uint32_t> out_of_range{4, 0};
+  EXPECT_THROW((void)encode(spec, out_of_range), PreconditionError);
+  EXPECT_THROW((void)decode(spec, 16), PreconditionError);
+}
+
+// Property sweep: bijectivity and unit-step adjacency over full curves.
+class HilbertSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(HilbertSweep, BijectiveAndAdjacent) {
+  const auto [dims, bits] = GetParam();
+  const CurveSpec spec{dims, bits};
+  const auto cells = static_cast<std::uint64_t>(spec.cell_count());
+  std::vector<std::uint32_t> prev;
+  std::map<std::vector<std::uint32_t>, std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    const auto coords = decode(spec, i);
+    // Round trip.
+    EXPECT_EQ(static_cast<std::uint64_t>(encode(spec, coords)), i);
+    // Adjacency: consecutive indices differ by exactly one unit step.
+    if (i > 0) {
+      EXPECT_EQ(l1_distance(prev, coords), 1u);
+    }
+    // Injectivity.
+    const auto [it, inserted] = seen.emplace(coords, i);
+    EXPECT_TRUE(inserted) << "duplicate cell at index " << i << " and "
+                          << it->second;
+    prev = coords;
+  }
+  EXPECT_EQ(seen.size(), cells);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsBits, HilbertSweep,
+    ::testing::Values(std::make_tuple(1u, 6u), std::make_tuple(2u, 1u),
+                      std::make_tuple(2u, 2u), std::make_tuple(2u, 4u),
+                      std::make_tuple(2u, 6u), std::make_tuple(3u, 1u),
+                      std::make_tuple(3u, 2u), std::make_tuple(3u, 4u),
+                      std::make_tuple(4u, 2u), std::make_tuple(4u, 3u),
+                      std::make_tuple(5u, 2u), std::make_tuple(6u, 2u),
+                      std::make_tuple(8u, 1u), std::make_tuple(10u, 1u)));
+
+TEST(Hilbert, RandomRoundTripHighDimensions) {
+  // Full sweeps are infeasible for 15x2 (2^30 cells); check round trips
+  // on random coordinates instead.
+  Rng rng(77);
+  for (const CurveSpec spec : {CurveSpec{15, 2}, CurveSpec{15, 4},
+                               CurveSpec{31, 4}, CurveSpec{16, 8}}) {
+    for (int trial = 0; trial < 500; ++trial) {
+      std::vector<std::uint32_t> coords(spec.dims);
+      for (auto& c : coords)
+        c = static_cast<std::uint32_t>(rng.below(1ull << spec.bits));
+      const Index idx = encode(spec, coords);
+      EXPECT_EQ(decode(spec, idx), coords);
+    }
+  }
+}
+
+TEST(Hilbert, AdjacentIndicesStayAdjacentInHighDimensions) {
+  Rng rng(78);
+  const CurveSpec spec{15, 2};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto raw = rng() & ((1ull << 30) - 2);  // < 2^30 - 1
+    const Index i = raw;
+    const auto a = decode(spec, i);
+    const auto b = decode(spec, i + 1);
+    EXPECT_EQ(l1_distance(a, b), 1u);
+  }
+}
+
+// --- GridQuantizer -----------------------------------------------------------
+
+TEST(GridQuantizer, QuantizesAndClamps) {
+  const CurveSpec spec{2, 2};  // 4 cells per dimension
+  const GridQuantizer q(spec, 100.0);
+  EXPECT_EQ(q.quantize(std::vector<double>{0.0, 0.0}),
+            (std::vector<std::uint32_t>{0, 0}));
+  EXPECT_EQ(q.quantize(std::vector<double>{99.9, 25.0}),
+            (std::vector<std::uint32_t>{3, 1}));
+  // Values at or beyond the max clamp into the last cell.
+  EXPECT_EQ(q.quantize(std::vector<double>{100.0, 250.0}),
+            (std::vector<std::uint32_t>{3, 3}));
+  EXPECT_EQ(q.quantize(std::vector<double>{-5.0, 50.0}),
+            (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(GridQuantizer, IdenticalVectorsShareKeys) {
+  const CurveSpec spec{15, 2};
+  const GridQuantizer q(spec, 64.0);
+  const std::vector<double> a(15, 10.0);
+  const std::vector<double> b(15, 10.5);  // same cell: 64/4 = 16 wide
+  EXPECT_EQ(q.chord_key(a), q.chord_key(b));
+}
+
+TEST(GridQuantizer, KeyScalingPreservesOrder) {
+  // With index_bits > 32 the key is a truncation; with < 32 a shift.
+  const CurveSpec wide{15, 4};   // 60 bits
+  const CurveSpec narrow{3, 2};  // 6 bits
+  const GridQuantizer qw(wide, 1.0);
+  const GridQuantizer qn(narrow, 1.0);
+  Index prev_w = 0;
+  for (const Index i : {Index{0}, Index{1} << 20, Index{1} << 40,
+                        (Index{1} << 60) - 1}) {
+    EXPECT_GE(qw.scale_to_key(i), qw.scale_to_key(prev_w));
+    prev_w = i;
+  }
+  EXPECT_EQ(qn.scale_to_key(0), 0u);
+  EXPECT_EQ(qn.scale_to_key(63), 63u << 26);
+}
+
+TEST(GridQuantizer, CloseVectorsGetCloseKeysOnAverage) {
+  // The locality property that makes the whole scheme work: pairs of
+  // nearby landmark vectors should map to much closer keys than random
+  // pairs.  Statistical, not per-pair (Hilbert locality is average-case).
+  Rng rng(79);
+  const CurveSpec spec{5, 4};
+  const GridQuantizer q(spec, 100.0);
+  double near_sum = 0.0, far_sum = 0.0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> a(5), near(5), far(5);
+    for (std::size_t d = 0; d < 5; ++d) {
+      a[d] = rng.uniform(0.0, 100.0);
+      near[d] = std::clamp(a[d] + rng.uniform(-2.0, 2.0), 0.0, 100.0);
+      far[d] = rng.uniform(0.0, 100.0);
+    }
+    const auto ka = q.chord_key(a);
+    auto dist = [ka](std::uint32_t other) {
+      const std::uint32_t d = ka > other ? ka - other : other - ka;
+      return static_cast<double>(d);
+    };
+    near_sum += dist(q.chord_key(near));
+    far_sum += dist(q.chord_key(far));
+  }
+  EXPECT_LT(near_sum, far_sum * 0.5);
+}
+
+TEST(GridQuantizer, RejectsBadInput) {
+  const CurveSpec spec{2, 2};
+  EXPECT_THROW(GridQuantizer(spec, 0.0), PreconditionError);
+  const GridQuantizer q(spec, 10.0);
+  const std::vector<double> nan_vec{std::nan(""), 1.0};
+  EXPECT_THROW((void)q.quantize(nan_vec), PreconditionError);
+  const std::vector<double> wrong{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)q.quantize(wrong), PreconditionError);
+}
+
+}  // namespace
+}  // namespace p2plb::hilbert

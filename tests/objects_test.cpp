@@ -1,0 +1,145 @@
+// Tests for the object-level workload: Zipf sampling, catalog
+// generation, placement onto the ring, and the connection back to the
+// paper's Gaussian load model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "workload/capacity.h"
+#include "workload/objects.h"
+#include "workload/scenario.h"
+
+namespace p2plb::workload {
+namespace {
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  const ZipfSampler zipf(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k)
+    EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-12);
+}
+
+TEST(ZipfSampler, MassesFollowPowerLaw) {
+  const ZipfSampler zipf(1000, 1.0);
+  // pmf(k) proportional to 1/(k+1): ratios must match exactly.
+  EXPECT_NEAR(zipf.pmf(0) / zipf.pmf(1), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.pmf(0) / zipf.pmf(9), 10.0, 1e-9);
+  double total = 0.0;
+  for (std::size_t k = 0; k < 1000; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatchPmf) {
+  const ZipfSampler zipf(50, 0.8);
+  Rng rng(601);
+  std::vector<int> counts(50, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 50; k += 7) {
+    const double expected = zipf.pmf(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfSampler, RejectsBadInput) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), PreconditionError);
+  EXPECT_THROW(ZipfSampler(5, -0.1), PreconditionError);
+}
+
+TEST(Objects, CatalogNormalizedAndUniformKeys) {
+  ObjectWorkloadParams params;
+  params.object_count = 20000;
+  params.total_load = 5000.0;
+  Rng rng(602);
+  const auto catalog = generate_objects(params, rng);
+  ASSERT_EQ(catalog.size(), 20000u);
+  double total = 0.0;
+  std::size_t low_half = 0;
+  for (const auto& obj : catalog) {
+    EXPECT_GT(obj.load, 0.0);
+    total += obj.load;
+    if (obj.key < 0x80000000u) ++low_half;
+  }
+  EXPECT_NEAR(total, 5000.0, 1e-6);
+  // Keys uniform: half below the midpoint, within 4 sigma.
+  EXPECT_NEAR(static_cast<double>(low_half), 10000.0, 4.0 * 70.8);
+}
+
+TEST(Objects, PlacementConservesLoadAndRespectsArcs) {
+  Rng rng(603);
+  auto ring = build_ring(64, 4, CapacityProfile::uniform(1.0), rng);
+  ObjectWorkloadParams params;
+  params.object_count = 5000;
+  params.total_load = 1234.5;
+  const auto catalog = generate_objects(params, rng);
+  EXPECT_EQ(assign_object_loads(ring, catalog), 5000u);
+  EXPECT_NEAR(ring.total_load(), 1234.5, 1e-6);
+  // Spot-check: each object's load is accounted at its key's successor.
+  double at_owner = 0.0;
+  const auto& probe = catalog.front();
+  for (const auto& obj : catalog)
+    if (ring.successor(obj.key).id == ring.successor(probe.key).id)
+      at_owner += obj.load;
+  EXPECT_NEAR(ring.server(ring.successor(probe.key).id).load, at_owner,
+              1e-9);
+}
+
+TEST(Objects, ManySmallObjectsApproachGaussianRegime) {
+  // The paper's justification: per-server load = sum of many small
+  // independent objects.  With a mild Zipf skew the per-server load
+  // distribution must have a moderate coefficient of variation relative
+  // to arc size -- i.e., load should correlate strongly with arc size.
+  Rng rng(604);
+  auto ring = build_ring(32, 4, CapacityProfile::uniform(1.0), rng);
+  ObjectWorkloadParams params;
+  params.object_count = 200000;
+  params.zipf_exponent = 0.5;
+  params.total_load = 1.0e6;
+  assign_object_loads(ring, generate_objects(params, rng));
+  // Correlation between arc fraction and load.
+  std::vector<double> fractions, loads;
+  for (const chord::Key id : ring.server_ids()) {
+    fractions.push_back(ring.arc_fraction(id));
+    loads.push_back(ring.server(id).load);
+  }
+  double mf = 0, ml = 0;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    mf += fractions[i];
+    ml += loads[i];
+  }
+  mf /= static_cast<double>(fractions.size());
+  ml /= static_cast<double>(loads.size());
+  double cov = 0, vf = 0, vl = 0;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    cov += (fractions[i] - mf) * (loads[i] - ml);
+    vf += (fractions[i] - mf) * (fractions[i] - mf);
+    vl += (loads[i] - ml) * (loads[i] - ml);
+  }
+  const double corr = cov / std::sqrt(vf * vl);
+  EXPECT_GT(corr, 0.95);
+}
+
+TEST(Objects, HeavySkewCreatesHotspots) {
+  // With a strong Zipf exponent one object dominates: the server owning
+  // it carries a disproportionate share regardless of arc size.
+  Rng rng(605);
+  auto ring = build_ring(32, 4, CapacityProfile::uniform(1.0), rng);
+  ObjectWorkloadParams params;
+  params.object_count = 10000;
+  params.zipf_exponent = 1.4;
+  params.total_load = 1.0e6;
+  assign_object_loads(ring, generate_objects(params, rng));
+  double max_load = 0.0;
+  ring.for_each_server([&](const chord::VirtualServer& vs) {
+    max_load = std::max(max_load, vs.load);
+  });
+  const double mean =
+      ring.total_load() / static_cast<double>(ring.virtual_server_count());
+  EXPECT_GT(max_load, 8.0 * mean);
+}
+
+}  // namespace
+}  // namespace p2plb::workload

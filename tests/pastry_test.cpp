@@ -1,0 +1,138 @@
+// Tests for the Pastry-style prefix router and the portability claim:
+// the full load balancer runs identically regardless of which router the
+// DHT uses (routing is below the lb/ abstraction).
+#include <gtest/gtest.h>
+
+#include "chord/ring.h"
+#include "chord/router.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "pastry/prefix_router.h"
+
+namespace p2plb::pastry {
+namespace {
+
+chord::Ring make_ring(std::size_t nodes, std::size_t vs_per_node,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  chord::Ring ring;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto n = ring.add_node(1.0);
+    for (std::size_t v = 0; v < vs_per_node; ++v)
+      (void)ring.add_random_virtual_server(n, rng);
+  }
+  return ring;
+}
+
+TEST(PrefixRouter, DigitsAndPrefixes) {
+  const auto ring = make_ring(4, 2, 1101);
+  const PrefixRouter router(ring, 4);
+  EXPECT_EQ(router.digits(), 8u);
+  EXPECT_EQ(router.digit(0xABCD1234u, 0), 0xAu);
+  EXPECT_EQ(router.digit(0xABCD1234u, 1), 0xBu);
+  EXPECT_EQ(router.digit(0xABCD1234u, 7), 0x4u);
+  EXPECT_EQ(router.shared_prefix(0xABCD1234u, 0xABCD1234u), 8u);
+  EXPECT_EQ(router.shared_prefix(0xABCD1234u, 0xABC01234u), 3u);
+  EXPECT_EQ(router.shared_prefix(0xABCD1234u, 0x0BCD1234u), 0u);
+}
+
+TEST(PrefixRouter, TableEntriesShareTheRightPrefix) {
+  const auto ring = make_ring(64, 4, 1102);
+  const PrefixRouter router(ring, 4);
+  const auto ids = ring.server_ids();
+  for (const chord::Key id : ids) {
+    for (std::uint32_t row = 0; row < 3; ++row) {
+      for (std::uint32_t col = 0; col < 16; ++col) {
+        const auto entry = router.table_entry(id, row, col);
+        if (!entry) continue;
+        EXPECT_GE(router.shared_prefix(*entry, id), row);
+        EXPECT_EQ(router.digit(*entry, row), col);
+        EXPECT_TRUE(ring.has_server(*entry));
+      }
+    }
+  }
+}
+
+class PrefixLookupSweep
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PrefixLookupSweep, FindsTheResponsibleServer) {
+  const std::uint32_t bits = GetParam();
+  const auto ring = make_ring(64, 4, 1103);
+  const PrefixRouter router(ring, bits);
+  Rng rng(1104);
+  const auto ids = ring.server_ids();
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto key = static_cast<chord::Key>(rng() >> 32);
+    const chord::Key start = ids[rng.below(ids.size())];
+    const PrefixLookup r = router.lookup(start, key);
+    EXPECT_EQ(r.responsible, ring.successor(key).id);
+    EXPECT_EQ(r.path.size(), static_cast<std::size_t>(r.hops) + 1);
+    EXPECT_EQ(r.path.front(), start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsPerDigit, PrefixLookupSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(PrefixRouter, HopsAreLogBase2bOfN) {
+  // Larger digit bases mean fewer hops: O(log_{2^b} N).
+  const auto ring = make_ring(256, 4, 1105);
+  Rng rng(1106);
+  const auto ids = ring.server_ids();
+  double mean_hops[2] = {0.0, 0.0};
+  constexpr int kTrials = 600;
+  int which = 0;
+  for (const std::uint32_t bits : {1u, 4u}) {
+    const PrefixRouter router(ring, bits);
+    Rng trial_rng(1107);
+    double total = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto key = static_cast<chord::Key>(trial_rng() >> 32);
+      total += router.lookup(ids[trial_rng.below(ids.size())], key).hops;
+    }
+    mean_hops[which++] = total / kTrials;
+  }
+  // 1024 servers: log2 ~ 10, log16 ~ 2.5; allow generous slack but the
+  // ordering and rough magnitudes must hold.
+  EXPECT_GT(mean_hops[0], mean_hops[1]);
+  EXPECT_LT(mean_hops[1], 6.0);
+  EXPECT_LT(mean_hops[0], 16.0);
+  (void)rng;
+}
+
+TEST(PrefixRouter, AgreesWithChordRouter) {
+  // Two different routing mechanisms, same ownership: every lookup must
+  // land on the same responsible server (the lb/ stack above cannot tell
+  // them apart -- the paper's portability claim).
+  const auto ring = make_ring(48, 3, 1108);
+  const PrefixRouter pastry_router(ring, 4);
+  const chord::Router chord_router(ring);
+  Rng rng(1109);
+  const auto ids = ring.server_ids();
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto key = static_cast<chord::Key>(rng() >> 32);
+    const chord::Key start = ids[rng.below(ids.size())];
+    EXPECT_EQ(pastry_router.lookup(start, key).responsible,
+              chord_router.lookup(start, key).responsible);
+  }
+}
+
+TEST(PrefixRouter, SingletonAndValidation) {
+  chord::Ring ring;
+  const auto n = ring.add_node(1.0);
+  ring.add_virtual_server(n, 777);
+  const PrefixRouter router(ring, 4);
+  const auto r = router.lookup(777, 12345);
+  EXPECT_EQ(r.responsible, 777u);
+  EXPECT_EQ(r.hops, 0u);
+  EXPECT_THROW(PrefixRouter(ring, 3), PreconditionError);   // 3 !| 32
+  EXPECT_THROW(PrefixRouter(ring, 0), PreconditionError);
+  EXPECT_THROW((void)router.lookup(1, 2), PreconditionError);
+  chord::Ring empty;
+  (void)empty.add_node(1.0);
+  EXPECT_THROW(PrefixRouter bad(empty), PreconditionError);
+}
+
+}  // namespace
+}  // namespace p2plb::pastry

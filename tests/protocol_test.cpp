@@ -1,0 +1,181 @@
+// Tests for the event-driven K-nary tree protocols: simulated sweep
+// latency and soft-state maintenance / self-repair under churn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chord/ring.h"
+#include "common/rng.h"
+#include "ktree/protocol.h"
+#include "ktree/tree.h"
+#include "sim/engine.h"
+
+namespace p2plb::ktree {
+namespace {
+
+chord::Ring make_ring(std::size_t nodes, std::size_t vs_per_node,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  chord::Ring ring;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto n = ring.add_node(1.0);
+    for (std::size_t v = 0; v < vs_per_node; ++v)
+      (void)ring.add_random_virtual_server(n, rng);
+  }
+  return ring;
+}
+
+TEST(UnitLatency, LocalIsFreeRemoteCostsUnit) {
+  auto ring = make_ring(2, 2, 401);
+  const auto& a = ring.node(0).servers;
+  const auto& b = ring.node(1).servers;
+  const auto latency = unit_latency(ring, 2.5);
+  EXPECT_DOUBLE_EQ(latency(a[0], a[0]), 0.0);
+  EXPECT_DOUBLE_EQ(latency(a[0], a[1]), 0.0);  // same physical node
+  EXPECT_DOUBLE_EQ(latency(a[0], b[0]), 2.5);
+}
+
+TEST(SimulatedAggregation, SingleLeafIsInstant) {
+  chord::Ring ring;
+  const auto n = ring.add_node(1.0);
+  ring.add_virtual_server(n, 77);
+  const KTree tree(ring, 2);
+  sim::Engine engine;
+  const auto r = simulate_aggregation(engine, tree, unit_latency(ring));
+  EXPECT_DOUBLE_EQ(r.completion_time, 0.0);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(SimulatedAggregation, CompletionTimeIsBoundedByEffectiveHeight) {
+  const auto ring = make_ring(64, 4, 402);
+  const KTree tree(ring, 2);
+  sim::Engine engine;
+  const auto r = simulate_aggregation(engine, tree, unit_latency(ring));
+  // The critical path pays one unit per host change on some root-leaf
+  // path: at most effective_height, at least 1 (some edge is remote).
+  EXPECT_LE(r.completion_time,
+            static_cast<double>(tree.effective_height()));
+  EXPECT_GE(r.completion_time, 1.0);
+  EXPECT_GT(r.messages, 0u);
+}
+
+TEST(SimulatedDissemination, MirrorsAggregation) {
+  const auto ring = make_ring(64, 4, 403);
+  const KTree tree(ring, 2);
+  sim::Engine e1, e2;
+  const auto up = simulate_aggregation(e1, tree, unit_latency(ring));
+  const auto down = simulate_dissemination(e2, tree, unit_latency(ring));
+  // Same edges traversed in opposite directions: identical counts and
+  // identical critical-path length.
+  EXPECT_EQ(up.messages, down.messages);
+  EXPECT_EQ(up.local_hops, down.local_hops);
+  EXPECT_DOUBLE_EQ(up.completion_time, down.completion_time);
+}
+
+TEST(SimulatedAggregation, LatencyGrowsLogarithmically) {
+  // Completion time across a 16x size increase grows by only a few
+  // units (log), not multiplicatively.
+  double small_time = 0.0, big_time = 0.0;
+  {
+    const auto ring = make_ring(32, 4, 404);
+    const KTree tree(ring, 2);
+    sim::Engine engine;
+    small_time =
+        simulate_aggregation(engine, tree, unit_latency(ring))
+            .completion_time;
+  }
+  {
+    const auto ring = make_ring(512, 4, 405);
+    const KTree tree(ring, 2);
+    sim::Engine engine;
+    big_time = simulate_aggregation(engine, tree, unit_latency(ring))
+                   .completion_time;
+  }
+  EXPECT_LE(big_time, small_time + 8.0);  // ~log2(16) = 4 extra levels
+}
+
+// --- MaintenanceProtocol -----------------------------------------------------
+
+TEST(Maintenance, GrowsToConvergenceFromScratch) {
+  auto ring = make_ring(16, 3, 406);
+  sim::Engine engine;
+  MaintenanceProtocol protocol(engine, ring, 2, 1.0, unit_latency(ring));
+  protocol.start();
+  const KTree target(ring, 2);
+  // Each level needs one check period plus up to one unit of create
+  // latency: convergence within ~2*height + slack periods.
+  engine.run_until(2.0 * static_cast<double>(target.height()) + 6.0);
+  EXPECT_TRUE(protocol.converged())
+      << "instances " << protocol.instance_count() << " target "
+      << target.size();
+}
+
+TEST(Maintenance, SelfRepairsAfterCrash) {
+  auto ring = make_ring(24, 3, 407);
+  sim::Engine engine;
+  MaintenanceProtocol protocol(engine, ring, 2, 1.0, unit_latency(ring));
+  protocol.start();
+  engine.run_until(40.0);
+  ASSERT_TRUE(protocol.converged());
+
+  // Crash 25% of the nodes (their KT instances vanish with them).
+  Rng rng(408);
+  for (int k = 0; k < 6; ++k) {
+    const auto live = ring.live_nodes();
+    protocol.crash_node(live[rng.below(live.size())]);
+  }
+  EXPECT_FALSE(protocol.converged());  // holes and stale hosts
+
+  const sim::Time crash_time = engine.now();
+  // The converged tree of the *new* membership.
+  const KTree target(ring, 2);
+  engine.run_until(crash_time +
+                   2.0 * static_cast<double>(target.height()) + 30.0);
+  EXPECT_TRUE(protocol.converged())
+      << "instances " << protocol.instance_count() << " target "
+      << target.size();
+}
+
+TEST(Maintenance, RootCrashIsRecovered) {
+  auto ring = make_ring(8, 2, 409);
+  sim::Engine engine;
+  MaintenanceProtocol protocol(engine, ring, 2, 1.0, unit_latency(ring));
+  protocol.start();
+  engine.run_until(30.0);
+  ASSERT_TRUE(protocol.converged());
+  // Crash the node hosting the root instance.
+  const KTree before(ring, 2);
+  const chord::NodeIndex root_host =
+      ring.server(before.node(before.root()).host_vs).owner;
+  protocol.crash_node(root_host);
+  engine.run_until(engine.now() + 40.0);
+  EXPECT_TRUE(protocol.converged());
+}
+
+TEST(Maintenance, PrunesAfterMembershipGrowth) {
+  // Adding many servers shrinks arcs; regions that were leaves must
+  // split, and (conversely) removing servers later forces pruning.
+  auto ring = make_ring(4, 2, 410);
+  sim::Engine engine;
+  MaintenanceProtocol protocol(engine, ring, 2, 1.0, unit_latency(ring));
+  protocol.start();
+  engine.run_until(30.0);
+  ASSERT_TRUE(protocol.converged());
+  const std::size_t before = protocol.instance_count();
+
+  Rng rng(411);
+  const auto fresh = ring.add_node(1.0);
+  for (int v = 0; v < 16; ++v)
+    (void)ring.add_random_virtual_server(fresh, rng);
+  engine.run_until(engine.now() + 60.0);
+  EXPECT_TRUE(protocol.converged());
+  EXPECT_GT(protocol.instance_count(), before);
+
+  // Graceful removal of the big node (its servers disappear).
+  protocol.crash_node(fresh);
+  engine.run_until(engine.now() + 60.0);
+  EXPECT_TRUE(protocol.converged());
+}
+
+}  // namespace
+}  // namespace p2plb::ktree

@@ -1,0 +1,135 @@
+// Fuzz tests: random operation sequences against the Ring, checking
+// structural invariants after every step, plus histogram/CDF behaviour
+// against brute-force recomputation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "chord/ring.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace p2plb {
+namespace {
+
+/// The Ring's global invariants, checked O(V log V).
+void check_ring_invariants(const chord::Ring& ring) {
+  // Arc sizes tile the identifier space exactly.
+  if (ring.virtual_server_count() > 0) {
+    std::uint64_t total = 0;
+    for (const chord::Key id : ring.server_ids()) {
+      total += ring.arc_size(id);
+      // Owner cross-consistency: the owner's server list contains it.
+      const auto& servers = ring.node(ring.server(id).owner).servers;
+      EXPECT_NE(std::find(servers.begin(), servers.end(), id),
+                servers.end());
+      EXPECT_TRUE(ring.node(ring.server(id).owner).alive);
+    }
+    EXPECT_EQ(total, chord::kSpaceSize);
+  }
+  // Node-side consistency: every listed server exists and points back.
+  std::size_t listed = 0;
+  for (const chord::NodeIndex i : ring.live_nodes()) {
+    for (const chord::Key id : ring.node(i).servers) {
+      ASSERT_TRUE(ring.has_server(id));
+      EXPECT_EQ(ring.server(id).owner, i);
+      ++listed;
+    }
+  }
+  EXPECT_EQ(listed, ring.virtual_server_count());
+}
+
+class RingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingFuzz, InvariantsSurviveRandomOperations) {
+  Rng rng(GetParam());
+  chord::Ring ring;
+  // Seed membership so operations have something to act on.
+  for (int i = 0; i < 4; ++i) {
+    const auto n = ring.add_node(rng.uniform(1.0, 100.0));
+    for (int v = 0; v < 2; ++v)
+      (void)ring.add_random_virtual_server(n, rng);
+  }
+  for (int step = 0; step < 400; ++step) {
+    const auto op = rng.below(100);
+    const auto live = ring.live_nodes();
+    if (op < 20) {  // add node (+servers)
+      const auto n = ring.add_node(rng.uniform(1.0, 100.0));
+      const auto servers = 1 + rng.below(4);
+      for (std::uint64_t v = 0; v < servers; ++v)
+        (void)ring.add_random_virtual_server(n, rng);
+    } else if (op < 40 && !live.empty()) {  // add server to existing node
+      (void)ring.add_random_virtual_server(
+          live[rng.below(live.size())], rng);
+    } else if (op < 55 && ring.virtual_server_count() > 1) {  // remove VS
+      const auto ids = ring.server_ids();
+      ring.remove_virtual_server(ids[rng.below(ids.size())]);
+    } else if (op < 70 && live.size() > 1) {  // transfer VS
+      const auto ids = ring.server_ids();
+      if (!ids.empty())
+        ring.transfer_virtual_server(ids[rng.below(ids.size())],
+                                     live[rng.below(live.size())]);
+    } else if (op < 80 && live.size() > 2) {  // crash node
+      ring.remove_node(live[rng.below(live.size())]);
+    } else if (ring.virtual_server_count() > 0) {  // set load
+      const auto ids = ring.server_ids();
+      ring.set_load(ids[rng.below(ids.size())], rng.uniform(0.0, 50.0));
+    }
+    if (step % 40 == 0) check_ring_invariants(ring);
+  }
+  check_ring_invariants(ring);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- histogram / CDF vs brute force --------------------------------------------
+
+class HistogramFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramFuzz, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const std::size_t bins = 1 + rng.below(12);
+  const double lo = rng.uniform(-10.0, 0.0);
+  const double hi = lo + rng.uniform(1.0, 30.0);
+  Histogram h = Histogram::uniform(lo, hi, bins);
+  std::vector<double> values, weights;
+  const std::size_t n = 50 + rng.below(500);
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(rng.uniform(lo - 5.0, hi + 5.0));
+    weights.push_back(rng.uniform(0.0, 3.0));
+    h.add(values.back(), weights.back());
+  }
+  // Brute-force per-bin totals.
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  EXPECT_NEAR(h.total(), total, 1e-9);
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    double expected = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (values[i] >= h.bin_lo(b) && values[i] < h.bin_hi(b))
+        expected += weights[i];
+    EXPECT_NEAR(h.count(b), expected, 1e-9) << "bin " << b;
+  }
+  // CDF at each sample point matches weight_fraction_below.
+  const auto cdf = weighted_cdf(values, weights);
+  for (const auto& point : cdf) {
+    EXPECT_NEAR(point.fraction,
+                weight_fraction_below(values, weights, point.x), 1e-9);
+  }
+  // The CDF is non-decreasing and ends at 1.
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LT(cdf[i - 1].x, cdf[i].x);
+    EXPECT_LE(cdf[i - 1].fraction, cdf[i].fraction + 1e-12);
+  }
+  if (!cdf.empty()) {
+    EXPECT_NEAR(cdf.back().fraction, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace p2plb

@@ -1,0 +1,156 @@
+// Unit tests for the discrete-event engine and the simulated network.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace p2plb::sim {
+namespace {
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SameTimeFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterUsesNow) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(2.0, [&] {
+    e.schedule_after(3.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // already cancelled
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.events_executed(), 0u);
+}
+
+TEST(Engine, RunUntilStopsAndAdvancesClock) {
+  Engine e;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    e.schedule_at(t, [&fired, &e] { fired.push_back(e.now()); });
+  EXPECT_EQ(e.run_until(2.5), 2u);
+  EXPECT_DOUBLE_EQ(e.now(), 2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  e.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Engine, RunUntilSkipsCancelledWithoutExecuting) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  e.cancel(id);
+  EXPECT_EQ(e.run_until(5.0), 0u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, PeriodicTimerStopsWhenCallbackSaysSo) {
+  Engine e;
+  int ticks = 0;
+  e.every(1.0, [&] {
+    ++ticks;
+    return ticks < 5;
+  });
+  e.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 64) e.schedule_after(1.0, recurse);
+  };
+  e.schedule_at(0.0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 64);
+  EXPECT_DOUBLE_EQ(e.now(), 63.0);
+}
+
+TEST(Engine, RejectsPastAndBadInput) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), PreconditionError);
+  EXPECT_THROW(e.schedule_after(-1.0, [] {}), PreconditionError);
+  EXPECT_THROW(e.schedule_after(1.0, nullptr), PreconditionError);
+  EXPECT_THROW(e.every(0.0, [] { return false; }), PreconditionError);
+}
+
+TEST(Engine, RunWithMaxEvents) {
+  Engine e;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(static_cast<Time>(i), [&] { ++fired; });
+  EXPECT_EQ(e.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(e.pending(), 6u);
+}
+
+TEST(Network, DeliversWithLatency) {
+  Engine e;
+  Network net(e, [](Endpoint a, Endpoint b) {
+    return static_cast<Time>(a > b ? a - b : b - a);
+  });
+  double delivered_at = -1.0;
+  net.send(10, 13, [&] { delivered_at = e.now(); }, 100.0);
+  e.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 3.0);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_DOUBLE_EQ(net.bytes_sent(), 100.0);
+  EXPECT_DOUBLE_EQ(net.mean_latency(), 3.0);
+}
+
+TEST(Network, ProcessingDelayAdds) {
+  Engine e;
+  Network net(e, [](Endpoint, Endpoint) { return 2.0; });
+  double delivered_at = -1.0;
+  net.send(0, 1, [&] { delivered_at = e.now(); }, 0.0, 1.5);
+  e.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 3.5);
+}
+
+TEST(Network, CountersResetAndAccumulate) {
+  Engine e;
+  Network net(e, [](Endpoint, Endpoint) { return 1.0; });
+  net.send(0, 1, [] {});
+  net.send(0, 2, [] {}, 50.0);
+  EXPECT_EQ(net.messages_sent(), 2u);
+  net.reset_counters();
+  EXPECT_EQ(net.messages_sent(), 0u);
+  EXPECT_DOUBLE_EQ(net.bytes_sent(), 0.0);
+  e.run();
+}
+
+}  // namespace
+}  // namespace p2plb::sim

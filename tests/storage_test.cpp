@@ -1,0 +1,175 @@
+// Tests for the DHT object store: put/get routing, arc-based residency
+// (including wraparound), overwrite accounting, and the projection of
+// stored bytes onto ring loads.
+#include <gtest/gtest.h>
+
+#include "chord/ring.h"
+#include "chord/storage.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace p2plb::chord {
+namespace {
+
+Ring make_ring(std::size_t nodes, std::size_t vs_per_node,
+               std::uint64_t seed) {
+  Rng rng(seed);
+  Ring ring;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto n = ring.add_node(1.0);
+    for (std::size_t v = 0; v < vs_per_node; ++v)
+      (void)ring.add_random_virtual_server(n, rng);
+  }
+  return ring;
+}
+
+TEST(ObjectStore, PutGetRoundTrip) {
+  auto ring = make_ring(16, 4, 801);
+  ObjectStore store(ring);
+  const auto ids = ring.server_ids();
+  Rng rng(802);
+  for (int i = 0; i < 200; ++i) {
+    const Key key = static_cast<Key>(rng() >> 32);
+    const double size = rng.uniform(1.0, 100.0);
+    const auto put = store.put(ids[rng.below(ids.size())], key, size);
+    EXPECT_EQ(put.responsible, ring.successor(key).id);
+    const auto got = store.get(ids[rng.below(ids.size())], key);
+    ASSERT_TRUE(got.found);
+    EXPECT_DOUBLE_EQ(got.size, size);
+    EXPECT_EQ(got.responsible, put.responsible);
+  }
+  EXPECT_EQ(store.object_count(), 200u);
+}
+
+TEST(ObjectStore, MissAndErase) {
+  auto ring = make_ring(4, 2, 803);
+  ObjectStore store(ring);
+  const Key via = ring.server_ids().front();
+  EXPECT_FALSE(store.get(via, 12345).found);
+  (void)store.put(via, 12345, 7.0);
+  EXPECT_TRUE(store.get(via, 12345).found);
+  EXPECT_TRUE(store.erase(12345));
+  EXPECT_FALSE(store.erase(12345));
+  EXPECT_FALSE(store.get(via, 12345).found);
+  EXPECT_DOUBLE_EQ(store.total_bytes(), 0.0);
+}
+
+TEST(ObjectStore, OverwriteAccountsBytesOnce) {
+  auto ring = make_ring(4, 2, 804);
+  ObjectStore store(ring);
+  const Key via = ring.server_ids().front();
+  (void)store.put(via, 99, 10.0);
+  (void)store.put(via, 99, 25.0);
+  EXPECT_EQ(store.object_count(), 1u);
+  EXPECT_DOUBLE_EQ(store.total_bytes(), 25.0);
+  EXPECT_DOUBLE_EQ(store.get(via, 99).size, 25.0);
+}
+
+TEST(ObjectStore, BytesPartitionAcrossArcs) {
+  auto ring = make_ring(16, 4, 805);
+  ObjectStore store(ring);
+  const auto ids = ring.server_ids();
+  Rng rng(806);
+  double total = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double size = rng.uniform(1.0, 10.0);
+    (void)store.put(ids[0], static_cast<Key>(rng() >> 32), size);
+    total += size;
+  }
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const Key id : ids) {
+    sum += store.bytes_at(id);
+    count += store.count_at(id);
+  }
+  EXPECT_NEAR(sum, total, 1e-9);
+  EXPECT_NEAR(store.total_bytes(), total, 1e-9);
+  EXPECT_EQ(count, store.object_count());
+}
+
+TEST(ObjectStore, WraparoundArcHoldsItsObjects) {
+  Ring ring;
+  const auto n = ring.add_node(1.0);
+  ring.add_virtual_server(n, 1000);
+  ring.add_virtual_server(n, 0xF0000000u);
+  ObjectStore store(ring);
+  // Arc of 1000 is (0xF0000000, 1000]: wraps through zero.
+  (void)store.put(1000, 0xF8000000u, 1.0);  // in wrap arc
+  (void)store.put(1000, 5u, 2.0);           // in wrap arc
+  (void)store.put(1000, 1000u, 4.0);        // boundary: inclusive
+  (void)store.put(1000, 2000u, 8.0);        // other arc
+  EXPECT_DOUBLE_EQ(store.bytes_at(1000), 7.0);
+  EXPECT_EQ(store.count_at(1000), 3u);
+  EXPECT_DOUBLE_EQ(store.bytes_at(0xF0000000u), 8.0);
+}
+
+TEST(ObjectStore, SingletonOwnsEverything) {
+  Ring ring;
+  const auto n = ring.add_node(1.0);
+  ring.add_virtual_server(n, 42);
+  ObjectStore store(ring);
+  (void)store.put(42, 1, 1.0);
+  (void)store.put(42, 0xFFFFFFFFu, 2.0);
+  EXPECT_DOUBLE_EQ(store.bytes_at(42), 3.0);
+}
+
+TEST(ObjectStore, SetRingLoadsMatchesBytes) {
+  auto ring = make_ring(8, 3, 807);
+  ObjectStore store(ring);
+  const auto ids = ring.server_ids();
+  Rng rng(808);
+  for (int i = 0; i < 300; ++i)
+    (void)store.put(ids[0], static_cast<Key>(rng() >> 32),
+                    rng.uniform(1.0, 5.0));
+  store.set_ring_loads(ring);
+  for (const Key id : ids)
+    EXPECT_DOUBLE_EQ(ring.server(id).load, store.bytes_at(id));
+  EXPECT_NEAR(ring.total_load(), store.total_bytes(), 1e-9);
+}
+
+TEST(ObjectStore, ResidencyFollowsTheRing) {
+  // Removing a virtual server re-homes its objects to the successor arc
+  // with no data-structure maintenance (residency is positional).
+  auto ring = make_ring(4, 2, 809);
+  ObjectStore store(ring);
+  const auto ids = ring.server_ids();
+  Rng rng(810);
+  for (int i = 0; i < 200; ++i)
+    (void)store.put(ids[0], static_cast<Key>(rng() >> 32), 1.0);
+  const Key victim = ids[3];
+  const Key heir = ring.successor(static_cast<Key>(victim + 1)).id;
+  const double victim_bytes = store.bytes_at(victim);
+  const double heir_bytes = store.bytes_at(heir);
+  ring.remove_virtual_server(victim);
+  store.refresh_router();
+  EXPECT_NEAR(store.bytes_at(heir), victim_bytes + heir_bytes, 1e-9);
+  EXPECT_DOUBLE_EQ(store.total_bytes(), 200.0);
+}
+
+TEST(ObjectStore, LookupHopsAreLogarithmic) {
+  auto ring = make_ring(128, 4, 811);
+  ObjectStore store(ring);
+  const auto ids = ring.server_ids();
+  Rng rng(812);
+  double hops = 0.0;
+  constexpr int kOps = 500;
+  for (int i = 0; i < kOps; ++i) {
+    const auto access = store.get(ids[rng.below(ids.size())],
+                                  static_cast<Key>(rng() >> 32));
+    hops += access.hops;
+  }
+  EXPECT_LT(hops / kOps, 9.0);  // ~0.5*log2(512) + slack
+}
+
+TEST(ObjectStore, RejectsBadInput) {
+  Ring empty;
+  (void)empty.add_node(1.0);
+  EXPECT_THROW(ObjectStore store(empty), PreconditionError);
+  auto ring = make_ring(2, 1, 813);
+  ObjectStore store(ring);
+  EXPECT_THROW((void)store.put(ring.server_ids()[0], 5, 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace p2plb::chord

@@ -1,0 +1,172 @@
+// Property (fuzz) tests for the VSA rendezvous sweep: conservation,
+// capacity safety, and timing invariants over randomized inputs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "chord/ring.h"
+#include "common/rng.h"
+#include "ktree/protocol.h"
+#include "ktree/tree.h"
+#include "lb/vsa.h"
+
+namespace p2plb::lb {
+namespace {
+
+struct Fuzzed {
+  chord::Ring ring;
+  VsaEntries entries;
+  std::map<chord::Key, double> offered;          // vs -> load
+  std::map<chord::NodeIndex, double> spare;      // light node -> delta
+};
+
+/// Build a random ring and random heavy/light records entering at random
+/// leaves (optionally clustered under shared origin keys).
+Fuzzed make_fuzzed(std::uint64_t seed, const ktree::KTree*& tree_out,
+                   std::unique_ptr<ktree::KTree>& tree_holder) {
+  Rng rng(seed);
+  Fuzzed f;
+  const std::size_t nodes = 8 + rng.below(24);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto n = f.ring.add_node(1.0);
+    const std::size_t servers = 1 + rng.below(5);
+    for (std::size_t v = 0; v < servers; ++v)
+      (void)f.ring.add_random_virtual_server(n, rng);
+  }
+  tree_holder = std::make_unique<ktree::KTree>(f.ring, 2);
+  tree_out = tree_holder.get();
+  const auto& tree = *tree_holder;
+
+  // Collect candidate leaves.
+  std::vector<ktree::KtIndex> leaves;
+  for (ktree::KtIndex i = 0; i < tree.size(); ++i)
+    if (tree.node(i).is_leaf()) leaves.push_back(i);
+
+  const std::size_t heavy_records = 5 + rng.below(40);
+  const std::size_t light_records = 5 + rng.below(40);
+  std::set<chord::Key> used;
+  const auto live = f.ring.live_nodes();
+  for (std::size_t h = 0; h < heavy_records; ++h) {
+    // Pick a VS not yet offered.
+    const auto ids = f.ring.server_ids();
+    const chord::Key vs = ids[rng.below(ids.size())];
+    if (used.contains(vs)) continue;
+    used.insert(vs);
+    const double load = rng.uniform(0.5, 20.0);
+    const auto origin = static_cast<chord::Key>(rng.below(4));  // clusters
+    f.entries.heavy[leaves[rng.below(leaves.size())]].push_back(
+        {load, vs, f.ring.server(vs).owner, origin});
+    f.offered[vs] = load;
+  }
+  for (std::size_t l = 0; l < light_records; ++l) {
+    const chord::NodeIndex node =
+        live[rng.below(live.size())];
+    if (f.spare.contains(node)) continue;
+    const double delta = rng.uniform(0.5, 30.0);
+    const auto origin = static_cast<chord::Key>(rng.below(4));
+    f.entries.light[leaves[rng.below(leaves.size())]].push_back(
+        {delta, node, origin});
+    f.spare[node] = delta;
+  }
+  return f;
+}
+
+class VsaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VsaFuzz, InvariantsHoldUnderRandomInputs) {
+  const ktree::KTree* tree = nullptr;
+  std::unique_ptr<ktree::KTree> holder;
+  Fuzzed f = make_fuzzed(GetParam(), tree, holder);
+  for (const std::size_t threshold : {std::size_t{0}, std::size_t{10},
+                                      std::size_t{1000000}}) {
+    VsaParams params;
+    params.rendezvous_threshold = threshold;
+    params.min_load = 0.5;
+    const VsaResult r = run_vsa(*tree, f.entries, params);
+
+    // (1) Each offered server is assigned at most once, and only offered
+    //     servers appear.
+    std::set<chord::Key> assigned;
+    for (const Assignment& a : r.assignments) {
+      EXPECT_TRUE(f.offered.contains(a.vs));
+      EXPECT_TRUE(assigned.insert(a.vs).second)
+          << "server assigned twice: " << a.vs;
+      EXPECT_DOUBLE_EQ(a.load, f.offered.at(a.vs));
+      EXPECT_EQ(a.from, f.ring.server(a.vs).owner);
+    }
+    // (2) assigned + unassigned == offered (nothing lost or invented).
+    std::set<chord::Key> unassigned;
+    for (const auto& u : r.unassigned_heavy) {
+      EXPECT_TRUE(f.offered.contains(u.vs));
+      EXPECT_TRUE(unassigned.insert(u.vs).second);
+      EXPECT_FALSE(assigned.contains(u.vs));
+    }
+    EXPECT_EQ(assigned.size() + unassigned.size(), f.offered.size());
+    // (3) No light node accepts more than its declared spare.
+    std::map<chord::NodeIndex, double> accepted;
+    for (const Assignment& a : r.assignments) accepted[a.to] += a.load;
+    for (const auto& [node, total] : accepted) {
+      ASSERT_TRUE(f.spare.contains(node));
+      EXPECT_LE(total, f.spare.at(node) + 1e-9);
+    }
+    // (4) Depth histogram is consistent with the assignment list.
+    std::size_t histogram_total = 0;
+    for (const auto c : r.pairs_per_depth) histogram_total += c;
+    EXPECT_EQ(histogram_total, r.assignments.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VsaFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 12, 13, 14, 15, 16));
+
+TEST(VsaTiming, AssignmentsAvailableBeforeSweepCompletes) {
+  const ktree::KTree* tree = nullptr;
+  std::unique_ptr<ktree::KTree> holder;
+  Fuzzed f = make_fuzzed(99, tree, holder);
+  const auto latency = ktree::unit_latency(f.ring);
+  VsaParams params;
+  params.min_load = 0.5;
+  params.rendezvous_threshold = 0;  // pair as deep as possible
+  params.latency = &latency;
+  const VsaResult r = run_vsa(*tree, f.entries, params);
+  for (const Assignment& a : r.assignments) {
+    EXPECT_GE(a.available_at, 0.0);
+    EXPECT_LE(a.available_at, r.sweep_completion_time + 1e-9);
+  }
+  // With unit latencies the sweep cannot exceed one unit per tree level.
+  EXPECT_LE(r.sweep_completion_time,
+            static_cast<double>(tree->height()) + 1.0);
+}
+
+TEST(VsaTiming, RootPairingsAreLatest) {
+  const ktree::KTree* tree = nullptr;
+  std::unique_ptr<ktree::KTree> holder;
+  Fuzzed f = make_fuzzed(123, tree, holder);
+  const auto latency = ktree::unit_latency(f.ring);
+  VsaParams params;
+  params.min_load = 0.5;
+  params.rendezvous_threshold = 1000000;  // force everything to the root
+  params.latency = &latency;
+  const VsaResult r = run_vsa(*tree, f.entries, params);
+  for (const Assignment& a : r.assignments) {
+    EXPECT_EQ(a.rendezvous_depth, 0u);
+    EXPECT_DOUBLE_EQ(a.available_at, r.sweep_completion_time);
+  }
+}
+
+TEST(VsaTiming, NoLatencyModelMeansZeroTimes) {
+  const ktree::KTree* tree = nullptr;
+  std::unique_ptr<ktree::KTree> holder;
+  Fuzzed f = make_fuzzed(321, tree, holder);
+  VsaParams params;
+  params.min_load = 0.5;
+  const VsaResult r = run_vsa(*tree, f.entries, params);
+  for (const Assignment& a : r.assignments)
+    EXPECT_DOUBLE_EQ(a.available_at, 0.0);
+  EXPECT_DOUBLE_EQ(r.sweep_completion_time, 0.0);
+}
+
+}  // namespace
+}  // namespace p2plb::lb

@@ -1,0 +1,145 @@
+// Unit tests for capacity profiles, load models and scenario assembly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "workload/capacity.h"
+#include "workload/load_model.h"
+#include "workload/scenario.h"
+
+namespace p2plb::workload {
+namespace {
+
+TEST(CapacityProfile, GnutellaFrequencies) {
+  const auto profile = CapacityProfile::gnutella_like();
+  Rng rng(51);
+  std::map<double, int> counts;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[profile.sample(rng)];
+  EXPECT_NEAR(counts[1.0] / double(kDraws), 0.20, 0.01);
+  EXPECT_NEAR(counts[10.0] / double(kDraws), 0.45, 0.01);
+  EXPECT_NEAR(counts[100.0] / double(kDraws), 0.30, 0.01);
+  EXPECT_NEAR(counts[1000.0] / double(kDraws), 0.049, 0.005);
+  EXPECT_NEAR(counts[10000.0] / double(kDraws), 0.001, 0.0005);
+  // Mean: 0.2 + 4.5 + 30 + 49 + 10 = 93.7.
+  EXPECT_NEAR(profile.mean(), 93.7, 1e-9);
+}
+
+TEST(CapacityProfile, UniformAndLevelIndex) {
+  const auto uni = CapacityProfile::uniform(5.0);
+  Rng rng(52);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(uni.sample(rng), 5.0);
+  const auto g = CapacityProfile::gnutella_like();
+  EXPECT_EQ(g.level_index(100.0), 2u);
+  EXPECT_THROW((void)g.level_index(55.0), PreconditionError);
+}
+
+TEST(CapacityProfile, RejectsBadInput) {
+  EXPECT_THROW(CapacityProfile({}, {}), PreconditionError);
+  EXPECT_THROW(CapacityProfile({1.0}, {1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(CapacityProfile({0.0}, {1.0}), PreconditionError);
+  EXPECT_THROW(CapacityProfile({1.0}, {0.0}), PreconditionError);
+}
+
+TEST(LoadModel, GaussianMoments) {
+  // Low relative noise so the clamp-at-zero bias is negligible.
+  const auto model = LoadModel::gaussian(1000.0, 10.0);
+  Rng rng(53);
+  RunningStats s;
+  const double f = 0.01;
+  for (int i = 0; i < 100000; ++i) s.add(sample_load(model, f, rng));
+  EXPECT_NEAR(s.mean(), 1000.0 * f, 0.05);
+  EXPECT_NEAR(s.stddev(), 10.0 * std::sqrt(f), 0.05);
+  EXPECT_GE(s.min(), 0.0);  // clamped
+}
+
+TEST(LoadModel, GaussianClampsNegativeDraws) {
+  // High relative noise: many raw draws are negative and must clamp,
+  // biasing the mean upward.
+  const auto model = LoadModel::gaussian(1000.0, 10000.0);
+  Rng rng(59);
+  RunningStats s;
+  const double f = 0.001;
+  for (int i = 0; i < 20000; ++i) s.add(sample_load(model, f, rng));
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_GT(s.mean(), 1000.0 * f);
+}
+
+TEST(LoadModel, ParetoMeanAndSupport) {
+  const auto model = LoadModel::pareto(1000.0, 3.0);  // finite variance
+  Rng rng(54);
+  RunningStats s;
+  const double f = 0.05;
+  for (int i = 0; i < 200000; ++i) {
+    const double v = sample_load(model, f, rng);
+    EXPECT_GT(v, 0.0);
+    s.add(v);
+  }
+  EXPECT_NEAR(s.mean(), 1000.0 * f, 1.0);
+  // Minimum equals the scale x_m = mean*(alpha-1)/alpha.
+  EXPECT_NEAR(s.min(), 50.0 * 2.0 / 3.0, 0.5);
+}
+
+TEST(LoadModel, NamesAndValidation) {
+  EXPECT_EQ(LoadModel::gaussian(1.0, 0.1).name(), "gaussian");
+  EXPECT_EQ(LoadModel::pareto(1.0).name(), "pareto");
+  EXPECT_THROW((void)LoadModel::gaussian(0.0, 1.0), PreconditionError);
+  EXPECT_THROW((void)LoadModel::pareto(1.0, 1.0), PreconditionError);
+  const auto m = LoadModel::gaussian(1.0, 0.1);
+  Rng rng(55);
+  EXPECT_THROW((void)sample_load(m, 0.0, rng), PreconditionError);
+  EXPECT_THROW((void)sample_load(m, 1.5, rng), PreconditionError);
+}
+
+TEST(AssignLoads, TotalTracksMean) {
+  Rng rng(56);
+  auto ring = build_ring(256, 5, CapacityProfile::uniform(1.0), rng);
+  // Zero noise: every VS gets exactly mean_total * f and the fractions
+  // tile the ring, so the total is exact.
+  assign_loads(ring, LoadModel::gaussian(1.0e6, 0.0), rng);
+  EXPECT_NEAR(ring.total_load(), 1.0e6, 1.0);
+  // Mild noise: total within a few stddev plus clamping bias.
+  assign_loads(ring, LoadModel::gaussian(1.0e6, 1.0e4), rng);
+  EXPECT_GT(ring.total_load(), 0.93e6);
+  EXPECT_LT(ring.total_load(), 1.15e6);
+  ring.for_each_server(
+      [](const chord::VirtualServer& vs) { EXPECT_GE(vs.load, 0.0); });
+}
+
+TEST(BuildRing, ShapeAndAttachments) {
+  Rng rng(57);
+  const std::vector<std::uint32_t> attach{7, 8, 9};
+  const auto ring =
+      build_ring(3, 4, CapacityProfile::uniform(2.0), rng, attach);
+  EXPECT_EQ(ring.node_count(), 3u);
+  EXPECT_EQ(ring.virtual_server_count(), 12u);
+  for (chord::NodeIndex i = 0; i < 3; ++i) {
+    EXPECT_EQ(ring.node(i).servers.size(), 4u);
+    EXPECT_EQ(ring.node(i).attachment, attach[i]);
+    EXPECT_DOUBLE_EQ(ring.node(i).capacity, 2.0);
+  }
+  EXPECT_THROW(
+      (void)build_ring(2, 1, CapacityProfile::uniform(1.0), rng, attach),
+      PreconditionError);
+}
+
+TEST(ScaledLoadModel, ScalesWithCapacity) {
+  Rng rng(58);
+  const auto ring = build_ring(100, 2, CapacityProfile::uniform(10.0), rng);
+  const auto gauss =
+      scaled_load_model(ring, LoadDistribution::kGaussian, 0.5, 0.2);
+  EXPECT_DOUBLE_EQ(gauss.mean_total, 0.5 * 1000.0);
+  // stddev_total = cv * mean / sqrt(V), V = 200 virtual servers.
+  EXPECT_NEAR(gauss.stddev_total, 0.2 * 500.0 / std::sqrt(200.0), 1e-9);
+  const auto pareto =
+      scaled_load_model(ring, LoadDistribution::kPareto, 0.25);
+  EXPECT_DOUBLE_EQ(pareto.mean_total, 250.0);
+  EXPECT_EQ(pareto.distribution, LoadDistribution::kPareto);
+}
+
+}  // namespace
+}  // namespace p2plb::workload
