@@ -8,17 +8,27 @@
 //   * soft-state self-repair: time for the maintenance protocol to
 //     reconverge after crashing 10% of the nodes, in units of the
 //     periodic check interval -- the paper's "completely reconstructed
-//     in O(log_K N) time in a top-down fashion".
+//     in O(log_K N) time in a top-down fashion";
+//   * one full event-driven balancing round (lb::ProtocolRound) on a
+//     transit-stub topology with shortest-path latencies: per-phase
+//     message/byte/timing breakdown and end-to-end completion time.
+#include <array>
 #include <iostream>
 
 #include "bench_util.h"
 #include "ktree/protocol.h"
 #include "ktree/tree.h"
+#include "lb/protocol_round.h"
 #include "sim/engine.h"
+#include "sim/network.h"
 
 namespace {
 
 using namespace p2plb;
+
+constexpr std::array<const char*, lb::kPhaseCount> kPhaseNames{
+    "1 LBI aggregation", "2 LBI dissemination", "3 VSA sweep",
+    "4 VS transfers"};
 
 /// Binary-search the reconvergence instant to one check period.
 sim::Time measure_recovery(sim::Engine& engine,
@@ -41,6 +51,8 @@ int main(int argc, char** argv) {
   cli.add_flag("servers", "virtual servers per node", "5");
   cli.add_flag("seed", "root RNG seed", "1");
   cli.add_flag("crash-fraction", "fraction of nodes to crash", "0.1");
+  cli.add_flag("timed-nodes",
+               "ring size for the end-to-end timed balancing round", "512");
   cli.add_flag("csv", "emit CSV instead of aligned tables", "false");
   if (!cli.parse(argc, argv)) return 0;
   const bool csv = cli.get_bool("csv");
@@ -101,5 +113,47 @@ int main(int argc, char** argv) {
   bench::emit(t, csv);
   std::cout << "\n(All time columns must grow logarithmically with N and "
                "shrink as K grows.)\n";
+
+  // --- end-to-end balancing round on a physical topology ---------------
+  // The whole four-phase protocol as events over ts5k-small shortest-path
+  // latencies: where the simulated time of one round actually goes.
+  const auto timed_nodes =
+      static_cast<std::size_t>(cli.get_int("timed-nodes"));
+  bench::ExperimentParams params;
+  params.nodes = timed_nodes;
+  params.servers_per_node = servers;
+  params.seed = seed;
+  Rng round_rng(seed + 17);
+  bench::Deployment d = bench::build_deployment(
+      params, topo::TransitStubParams::ts5k_small(), "ts5k-small",
+      round_rng);
+  topo::DistanceOracle oracle(d.topology.graph,
+                              std::max<std::size_t>(timed_nodes, 64));
+  sim::Engine engine;
+  sim::Network net(engine, topo::oracle_latency(oracle));
+  lb::ProtocolRound round(net, d.ring, {}, round_rng);
+  round.start();
+  engine.run();
+  const lb::BalanceReport& report = round.report();
+
+  print_heading(std::cout,
+                "one event-driven balancing round, ts5k-small, N = " +
+                    std::to_string(timed_nodes));
+  Table phases({"phase", "messages", "bytes", "start", "end", "duration"});
+  for (std::size_t p = 0; p < lb::kPhaseCount; ++p) {
+    const lb::PhaseMetrics& m = report.phases[p];
+    phases.add_row({kPhaseNames[p], std::to_string(m.messages),
+                    Table::num(m.bytes, 0), Table::num(m.start, 1),
+                    Table::num(m.end, 1), Table::num(m.duration(), 1)});
+  }
+  bench::emit(phases, csv);
+  std::cout << "\nround completion time: "
+            << Table::num(report.completion_time, 1)
+            << " latency units  (heavy " << report.before.heavy_count
+            << " -> " << report.after.heavy_count << ", "
+            << report.transfers_applied << " transfers, mean hop latency "
+            << Table::num(net.totals().mean_latency(), 2) << ")\n"
+            << "(phase 4 starts before phase 3 ends: transfers overlap "
+               "the sweep)\n";
   return 0;
 }

@@ -5,18 +5,26 @@
 //
 // Nodes join and leave continuously (exponential inter-arrival times);
 // object load shifts as arcs split and merge.  Every simulated
-// "balancing interval" the K-nary tree sweep runs and re-levels the
-// system.  The example prints a time series of the heavy-node fraction
-// and the max unit load right before and right after each sweep --
-// showing the balancer repeatedly absorbing churn-induced imbalance.
+// "balancing interval" a timed balancing round (lb::ProtocolRound) runs
+// on the same engine that drives the churn, with unit message latency.
+// The example prints a time series of the heavy-node fraction and the
+// max unit load right before and right after each round -- showing the
+// balancer repeatedly absorbing churn-induced imbalance.
+//
+// One designated round gets a node crashed under it mid-flight: because
+// decisions and endpoints are snapshotted at round start and transfers
+// are validated at delivery, the round still completes (transfers whose
+// endpoints vanished are skipped, none are lost from the accounting).
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/table.h"
-#include "lb/balancer.h"
+#include "lb/protocol_round.h"
 #include "sim/engine.h"
+#include "sim/network.h"
 #include "workload/capacity.h"
 #include "workload/scenario.h"
 
@@ -99,8 +107,14 @@ int main(int argc, char** argv) {
   constexpr sim::Time kBalanceInterval = 600.0;  // "10 minutes"
 
   sim::Engine engine;
+  // Unit latency between distinct physical nodes (endpoints are node
+  // indices here -- the ring carries no topology attachments).
+  sim::Network net(engine, [](sim::Endpoint a, sim::Endpoint b) {
+    return a == b ? 0.0 : 1.0;
+  });
   Table t({"t (s)", "nodes", "heavy % pre", "max overload pre",
-           "heavy % post", "max overload post", "moved load"});
+           "heavy % post", "max overload post", "moved load",
+           "round time", "transfers"});
 
   // Churn process: joins and leaves as independent Poisson streams.
   auto schedule_churn = [&](auto&& self, bool is_join) -> void {
@@ -119,21 +133,43 @@ int main(int argc, char** argv) {
   schedule_churn(schedule_churn, true);
   schedule_churn(schedule_churn, false);
 
-  int rounds_done = 0;
+  int rounds_started = 0;
+  const int crash_round = intervals / 2;  // this round loses a node mid-flight
+  const lb::ProtocolRound* crashed_round = nullptr;
   constexpr double kEpsilon = 0.1;
+  // In-flight rounds: each must outlive its events, so they live here.
+  std::vector<std::unique_ptr<lb::ProtocolRound>> rounds;
   engine.every(kBalanceInterval, [&] {
     const auto [pre_heavy, pre_worst] = world.imbalance(kEpsilon);
-    lb::BalancerConfig config;
-    config.epsilon = kEpsilon;
-    const auto report =
-        lb::run_balance_round(world.ring, config, world.rng);
-    const auto [post_heavy, post_worst] = world.imbalance(kEpsilon);
-    t.add_row({Table::num(engine.now(), 0),
-               std::to_string(world.ring.live_node_count()),
-               Table::num(100.0 * pre_heavy, 1), Table::num(pre_worst, 2),
-               Table::num(100.0 * post_heavy, 1), Table::num(post_worst, 2),
-               Table::num(report.vsa.assigned_load(), 0)});
-    return ++rounds_done < intervals;
+    const double start = engine.now();
+    lb::ProtocolRoundConfig config;
+    config.balancer.epsilon = kEpsilon;
+    rounds.push_back(std::make_unique<lb::ProtocolRound>(
+        net, world.ring, config, world.rng));
+    lb::ProtocolRound& round = *rounds.back();
+    round.start([&, pre_heavy, pre_worst,
+                 start](const lb::BalanceReport& report) {
+      const auto [post_heavy, post_worst] = world.imbalance(kEpsilon);
+      t.add_row({Table::num(start, 0),
+                 std::to_string(world.ring.live_node_count()),
+                 Table::num(100.0 * pre_heavy, 1), Table::num(pre_worst, 2),
+                 Table::num(100.0 * post_heavy, 1),
+                 Table::num(post_worst, 2),
+                 Table::num(report.vsa.assigned_load(), 0),
+                 Table::num(report.completion_time, 1),
+                 std::to_string(report.transfers_applied)});
+    });
+    if (++rounds_started == crash_round) {
+      // Crash a node one latency unit into the round: its LBI triple and
+      // VSA records are already counted, and any transfer from or to it
+      // is skipped at delivery rather than deadlocking the round.
+      engine.schedule_after(1.0, [&] {
+        const auto live = world.ring.live_nodes();
+        world.ring.remove_node(live[world.rng.below(live.size())]);
+      });
+      crashed_round = &round;
+    }
+    return rounds_started < intervals;
   });
 
   // The churn processes reschedule themselves forever; run to a horizon
@@ -141,9 +177,20 @@ int main(int argc, char** argv) {
   engine.run_until(kBalanceInterval * (intervals + 0.5));
   std::cout << "churn simulation: " << intervals << " balancing intervals, "
             << engine.events_executed() << " events, final membership "
-            << world.ring.live_node_count() << " nodes\n\n";
+            << world.ring.live_node_count() << " nodes, "
+            << net.totals().messages << " protocol messages\n\n";
   t.print_text(std::cout);
-  std::cout << "\n(each sweep pulls the heavy fraction back to ~0; churn "
-               "between sweeps rebuilds it)\n";
+  std::cout << "\n(rounds take simulated time now: the post column is "
+               "measured at round completion, so churn landing *during* "
+               "a round already shows up in it)\n";
+  if (crashed_round != nullptr && crashed_round->done()) {
+    const lb::BalanceReport& r = crashed_round->report();
+    std::cout << "\ncrash-during-round " << crash_round << ": "
+              << r.vsa.assignments.size() << " transfers planned, "
+              << r.transfers_applied
+              << " applied (those touching the crashed node were skipped "
+                 "at delivery; the round still completed in "
+              << Table::num(r.completion_time, 1) << " time units)\n";
+  }
   return 0;
 }

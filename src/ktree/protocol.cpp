@@ -1,6 +1,8 @@
 #include "ktree/protocol.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 namespace p2plb::ktree {
 
@@ -14,76 +16,182 @@ VsLatencyFn unit_latency(const chord::Ring& ring, sim::Time unit) {
   };
 }
 
-SweepResult simulate_aggregation(sim::Engine& engine, const KTree& tree,
-                                 const VsLatencyFn& latency) {
-  P2PLB_REQUIRE(latency != nullptr);
-  SweepResult result;
-  const sim::Time start = engine.now();
-  // pending[i]: children yet to report; completion bubbles upward.
-  std::vector<std::uint16_t> pending(tree.size());
-  for (KtIndex i = 0; i < tree.size(); ++i)
-    pending[i] = tree.node(i).child_count;
+VsEndpointFn owner_endpoint(const chord::Ring& ring) {
+  return [&ring](chord::Key vs) -> sim::Endpoint {
+    const chord::NodeIndex owner = ring.server(vs).owner;
+    const std::uint32_t attachment = ring.node(owner).attachment;
+    return attachment != chord::Node::kNoAttachment ? attachment : owner;
+  };
+}
 
-  sim::Time root_done = start;
-  // Recursive completion handler: when node i's subtree is aggregated,
-  // forward to the parent after the edge latency.
-  std::function<void(KtIndex)> complete = [&](KtIndex i) {
-    if (i == tree.root()) {
-      root_done = engine.now();
-      return;
-    }
-    const KtIndex parent = tree.node(i).parent;
-    const sim::Time lat =
-        latency(tree.node(i).host_vs, tree.node(parent).host_vs);
+namespace {
+
+/// Shared state of one in-flight sweep; events hold it via shared_ptr so
+/// the begin_* call can return before the sweep finishes.
+struct SweepState {
+  const KTree* tree = nullptr;
+  sim::Network* net = nullptr;
+  NetSweepOptions opts;
+  std::vector<sim::Endpoint> host;     // per-KT-node endpoint snapshot
+  std::vector<std::uint16_t> pending;  // bottom-up: children yet to report
+  std::vector<bool> released;          // bottom-up: leaf already triggered
+  std::size_t leaves_left = 0;         // top-down: leaves yet to receive
+  SweepResult result;
+  sim::Time start = 0.0;
+  std::function<void(KtIndex)> on_leaf;
+  std::function<void(const SweepResult&)> on_complete;
+
+  void count(sim::Time lat) {
     if (lat > 0.0) {
       ++result.messages;
     } else {
       ++result.local_hops;
     }
-    engine.schedule_after(lat, [&, parent] {
-      P2PLB_ASSERT(pending[parent] > 0);
-      if (--pending[parent] == 0) complete(parent);
-    });
-  };
-  // Leaves start immediately.
+  }
+};
+
+std::shared_ptr<SweepState> make_state(sim::Network& net, const KTree& tree,
+                                       const VsEndpointFn& endpoint,
+                                       NetSweepOptions options) {
+  P2PLB_REQUIRE(endpoint != nullptr);
+  auto s = std::make_shared<SweepState>();
+  s->tree = &tree;
+  s->net = &net;
+  s->opts = std::move(options);
+  s->start = net.engine().now();
+  s->host.resize(tree.size());
   for (KtIndex i = 0; i < tree.size(); ++i)
-    if (tree.node(i).is_leaf()) {
-      engine.schedule_after(0.0, [&, i] { complete(i); });
-    }
+    s->host[i] = endpoint(tree.node(i).host_vs);
+  return s;
+}
+
+// Completion bubbles upward: when node i's subtree is folded, its report
+// travels the parent edge through the network.  Recursion goes through a
+// free function (not a self-capturing shared closure) so the in-flight
+// sends are the only owners of the state -- once they drain, it is freed.
+void fold_up(const std::shared_ptr<SweepState>& s, KtIndex i) {
+  const KTree& t = *s->tree;
+  if (i == t.root()) {
+    s->result.completion_time = s->net->engine().now() - s->start;
+    if (s->on_complete) s->on_complete(s->result);
+    return;
+  }
+  const KtIndex parent = t.node(i).parent;
+  const sim::Time lat = s->net->latency_between(s->host[i], s->host[parent]);
+  s->count(lat);
+  s->net->send(
+      s->host[i], s->host[parent],
+      [s, parent] {
+        P2PLB_ASSERT(s->pending[parent] > 0);
+        if (--s->pending[parent] == 0) fold_up(s, parent);
+      },
+      s->opts.bytes_per_message, 0.0, s->opts.tag);
+}
+
+// Top-down mirror of fold_up, with the same ownership discipline.
+void deliver_down(const std::shared_ptr<SweepState>& s, KtIndex i) {
+  const KTree& t = *s->tree;
+  if (t.node(i).is_leaf()) {
+    // Events fire in time order, so the last leaf delivery is the max.
+    s->result.completion_time = s->net->engine().now() - s->start;
+    if (s->on_leaf) s->on_leaf(i);
+    if (--s->leaves_left == 0 && s->on_complete) s->on_complete(s->result);
+    return;
+  }
+  const KtIndex first = t.node(i).first_child;
+  for (std::uint16_t c = 0; c < t.node(i).child_count; ++c) {
+    const KtIndex child = first + c;
+    const sim::Time lat = s->net->latency_between(s->host[i], s->host[child]);
+    s->count(lat);
+    s->net->send(s->host[i], s->host[child],
+                 [s, child] { deliver_down(s, child); },
+                 s->opts.bytes_per_message, 0.0, s->opts.tag);
+  }
+}
+
+}  // namespace
+
+std::function<void(KtIndex)> begin_aggregation(
+    sim::Network& net, const KTree& tree, const VsEndpointFn& endpoint,
+    NetSweepOptions options,
+    std::function<void(const SweepResult&)> on_complete) {
+  auto s = make_state(net, tree, endpoint, std::move(options));
+  s->on_complete = std::move(on_complete);
+  s->pending.resize(tree.size());
+  s->released.assign(tree.size(), false);
+  for (KtIndex i = 0; i < tree.size(); ++i)
+    s->pending[i] = tree.node(i).child_count;
+
+  return [s](KtIndex leaf) {
+    P2PLB_REQUIRE_MSG(s->tree->node(leaf).is_leaf(),
+                      "only leaves start an aggregation");
+    P2PLB_REQUIRE_MSG(!s->released[leaf], "leaf released twice");
+    s->released[leaf] = true;
+    fold_up(s, leaf);
+  };
+}
+
+void begin_dissemination(sim::Network& net, const KTree& tree,
+                         const VsEndpointFn& endpoint,
+                         NetSweepOptions options,
+                         std::function<void(KtIndex)> on_leaf,
+                         std::function<void(const SweepResult&)> on_complete) {
+  auto s = make_state(net, tree, endpoint, std::move(options));
+  s->on_leaf = std::move(on_leaf);
+  s->on_complete = std::move(on_complete);
+  s->leaves_left = tree.leaf_count();
+  deliver_down(s, tree.root());
+}
+
+namespace {
+
+/// Endpoint-identity network for the draining wrappers: endpoints *are*
+/// VS ids, so the VsLatencyFn applies unchanged.
+sim::LatencyFn wrap_vs_latency(const VsLatencyFn& latency) {
+  return [&latency](sim::Endpoint a, sim::Endpoint b) {
+    return latency(static_cast<chord::Key>(a), static_cast<chord::Key>(b));
+  };
+}
+
+constexpr auto kIdentityEndpoint = [](chord::Key vs) {
+  return static_cast<sim::Endpoint>(vs);
+};
+
+}  // namespace
+
+SweepResult simulate_aggregation(sim::Engine& engine, const KTree& tree,
+                                 const VsLatencyFn& latency) {
+  P2PLB_REQUIRE(latency != nullptr);
+  sim::Network net(engine, wrap_vs_latency(latency));
+  SweepResult out;
+  bool done = false;
+  const auto release =
+      begin_aggregation(net, tree, kIdentityEndpoint, {},
+                        [&](const SweepResult& r) {
+                          out = r;
+                          done = true;
+                        });
+  for (KtIndex i = 0; i < tree.size(); ++i)
+    if (tree.node(i).is_leaf()) release(i);
   engine.run();
-  result.completion_time = root_done - start;
-  return result;
+  P2PLB_ASSERT_MSG(done, "aggregation sweep did not complete");
+  return out;
 }
 
 SweepResult simulate_dissemination(sim::Engine& engine, const KTree& tree,
                                    const VsLatencyFn& latency) {
   P2PLB_REQUIRE(latency != nullptr);
-  SweepResult result;
-  const sim::Time start = engine.now();
-  sim::Time last_leaf = start;
-
-  std::function<void(KtIndex)> deliver = [&](KtIndex i) {
-    if (tree.node(i).is_leaf()) {
-      last_leaf = std::max(last_leaf, engine.now());
-      return;
-    }
-    const KtIndex first = tree.node(i).first_child;
-    for (std::uint16_t c = 0; c < tree.node(i).child_count; ++c) {
-      const KtIndex child = first + c;
-      const sim::Time lat =
-          latency(tree.node(i).host_vs, tree.node(child).host_vs);
-      if (lat > 0.0) {
-        ++result.messages;
-      } else {
-        ++result.local_hops;
-      }
-      engine.schedule_after(lat, [&, child] { deliver(child); });
-    }
-  };
-  engine.schedule_after(0.0, [&] { deliver(tree.root()); });
+  sim::Network net(engine, wrap_vs_latency(latency));
+  SweepResult out;
+  bool done = false;
+  begin_dissemination(net, tree, kIdentityEndpoint, {}, nullptr,
+                      [&](const SweepResult& r) {
+                        out = r;
+                        done = true;
+                      });
   engine.run();
-  result.completion_time = last_leaf - start;
-  return result;
+  P2PLB_ASSERT_MSG(done, "dissemination sweep did not complete");
+  return out;
 }
 
 MaintenanceProtocol::MaintenanceProtocol(sim::Engine& engine,

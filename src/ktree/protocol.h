@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "chord/ring.h"
@@ -43,23 +44,65 @@ using VsLatencyFn =
 [[nodiscard]] VsLatencyFn unit_latency(const chord::Ring& ring,
                                        sim::Time unit = 1.0);
 
+/// Maps a virtual server to its sim::Network endpoint.  The convention
+/// used by the balancer is owner_endpoint(): the owner's topology
+/// attachment when it has one, otherwise the owner's node index.
+using VsEndpointFn = std::function<sim::Endpoint(chord::Key vs)>;
+
+/// The standard VS -> endpoint map (see VsEndpointFn).  Evaluated against
+/// the ring's state at call time; snapshot the results if the ring churns.
+[[nodiscard]] VsEndpointFn owner_endpoint(const chord::Ring& ring);
+
 /// Result of one simulated sweep.
 struct SweepResult {
   sim::Time completion_time = 0.0;  ///< when the root (or last leaf) fired
-  std::uint64_t messages = 0;       ///< remote messages only
-  std::uint64_t local_hops = 0;     ///< same-host parent-child handoffs
+  std::uint64_t messages = 0;       ///< remote (non-zero-latency) messages
+  std::uint64_t local_hops = 0;     ///< zero-latency parent-child handoffs
 };
+
+/// Options for the Network-riding sweeps.  Every hop -- zero-latency ones
+/// included -- goes through Network::send under `tag`, so the network's
+/// per-tag counters see the sweep's complete logical message count while
+/// SweepResult still separates remote messages from local handoffs.
+struct NetSweepOptions {
+  std::string tag;
+  double bytes_per_message = 0.0;
+};
+
+/// Begin a bottom-up sweep over `tree` on `net`'s engine, starting at the
+/// current simulated time.  Returns a release function: calling it marks
+/// the given leaf's input complete (each leaf exactly once); the leaf's
+/// report then climbs, and `on_complete(result)` fires from the engine
+/// once the root has folded every subtree.  Unlike simulate_aggregation
+/// this never drains the engine, so it composes with concurrent protocols
+/// (churn, maintenance, an in-flight balancing round).  `tree` and `net`
+/// must outlive the sweep; endpoints are snapshotted at this call.
+[[nodiscard]] std::function<void(KtIndex)> begin_aggregation(
+    sim::Network& net, const KTree& tree, const VsEndpointFn& endpoint,
+    NetSweepOptions options,
+    std::function<void(const SweepResult&)> on_complete);
+
+/// Top-down counterpart: delivery starts at the root immediately.
+/// `on_leaf(leaf)` fires as each leaf receives (the hand-off to the
+/// hosting node is the caller's concern); `on_complete` fires once every
+/// leaf has received.  Never drains the engine.
+void begin_dissemination(sim::Network& net, const KTree& tree,
+                         const VsEndpointFn& endpoint,
+                         NetSweepOptions options,
+                         std::function<void(KtIndex)> on_leaf,
+                         std::function<void(const SweepResult&)> on_complete);
 
 /// Simulate a bottom-up sweep (leaves start at t = now): each KT node
 /// reports to its parent once all children have reported.  Returns when
-/// the root completes.
+/// the root completes.  Drains the engine; a thin wrapper over
+/// begin_aggregation with endpoint == VS id and a throwaway Network.
 [[nodiscard]] SweepResult simulate_aggregation(sim::Engine& engine,
                                                const KTree& tree,
                                                const VsLatencyFn& latency);
 
 /// Simulate a top-down dissemination (root starts at t = now): each node
 /// forwards to its children on receipt.  Returns when the last leaf has
-/// received.
+/// received.  Drains the engine (see simulate_aggregation).
 [[nodiscard]] SweepResult simulate_dissemination(sim::Engine& engine,
                                                  const KTree& tree,
                                                  const VsLatencyFn& latency);

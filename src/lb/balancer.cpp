@@ -1,47 +1,25 @@
 #include "lb/balancer.h"
 
 #include "common/error.h"
-#include "ktree/tree.h"
+#include "lb/protocol_round.h"
+#include "sim/engine.h"
+#include "sim/network.h"
 
 namespace p2plb::lb {
 
 BalanceReport run_balance_round(chord::Ring& ring,
                                 const BalancerConfig& config, Rng& rng,
                                 std::span<const chord::Key> node_keys) {
-  P2PLB_REQUIRE(config.epsilon >= 0.0);
-  P2PLB_REQUIRE_MSG(
-      config.mode == BalanceMode::kProximityIgnorant || !node_keys.empty(),
-      "proximity-aware balancing needs per-node Hilbert keys");
-
-  BalanceReport report;
-  const ktree::KTree tree(ring, config.tree_degree);
-
-  // Phase 1: aggregate and disseminate <L, C, L_min>.
-  report.aggregation = aggregate_lbi(tree, rng);
-  report.dissemination = disseminate_lbi(tree);
-  report.system = report.aggregation.system;
-
-  // Phase 2: every node classifies itself.
-  report.before = classify_all(ring, report.system, config.epsilon);
-
-  // Phase 3: bottom-up VSA sweep.
-  const VsaEntries entries =
-      config.mode == BalanceMode::kProximityAware
-          ? build_entries_proximity(tree, report.before, node_keys,
-                                    config.selection)
-          : build_entries_ignorant(tree, report.before,
-                                   report.aggregation.reporter_vs,
-                                   config.selection);
-  const VsaParams params{config.rendezvous_threshold, report.system.min_load,
-                         config.key_local_rendezvous};
-  report.vsa = run_vsa(tree, entries, params);
-
-  // Phase 4: transfer the assigned virtual servers.
-  if (config.apply_transfers)
-    report.transfers_applied = apply_assignments(ring, report.vsa.assignments);
-
-  report.after = classify_all(ring, report.system, config.epsilon);
-  return report;
+  // The same protocol the timed path runs, on a private network whose
+  // every hop is free: the engine drains at t=0, so the report carries
+  // real message/byte counts but zero times.
+  sim::Engine engine;
+  sim::Network net(engine, [](sim::Endpoint, sim::Endpoint) { return 0.0; });
+  ProtocolRound round(net, ring, {config, WireModel{}}, rng, node_keys);
+  round.start();
+  engine.run();
+  P2PLB_ASSERT_MSG(round.done(), "zero-latency round did not drain");
+  return round.report();
 }
 
 }  // namespace p2plb::lb

@@ -5,11 +5,17 @@
 //   3. Virtual server assignment, bottom-up sweep    (Sections 3.4, 4.3)
 //   4. Virtual server transferring                   (Section 3.5)
 //
-// This is the library's primary entry point.  Callers that need a
+// This is the library's primary entry point.  run_balance_round is a
+// thin wrapper over lb::ProtocolRound (protocol_round.h) driven on a
+// zero-latency network until drained: the round's message/byte accounting
+// comes from sim::Network's per-tag counters in both the synchronous and
+// the timed path, and the timed path additionally reports per-phase
+// start/end times and the round's completion time.  Callers that need a
 // physical-cost breakdown pass a topology-aware ring (nodes attached to
 // vertices) and use lb::transfer_costs on the returned assignments.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <span>
 
@@ -52,6 +58,28 @@ struct BalancerConfig {
   bool apply_transfers = true;
 };
 
+/// The four phases of one balancing round (indexes BalanceReport::phases).
+enum class Phase : std::uint8_t {
+  kAggregation = 0,    ///< bottom-up LBI sweep (node reports + tree fold)
+  kDissemination = 1,  ///< top-down LBI sweep + leaf-to-node handoffs
+  kVsa = 2,            ///< record publication + rendezvous sweep
+  kTransfer = 3,       ///< virtual-server moves (overlaps the VSA sweep)
+};
+inline constexpr std::size_t kPhaseCount = 4;
+
+/// Traffic and timing of one protocol phase, measured on the simulated
+/// network (per-tag sim::Network counters).  Under the synchronous
+/// wrapper the message/byte counts are real but every time is zero
+/// (constant-zero latency).  Times are in sim::Time units; kTransfer may
+/// start before kVsa ends (Section 3.5's VSA/VST overlap).
+struct PhaseMetrics {
+  std::uint64_t messages = 0;
+  double bytes = 0.0;
+  double start = 0.0;
+  double end = 0.0;
+  [[nodiscard]] double duration() const noexcept { return end - start; }
+};
+
 /// Everything one balancing round produced.
 struct BalanceReport {
   Lbi system;                    ///< root triple after aggregation
@@ -62,9 +90,21 @@ struct BalanceReport {
   std::size_t transfers_applied = 0;  ///< phase-4 count
   Classification after;          ///< re-classification post-transfer
                                  ///< (same system triple)
+  /// Simulated time from round start to the last transfer delivery (0
+  /// under the synchronous wrapper's zero-latency network).
+  double completion_time = 0.0;
+  /// Per-phase traffic and timing, indexed by Phase.
+  std::array<PhaseMetrics, kPhaseCount> phases{};
+
+  [[nodiscard]] const PhaseMetrics& phase(Phase p) const {
+    return phases[static_cast<std::size_t>(p)];
+  }
 };
 
-/// Run one complete balancing round over the ring.
+/// Run one complete balancing round over the ring: a ProtocolRound on a
+/// private zero-latency network, drained to completion.  For the same
+/// (rng state, ring, config) it makes exactly the transfer decisions the
+/// timed path would -- the two differ only in *when* things happen.
 ///
 /// For kProximityAware, `node_keys[i]` must hold node i's Hilbert-derived
 /// DHT key (see hilbert::GridQuantizer and lb/proximity.h); it may be

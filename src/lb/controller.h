@@ -7,9 +7,11 @@
 // progress -- and records a per-round time series for analysis.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "lb/balancer.h"
+#include "sim/network.h"
 
 namespace p2plb::lb {
 
@@ -30,6 +32,10 @@ struct RoundStats {
   double moved_load = 0.0;
   std::size_t unassigned = 0;
   std::uint64_t messages = 0;
+  /// Simulated round duration (0 under the synchronous path).
+  double completion_time = 0.0;
+  /// Per-phase traffic and timing (see BalanceReport::phases).
+  std::array<PhaseMetrics, kPhaseCount> phases{};
 };
 
 /// Outcome of a controller run.
@@ -55,5 +61,14 @@ struct ControllerResult {
 [[nodiscard]] ControllerResult balance_until_stable(
     chord::Ring& ring, const ControllerConfig& config, Rng& rng,
     std::span<const chord::Key> node_keys = {});
+
+/// Timed variant: each round is a lb::ProtocolRound on the caller's
+/// network, run back-to-back on its engine (a round starts when the
+/// previous one's last transfer lands).  Decisions per round are the same
+/// as the synchronous variant's; RoundStats additionally carries real
+/// completion times and per-phase metrics.  Drains the engine.
+[[nodiscard]] ControllerResult balance_until_stable(
+    sim::Network& net, chord::Ring& ring, const ControllerConfig& config,
+    Rng& rng, std::span<const chord::Key> node_keys = {});
 
 }  // namespace p2plb::lb

@@ -1,0 +1,288 @@
+#include "lb/protocol_round.h"
+
+#include <algorithm>
+
+#include "ktree/protocol.h"
+
+namespace p2plb::lb {
+
+sim::Endpoint node_endpoint(const chord::Ring& ring, chord::NodeIndex node) {
+  const std::uint32_t attachment = ring.node(node).attachment;
+  return attachment != chord::Node::kNoAttachment ? attachment : node;
+}
+
+ProtocolRound::ProtocolRound(sim::Network& net, chord::Ring& ring,
+                             const ProtocolRoundConfig& config, Rng& rng,
+                             std::span<const chord::Key> node_keys)
+    : net_(net),
+      ring_(ring),
+      config_(config),
+      tree_(ring, config.balancer.tree_degree) {
+  const BalancerConfig& bal = config_.balancer;
+  P2PLB_REQUIRE(bal.epsilon >= 0.0);
+  P2PLB_REQUIRE_MSG(
+      bal.mode == BalanceMode::kProximityIgnorant || !node_keys.empty(),
+      "proximity-aware balancing needs per-node Hilbert keys");
+
+  // Decide everything up front, consuming rng exactly like the oracle
+  // pipeline: the events below only re-time this dataflow.
+  report_.aggregation = aggregate_lbi(tree_, rng);
+  report_.dissemination = disseminate_lbi(tree_);
+  report_.system = report_.aggregation.system;
+  report_.before = classify_all(ring_, report_.system, bal.epsilon);
+  entries_ = bal.mode == BalanceMode::kProximityAware
+                 ? build_entries_proximity(tree_, report_.before, node_keys,
+                                           bal.selection)
+                 : build_entries_ignorant(tree_, report_.before,
+                                          report_.aggregation.reporter_vs,
+                                          bal.selection);
+  VsaParams params{bal.rendezvous_threshold, report_.system.min_load,
+                   bal.key_local_rendezvous};
+  params.trace = &trace_;
+  report_.vsa = run_vsa(tree_, entries_, params);
+
+  // Endpoint snapshots: decisions survive churn during the round.
+  host_ep_.resize(tree_.size());
+  for (ktree::KtIndex i = 0; i < tree_.size(); ++i) {
+    const chord::Key vs = tree_.node(i).host_vs;
+    host_ep_[i] = node_endpoint(ring_, ring_.server(vs).owner);
+    host_by_vs_.emplace(vs, host_ep_[i]);
+  }
+  for (const chord::NodeIndex i : ring_.live_nodes()) {
+    node_ep_.emplace(i, node_endpoint(ring_, i));
+    // Reporting plan mirrors aggregate_lbi's leaf choice per node.
+    const chord::Key key = report_.aggregation.reporter_vs.at(i);
+    const ktree::KtIndex leaf = ring_.node(i).servers.empty()
+                                    ? tree_.leaf_containing(key)
+                                    : tree_.entry_leaf_for(key);
+    report_plan_.emplace_back(leaf, i);
+  }
+}
+
+std::string_view ProtocolRound::tag_of(Phase p) noexcept {
+  switch (p) {
+    case Phase::kAggregation:
+      return kTagAggregation;
+    case Phase::kDissemination:
+      return kTagDissemination;
+    case Phase::kVsa:
+      return kTagVsa;
+    case Phase::kTransfer:
+      return kTagTransfer;
+  }
+  return {};
+}
+
+void ProtocolRound::begin_phase(Phase p) {
+  metrics(p).start = net_.engine().now();
+  phase_base_[static_cast<std::size_t>(p)] = net_.counters(tag_of(p));
+}
+
+void ProtocolRound::end_phase(Phase p) {
+  PhaseMetrics& m = metrics(p);
+  const sim::TrafficCounters& base = phase_base_[static_cast<std::size_t>(p)];
+  const sim::TrafficCounters now = net_.counters(tag_of(p));
+  m.end = net_.engine().now();
+  m.messages = now.messages - base.messages;
+  m.bytes = now.bytes - base.bytes;
+}
+
+void ProtocolRound::start(
+    std::function<void(const BalanceReport&)> on_complete) {
+  P2PLB_REQUIRE_MSG(!started_, "round already started");
+  started_ = true;
+  on_complete_ = std::move(on_complete);
+  t0_ = net_.engine().now();
+  begin_phase(Phase::kAggregation);
+  start_aggregation();
+}
+
+void ProtocolRound::start_aggregation() {
+  release_leaf_ = ktree::begin_aggregation(
+      net_, tree_,
+      [this](chord::Key vs) { return host_by_vs_.at(vs); },
+      {std::string(kTagAggregation), config_.wire.lbi},
+      [this](const ktree::SweepResult&) {
+        end_phase(Phase::kAggregation);
+        begin_phase(Phase::kDissemination);
+        start_dissemination();
+      });
+
+  // A leaf joins the fold only after every node reporting through it has
+  // delivered its triple; reporter-less leaves fold immediately.
+  for (const auto& [leaf, node] : report_plan_) ++lbi_waits_[leaf];
+  for (ktree::KtIndex i = 0; i < tree_.size(); ++i)
+    if (tree_.node(i).is_leaf() && !lbi_waits_.contains(i)) release_leaf_(i);
+  for (const auto& [leaf, node] : report_plan_) {
+    net_.send(
+        node_ep_.at(node), host_ep_[leaf],
+        [this, leaf = leaf] {
+          P2PLB_ASSERT(lbi_waits_.at(leaf) > 0);
+          if (--lbi_waits_.at(leaf) == 0) release_leaf_(leaf);
+        },
+        config_.wire.lbi, 0.0, kTagAggregation);
+  }
+}
+
+void ProtocolRound::start_dissemination() {
+  handoffs_left_ = tree_.leaf_count();
+  ktree::begin_dissemination(
+      net_, tree_,
+      [this](chord::Key vs) { return host_by_vs_.at(vs); },
+      {std::string(kTagDissemination), config_.wire.lbi},
+      [this](ktree::KtIndex leaf) {
+        // Leaf -> hosting-node handoff (zero distance, still a message).
+        net_.send(
+            host_ep_[leaf], host_ep_[leaf],
+            [this] {
+              P2PLB_ASSERT(handoffs_left_ > 0);
+              if (--handoffs_left_ == 0) {
+                end_phase(Phase::kDissemination);
+                begin_phase(Phase::kVsa);
+                start_vsa();
+              }
+            },
+            config_.wire.lbi, 0.0, kTagDissemination);
+      },
+      nullptr);
+}
+
+void ProtocolRound::start_vsa() {
+  // Each touched KT node fires once its last input arrives: entry records
+  // for leaves, children's forwarded leftovers for interior nodes.
+  for (const auto& [leaf, records] : entries_.heavy)
+    vsa_waits_[leaf] += records.size();
+  for (const auto& [leaf, records] : entries_.light)
+    vsa_waits_[leaf] += records.size();
+  for (const auto& [i, node_trace] : trace_)
+    if (node_trace.forwarded_up > 0)
+      vsa_waits_[tree_.node(i).parent] += node_trace.forwarded_up;
+
+  for (const auto& [leaf, records] : entries_.heavy)
+    for (const ShedCandidate& r : records)
+      vsa_send(node_ep_.at(r.from), host_ep_[leaf], config_.wire.record,
+               [this, leaf = leaf] { vsa_record_arrival(leaf); });
+  for (const auto& [leaf, records] : entries_.light)
+    for (const SpareCapacity& r : records)
+      vsa_send(node_ep_.at(r.node), host_ep_[leaf], config_.wire.record,
+               [this, leaf = leaf] { vsa_record_arrival(leaf); });
+
+  if (vsa_outstanding_ == 0) finish_vsa();  // no records at all
+}
+
+void ProtocolRound::vsa_send(sim::Endpoint from, sim::Endpoint to,
+                             double bytes, std::function<void()> on_receive) {
+  ++vsa_outstanding_;
+  net_.send(
+      from, to,
+      [this, fn = std::move(on_receive)] {
+        // Process before decrementing: follow-up sends keep the phase
+        // alive, so outstanding hits zero only at the true end.
+        if (fn) fn();
+        P2PLB_ASSERT(vsa_outstanding_ > 0);
+        if (--vsa_outstanding_ == 0) finish_vsa();
+      },
+      bytes, 0.0, kTagVsa);
+}
+
+void ProtocolRound::vsa_record_arrival(ktree::KtIndex node) {
+  P2PLB_ASSERT(vsa_waits_.at(node) > 0);
+  if (--vsa_waits_.at(node) == 0) vsa_process(node);
+}
+
+void ProtocolRound::vsa_process(ktree::KtIndex node) {
+  const double phase_now = net_.engine().now() - metrics(Phase::kVsa).start;
+  const auto it = trace_.find(node);
+  const VsaNodeTrace* node_trace =
+      it == trace_.end() ? nullptr : &it->second;
+
+  // Rendezvous: re-stamp the precomputed pairings with the simulated time
+  // they fired, then notify both endpoints of each pair.
+  if (node_trace != nullptr) {
+    for (const std::uint32_t idx : node_trace->assignments) {
+      Assignment& a = report_.vsa.assignments[idx];
+      a.available_at = phase_now;
+      vsa_send(host_ep_[node], node_ep_.at(a.from), config_.wire.notify,
+               [this, idx] { begin_transfer(idx); });
+      vsa_send(host_ep_[node], node_ep_.at(a.to), config_.wire.notify,
+               nullptr);
+    }
+  }
+
+  const std::uint32_t forwarded =
+      node_trace == nullptr ? 0 : node_trace->forwarded_up;
+  if (node == tree_.root() || forwarded == 0) {
+    // The record flow ends here: the sweep is done once the last such
+    // terminus has fired.
+    report_.vsa.sweep_completion_time =
+        std::max(report_.vsa.sweep_completion_time, phase_now);
+  }
+  if (node == tree_.root()) return;
+  const ktree::KtIndex parent = tree_.node(node).parent;
+  for (std::uint32_t r = 0; r < forwarded; ++r)
+    vsa_send(host_ep_[node], host_ep_[parent], config_.wire.record,
+             [this, parent] { vsa_record_arrival(parent); });
+}
+
+void ProtocolRound::finish_vsa() {
+  if (vsa_done_) return;
+  vsa_done_ = true;
+  end_phase(Phase::kVsa);
+  maybe_finish();
+}
+
+void ProtocolRound::begin_transfer(std::size_t assignment_index) {
+  if (!config_.balancer.apply_transfers) return;
+  if (!transfer_started_) {
+    transfer_started_ = true;
+    begin_phase(Phase::kTransfer);
+  }
+  const Assignment& a = report_.vsa.assignments[assignment_index];
+  ++transfers_outstanding_;
+  net_.send(
+      node_ep_.at(a.from), node_ep_.at(a.to),
+      [this, assignment_index] {
+        // Applied at delivery time against the *live* ring: a server that
+        // vanished or a destination that died is skipped (lazy protocol).
+        const Assignment& done = report_.vsa.assignments[assignment_index];
+        report_.transfers_applied +=
+            apply_assignments(ring_, std::span<const Assignment>(&done, 1));
+        P2PLB_ASSERT(transfers_outstanding_ > 0);
+        --transfers_outstanding_;
+        end_phase(Phase::kTransfer);  // re-stamped per delivery: last wins
+        maybe_finish();
+      },
+      config_.wire.transfer_per_load * a.load, 0.0, kTagTransfer);
+}
+
+void ProtocolRound::maybe_finish() {
+  if (done_ || !vsa_done_ || transfers_outstanding_ > 0) return;
+  const double now = net_.engine().now();
+  if (!transfer_started_) {
+    // Nothing to move (or apply_transfers off): an empty, instant phase.
+    PhaseMetrics& m = metrics(Phase::kTransfer);
+    m.start = m.end = now;
+  }
+  report_.after = classify_all(ring_, report_.system, config_.balancer.epsilon);
+  report_.completion_time = now - t0_;
+
+  // Single source of truth for traffic: the analytic counters the oracle
+  // pipeline computed must equal what actually crossed the network, and
+  // the report carries the measured values.
+  P2PLB_ASSERT_MSG(report_.aggregation.messages ==
+                       metrics(Phase::kAggregation).messages,
+                   "analytic aggregation count diverged from network");
+  P2PLB_ASSERT_MSG(report_.dissemination.messages ==
+                       metrics(Phase::kDissemination).messages,
+                   "analytic dissemination count diverged from network");
+  P2PLB_ASSERT_MSG(report_.vsa.messages == metrics(Phase::kVsa).messages,
+                   "analytic VSA count diverged from network");
+  report_.aggregation.messages = metrics(Phase::kAggregation).messages;
+  report_.dissemination.messages = metrics(Phase::kDissemination).messages;
+  report_.vsa.messages = metrics(Phase::kVsa).messages;
+
+  done_ = true;
+  if (on_complete_) on_complete_(report_);
+}
+
+}  // namespace p2plb::lb

@@ -117,6 +117,7 @@ VsaResult run_vsa(const ktree::KTree& tree, const VsaEntries& entries,
   if (params.key_local_rendezvous) {
     for (auto& [leaf, lists] : scratch) {
       const std::uint16_t depth = tree.node(leaf).depth;
+      const std::size_t first_pair = result.assignments.size();
       std::unordered_map<chord::Key, Lists> by_key;
       for (auto& [load, record] : lists.heavies)
         by_key[record.origin_key].heavies.emplace(load, record);
@@ -131,6 +132,11 @@ VsaResult run_vsa(const ktree::KTree& tree, const VsaEntries& entries,
         }
         lists.heavies.merge(group.heavies);
         lists.lights.merge(group.lights);
+      }
+      if (params.trace) {
+        for (std::size_t a = first_pair; a < result.assignments.size(); ++a)
+          (*params.trace)[leaf].assignments.push_back(
+              static_cast<std::uint32_t>(a));
       }
     }
   }
@@ -150,8 +156,14 @@ VsaResult run_vsa(const ktree::KTree& tree, const VsaEntries& entries,
       scratch.erase(it);
       const double now = params.latency ? ready[i] : 0.0;
       const bool is_root = (i == tree.root());
+      const std::size_t first_pair = result.assignments.size();
       if (is_root || lists.total() >= params.rendezvous_threshold)
         pair_at(lists, d, params.min_load, now, result);
+      if (params.trace) {
+        for (std::size_t a = first_pair; a < result.assignments.size(); ++a)
+          (*params.trace)[i].assignments.push_back(
+              static_cast<std::uint32_t>(a));
+      }
       if (is_root) {
         result.sweep_completion_time =
             std::max(result.sweep_completion_time, now);
@@ -166,6 +178,9 @@ VsaResult run_vsa(const ktree::KTree& tree, const VsaEntries& entries,
         const ktree::KtIndex parent_index = tree.node(i).parent;
         Lists& parent = scratch[parent_index];
         result.messages += lists.total();
+        if (params.trace)
+          (*params.trace)[i].forwarded_up =
+              static_cast<std::uint32_t>(lists.total());
         parent.heavies.merge(lists.heavies);
         parent.lights.merge(lists.lights);
         if (params.latency) {

@@ -70,6 +70,20 @@ struct VsaEntries {
   [[nodiscard]] std::size_t light_count() const;
 };
 
+/// Per-KT-node record of what the sweep did there: which assignments the
+/// node's rendezvous produced and how many leftover records it pushed to
+/// its parent.  Together with VsaEntries this is the sweep's complete
+/// dataflow, which is what lb::ProtocolRound replays as scheduled events
+/// on the sim engine -- the replay re-times the sweep without re-deciding
+/// anything, so the timed and synchronous paths pair identically.
+struct VsaNodeTrace {
+  /// Indices into VsaResult::assignments, in pairing order.
+  std::vector<std::uint32_t> assignments;
+  /// Leftover records forwarded to the parent (one message each).
+  std::uint32_t forwarded_up = 0;
+};
+using VsaTrace = std::unordered_map<ktree::KtIndex, VsaNodeTrace>;
+
 /// Sweep parameters.
 struct VsaParams {
   /// Interior KT nodes pair only once |heavy|+|light| reaches this
@@ -94,6 +108,9 @@ struct VsaParams {
   /// every Assignment with the simulated time its rendezvous fired.
   /// Must outlive the run_vsa call.
   const ktree::VsLatencyFn* latency = nullptr;
+  /// When set, filled with the per-node dataflow of the sweep (see
+  /// VsaNodeTrace).  Must outlive the run_vsa call.
+  VsaTrace* trace = nullptr;
 };
 
 /// Outcome of one bottom-up VSA sweep.

@@ -24,13 +24,24 @@ bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
 EventId Engine::every(Time period, std::function<bool()> fn) {
   P2PLB_REQUIRE(period > 0.0);
   P2PLB_REQUIRE(fn != nullptr);
-  // Each firing reschedules the next one; stopping is cooperative.
-  auto tick = std::make_shared<std::function<void()>>();
-  auto callback = std::make_shared<std::function<bool()>>(std::move(fn));
-  *tick = [this, period, tick, callback]() {
-    if ((*callback)()) schedule_after(period, *tick);
-  };
-  return schedule_after(period, *tick);
+  // Every occurrence is registered under one id so cancel(id) kills the
+  // chain; stopping from inside the callback stays cooperative.
+  const EventId id = next_id_++;
+  arm_periodic(id, period,
+               std::make_shared<std::function<bool()>>(std::move(fn)));
+  return id;
+}
+
+void Engine::arm_periodic(EventId id, Time period,
+                          std::shared_ptr<std::function<bool()>> callback) {
+  queue_.push(QueueEntry{now_ + period, next_seq_++, id});
+  // The stored event owns `callback` only until it fires or is cancelled;
+  // re-arming hands ownership to the next occurrence, so a stopped chain
+  // frees its closure (no self-referential cycle).
+  callbacks_.emplace(id, [this, id, period, cb = std::move(callback)] {
+    if (!(*cb)()) return;
+    arm_periodic(id, period, cb);
+  });
 }
 
 bool Engine::step() {

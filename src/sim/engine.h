@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -56,8 +57,11 @@ class Engine {
 
   /// Install a periodic timer with the given period (> 0), first firing
   /// after one period.  The callback returns true to keep the timer alive,
-  /// false to stop it.  Returns the id of the *first* occurrence; periodic
-  /// timers are stopped from inside the callback, not via cancel().
+  /// false to stop it.  The returned id refers to the whole periodic
+  /// chain: every occurrence is scheduled under it, so cancel(id) stops
+  /// the timer no matter how many times it has already fired.  Once the
+  /// callback has stopped the chain cooperatively the id is spent and
+  /// cancel(id) returns false.
   EventId every(Time period, std::function<bool()> fn);
 
   /// Execute the next pending event.  Returns false if the queue is empty.
@@ -72,6 +76,9 @@ class Engine {
   std::uint64_t run_until(Time t_end);
 
  private:
+  void arm_periodic(EventId id, Time period,
+                    std::shared_ptr<std::function<bool()>> callback);
+
   struct QueueEntry {
     Time time;
     std::uint64_t seq;  // tie-break: schedule order

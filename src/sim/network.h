@@ -4,10 +4,19 @@
 // in the topology, or any other index the caller chooses).  Delivery delay
 // comes from a pluggable latency function, so unit tests can use constant
 // latency while experiments plug in topology shortest-path distances.
+//
+// Every remote hop of every protocol is meant to pass through send(), so
+// message / byte / latency accounting lives in exactly one place.  Sends
+// may carry a tag ("lb.vsa", "ktree.maintenance", ...) and the network
+// keeps an independent counter set per tag, which is how overlapping
+// protocol phases on one shared network are told apart.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <string>
+#include <string_view>
 
 #include "sim/engine.h"
 
@@ -20,6 +29,19 @@ using Endpoint = std::uint32_t;
 /// units as sim::Time.  Must be non-negative and need not be symmetric.
 using LatencyFn = std::function<Time(Endpoint from, Endpoint to)>;
 
+/// One counter set: totals over some class of messages.
+struct TrafficCounters {
+  std::uint64_t messages = 0;
+  double bytes = 0.0;
+  double latency_sum = 0.0;
+
+  /// Mean per-message latency (0 if no messages).
+  [[nodiscard]] double mean_latency() const noexcept {
+    return messages == 0 ? 0.0
+                         : latency_sum / static_cast<double>(messages);
+  }
+};
+
 /// Message-delivery layer with per-message latency and traffic accounting.
 class Network {
  public:
@@ -30,43 +52,71 @@ class Network {
   }
 
   /// Deliver `on_receive` at the destination after the link latency plus
-  /// `processing_delay`.  `bytes` feeds the traffic counters only.
+  /// `processing_delay`.  `bytes` feeds the traffic counters only.  A
+  /// non-empty `tag` additionally books the message under that tag's
+  /// counter set (see counters()).
   EventId send(Endpoint from, Endpoint to, EventFn on_receive,
-               double bytes = 0.0, Time processing_delay = 0.0) {
+               double bytes = 0.0, Time processing_delay = 0.0,
+               std::string_view tag = {}) {
     P2PLB_REQUIRE(processing_delay >= 0.0);
     const Time lat = latency_(from, to);
     P2PLB_ASSERT_MSG(lat >= 0.0, "latency function returned negative delay");
-    ++messages_sent_;
-    bytes_sent_ += bytes;
-    latency_sum_ += lat;
+    account(totals_, lat, bytes);
+    if (!tag.empty()) {
+      auto it = tagged_.find(tag);
+      if (it == tagged_.end())
+        it = tagged_.emplace(std::string(tag), TrafficCounters{}).first;
+      account(it->second, lat, bytes);
+    }
     return engine_.schedule_after(lat + processing_delay,
                                   std::move(on_receive));
   }
 
   [[nodiscard]] Engine& engine() noexcept { return engine_; }
-  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
-    return messages_sent_;
+
+  /// The latency the next send between these endpoints would pay (no
+  /// accounting side effects).
+  [[nodiscard]] Time latency_between(Endpoint from, Endpoint to) const {
+    return latency_(from, to);
   }
-  [[nodiscard]] double bytes_sent() const noexcept { return bytes_sent_; }
+
+  /// Totals over every send, tagged or not.
+  [[nodiscard]] const TrafficCounters& totals() const noexcept {
+    return totals_;
+  }
+  /// Counters for one tag (all-zero if nothing was sent under it).
+  [[nodiscard]] TrafficCounters counters(std::string_view tag) const {
+    const auto it = tagged_.find(tag);
+    return it == tagged_.end() ? TrafficCounters{} : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return totals_.messages;
+  }
+  [[nodiscard]] double bytes_sent() const noexcept { return totals_.bytes; }
   /// Mean per-message latency over all sends so far (0 if none).
   [[nodiscard]] double mean_latency() const noexcept {
-    return messages_sent_ == 0
-               ? 0.0
-               : latency_sum_ / static_cast<double>(messages_sent_);
+    return totals_.mean_latency();
   }
 
   void reset_counters() noexcept {
-    messages_sent_ = 0;
-    bytes_sent_ = 0.0;
-    latency_sum_ = 0.0;
+    totals_ = TrafficCounters{};
+    tagged_.clear();
   }
 
  private:
+  static void account(TrafficCounters& c, Time lat, double bytes) noexcept {
+    ++c.messages;
+    c.bytes += bytes;
+    c.latency_sum += lat;
+  }
+
   Engine& engine_;
   LatencyFn latency_;
-  std::uint64_t messages_sent_ = 0;
-  double bytes_sent_ = 0.0;
-  double latency_sum_ = 0.0;
+  TrafficCounters totals_;
+  // Ordered so iteration (and therefore any derived output) is
+  // deterministic; std::less<> enables string_view lookups.
+  std::map<std::string, TrafficCounters, std::less<>> tagged_;
 };
 
 }  // namespace p2plb::sim

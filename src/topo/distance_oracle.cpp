@@ -57,4 +57,14 @@ std::vector<double> DistanceOracle::distances(
   return out;
 }
 
+sim::LatencyFn oracle_latency(DistanceOracle& oracle, double unreachable) {
+  P2PLB_REQUIRE(unreachable >= 0.0);
+  return [&oracle, unreachable](sim::Endpoint from,
+                                sim::Endpoint to) -> sim::Time {
+    if (from == to) return 0.0;
+    const double d = oracle.distance(from, to);
+    return d == kUnreachable ? unreachable : d;
+  };
+}
+
 }  // namespace p2plb::topo

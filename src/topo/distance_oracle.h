@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/network.h"
 #include "topo/graph.h"
 
 namespace p2plb::topo {
@@ -47,5 +48,14 @@ class DistanceOracle {
   std::list<std::pair<Vertex, std::vector<double>>> rows_;
   std::unordered_map<Vertex, decltype(rows_)::iterator> index_;
 };
+
+/// Adapt the oracle into a sim::LatencyFn: endpoints are attachment
+/// vertices (the node_endpoint convention for topology-attached rings)
+/// and a hop's latency is the weighted shortest-path distance.  Same
+/// endpoint costs 0 without a query; a disconnected pair costs
+/// `unreachable` instead of infinity so the simulation stays finite.
+/// The oracle must outlive the returned function.
+[[nodiscard]] sim::LatencyFn oracle_latency(DistanceOracle& oracle,
+                                            double unreachable = 1e6);
 
 }  // namespace p2plb::topo

@@ -85,6 +85,42 @@ TEST(Engine, PeriodicTimerStopsWhenCallbackSaysSo) {
   EXPECT_DOUBLE_EQ(e.now(), 5.0);
 }
 
+TEST(Engine, CancelStopsPeriodicChain) {
+  Engine e;
+  int ticks = 0;
+  const EventId id = e.every(1.0, [&] {
+    ++ticks;
+    return true;  // would run forever
+  });
+  // Let three occurrences fire, then cancel: the id refers to the whole
+  // chain, so no further occurrence may run.
+  e.run_until(3.5);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_TRUE(e.cancel(id));
+  e.run_until(10.0);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(e.cancel(id));  // chain is gone
+}
+
+TEST(Engine, CancelBeforeFirstPeriodicTick) {
+  Engine e;
+  int ticks = 0;
+  const EventId id = e.every(1.0, [&] {
+    ++ticks;
+    return true;
+  });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_EQ(ticks, 0);
+}
+
+TEST(Engine, PeriodicIdSpentAfterCooperativeStop) {
+  Engine e;
+  const EventId id = e.every(1.0, [] { return false; });
+  e.run();
+  EXPECT_FALSE(e.cancel(id));  // timer already ended itself
+}
+
 TEST(Engine, NestedScheduling) {
   Engine e;
   int depth = 0;
@@ -150,6 +186,61 @@ TEST(Network, CountersResetAndAccumulate) {
   EXPECT_EQ(net.messages_sent(), 0u);
   EXPECT_DOUBLE_EQ(net.bytes_sent(), 0.0);
   e.run();
+}
+
+TEST(Network, LatencyMayBeAsymmetric) {
+  Engine e;
+  // Uplink slower than downlink, as on a real access network.
+  Network net(e, [](Endpoint from, Endpoint to) {
+    return from < to ? 5.0 : 1.0;
+  });
+  EXPECT_DOUBLE_EQ(net.latency_between(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(net.latency_between(1, 0), 1.0);
+  std::vector<int> order;
+  net.send(0, 1, [&] { order.push_back(1); });  // arrives at 5
+  net.send(1, 0, [&] { order.push_back(2); });  // arrives at 1
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_DOUBLE_EQ(net.mean_latency(), 3.0);
+}
+
+TEST(Network, ProcessingDelayOrdersAgainstSameTimeEvents) {
+  Engine e;
+  Network net(e, [](Endpoint, Endpoint) { return 2.0; });
+  std::vector<int> order;
+  // Same delivery instant (t = 3): ties break by scheduling order, so the
+  // processed message (scheduled first) still precedes the plain event.
+  net.send(0, 1, [&] { order.push_back(1); }, 0.0, 1.0);
+  e.schedule_at(3.0, [&] { order.push_back(2); });
+  // Strictly later delivery (t = 3.5) runs last despite equal latency.
+  net.send(0, 1, [&] { order.push_back(3); }, 0.0, 1.5);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  // processing_delay is compute time, not wire time: latency accounting
+  // sees only the link.
+  EXPECT_DOUBLE_EQ(net.mean_latency(), 2.0);
+}
+
+TEST(Network, PerTagCountersTrackBytesIndependently) {
+  Engine e;
+  Network net(e, [](Endpoint, Endpoint) { return 1.0; });
+  net.send(0, 1, [] {}, 10.0, 0.0, "alpha");
+  net.send(0, 1, [] {}, 20.0, 0.0, "alpha");
+  net.send(0, 1, [] {}, 5.0, 0.0, "beta");
+  net.send(0, 1, [] {}, 7.0);  // untagged: totals only
+  e.run();
+
+  EXPECT_EQ(net.counters("alpha").messages, 2u);
+  EXPECT_DOUBLE_EQ(net.counters("alpha").bytes, 30.0);
+  EXPECT_EQ(net.counters("beta").messages, 1u);
+  EXPECT_DOUBLE_EQ(net.counters("beta").bytes, 5.0);
+  EXPECT_EQ(net.counters("gamma").messages, 0u);  // never used: all-zero
+  EXPECT_EQ(net.totals().messages, 4u);
+  EXPECT_DOUBLE_EQ(net.totals().bytes, 42.0);
+
+  net.reset_counters();
+  EXPECT_EQ(net.counters("alpha").messages, 0u);
+  EXPECT_EQ(net.totals().messages, 0u);
 }
 
 }  // namespace

@@ -7,8 +7,14 @@
 // breakdown, balance outcome, and (with a topology) the transfer-cost
 // profile.  `--csv` makes every table machine-readable.
 //
+// With `--timed`, rounds run as event-driven protocols (lb::ProtocolRound)
+// over simulated message latencies -- shortest-path distances when a
+// topology is given, unit latency otherwise -- and the round table gains
+// a completion-time column plus a per-phase timing breakdown.
+//
 //   $ p2plb_sim --topology ts5k-large --workload gaussian --mode aware
 //   $ p2plb_sim --nodes 1024 --workload zipf --zipf 1.1 --rounds 4
+//   $ p2plb_sim --topology ts5k-small --timed
 #include <iostream>
 #include <optional>
 
@@ -17,6 +23,8 @@
 #include "lb/controller.h"
 #include "lb/proximity.h"
 #include "lb/vst.h"
+#include "sim/engine.h"
+#include "sim/network.h"
 #include "workload/objects.h"
 
 namespace {
@@ -127,11 +135,31 @@ int run(const Cli& cli) {
 
   // Keep pre-transfer assignments for cost accounting (first round).
   Rng brng(seed + 2);
-  const auto result = lb::balance_until_stable(ring, config, brng, keys);
+  const bool timed = cli.get_bool("timed");
+  lb::ControllerResult result;
+  std::optional<topo::DistanceOracle> oracle;
+  if (timed) {
+    // Event-driven rounds over real message latencies: shortest paths
+    // between attachment vertices with a topology, unit latency without.
+    sim::Engine engine;
+    sim::LatencyFn latency;
+    if (topology) {
+      oracle.emplace(topology->graph, std::max<std::size_t>(nodes, 64));
+      latency = topo::oracle_latency(*oracle);
+    } else {
+      latency = [](sim::Endpoint a, sim::Endpoint b) {
+        return a == b ? 0.0 : 1.0;
+      };
+    }
+    sim::Network net(engine, latency);
+    result = lb::balance_until_stable(net, ring, config, brng, keys);
+  } else {
+    result = lb::balance_until_stable(ring, config, brng, keys);
+  }
 
   print_heading(std::cout, "balance rounds");
   Table rounds({"round", "heavy before", "heavy after", "transfers",
-                "moved load", "unassigned", "messages"});
+                "moved load", "unassigned", "messages", "completion time"});
   for (std::size_t r = 0; r < result.rounds.size(); ++r) {
     const auto& s = result.rounds[r];
     rounds.add_row({std::to_string(r + 1), std::to_string(s.heavy_before),
@@ -139,9 +167,26 @@ int run(const Cli& cli) {
                     std::to_string(s.transfers),
                     Table::num(s.moved_load, 1),
                     std::to_string(s.unassigned),
-                    std::to_string(s.messages)});
+                    std::to_string(s.messages),
+                    timed ? Table::num(s.completion_time, 1)
+                          : std::string("-")});
   }
   bench::emit(rounds, csv);
+
+  if (timed && !result.rounds.empty()) {
+    print_heading(std::cout, "per-phase breakdown (first round)");
+    static constexpr const char* kPhaseNames[lb::kPhaseCount] = {
+        "1 LBI aggregation", "2 LBI dissemination", "3 VSA sweep",
+        "4 VS transfers"};
+    Table phases({"phase", "messages", "bytes", "start", "end", "duration"});
+    for (std::size_t p = 0; p < lb::kPhaseCount; ++p) {
+      const lb::PhaseMetrics& m = result.rounds.front().phases[p];
+      phases.add_row({kPhaseNames[p], std::to_string(m.messages),
+                      Table::num(m.bytes, 0), Table::num(m.start, 1),
+                      Table::num(m.end, 1), Table::num(m.duration(), 1)});
+    }
+    bench::emit(phases, csv);
+  }
 
   print_heading(std::cout, "balance quality (load / fair share)");
   std::vector<double> unit_after;
@@ -186,6 +231,8 @@ int main(int argc, char** argv) {
   cli.add_flag("rounds", "max balancing rounds", "3");
   cli.add_flag("landmarks", "landmark count (aware mode)", "15");
   cli.add_flag("bits", "Hilbert grid bits per dimension", "2");
+  cli.add_flag("timed", "run rounds event-driven over simulated latencies",
+               "false");
   cli.add_flag("csv", "emit CSV tables", "false");
   if (!cli.parse(argc, argv)) return 0;
   return run(cli);
