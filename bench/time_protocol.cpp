@@ -12,23 +12,20 @@
 //   * one full event-driven balancing round (lb::ProtocolRound) on a
 //     transit-stub topology with shortest-path latencies: per-phase
 //     message/byte/timing breakdown and end-to-end completion time.
-#include <array>
 #include <iostream>
 
 #include "bench_util.h"
 #include "ktree/protocol.h"
 #include "ktree/tree.h"
 #include "lb/protocol_round.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/network.h"
 
 namespace {
 
 using namespace p2plb;
-
-constexpr std::array<const char*, lb::kPhaseCount> kPhaseNames{
-    "1 LBI aggregation", "2 LBI dissemination", "3 VSA sweep",
-    "4 VS transfers"};
 
 /// Binary-search the reconvergence instant to one check period.
 sim::Time measure_recovery(sim::Engine& engine,
@@ -53,6 +50,14 @@ int main(int argc, char** argv) {
   cli.add_flag("crash-fraction", "fraction of nodes to crash", "0.1");
   cli.add_flag("timed-nodes",
                "ring size for the end-to-end timed balancing round", "512");
+  cli.add_flag("trace",
+               "write the timed round's trace here (Chrome trace_event "
+               "JSON, or JSONL if the name ends in .jsonl)",
+               "");
+  cli.add_flag("metrics",
+               "write the timed round's metrics registry here (CSV if the "
+               "name ends in .csv)",
+               "");
   cli.add_flag("csv", "emit CSV instead of aligned tables", "false");
   if (!cli.parse(argc, argv)) return 0;
   const bool csv = cli.get_bool("csv");
@@ -131,10 +136,23 @@ int main(int argc, char** argv) {
                               std::max<std::size_t>(timed_nodes, 64));
   sim::Engine engine;
   sim::Network net(engine, topo::oracle_latency(oracle));
+  obs::Tracer tracer;
+  const std::string trace_path = cli.get_string("trace");
+  const std::string metrics_path = cli.get_string("metrics");
+  if (!trace_path.empty()) net.attach_tracer(&tracer);
   lb::ProtocolRound round(net, d.ring, {}, round_rng);
   round.start();
   engine.run();
   const lb::BalanceReport& report = round.report();
+  if (!trace_path.empty()) {
+    obs::write_trace_file(tracer, trace_path);
+    std::cerr << "trace written to " << trace_path << " ("
+              << tracer.event_count() << " events)\n";
+  }
+  if (!metrics_path.empty()) {
+    obs::write_metrics_file(net.metrics(), metrics_path);
+    std::cerr << "metrics written to " << metrics_path << "\n";
+  }
 
   print_heading(std::cout,
                 "one event-driven balancing round, ts5k-small, N = " +
@@ -142,9 +160,11 @@ int main(int argc, char** argv) {
   Table phases({"phase", "messages", "bytes", "start", "end", "duration"});
   for (std::size_t p = 0; p < lb::kPhaseCount; ++p) {
     const lb::PhaseMetrics& m = report.phases[p];
-    phases.add_row({kPhaseNames[p], std::to_string(m.messages),
-                    Table::num(m.bytes, 0), Table::num(m.start, 1),
-                    Table::num(m.end, 1), Table::num(m.duration(), 1)});
+    phases.add_row({std::to_string(p + 1) + " " +
+                        lb::phase_name(static_cast<lb::Phase>(p)),
+                    m.messages, Table::num(m.bytes, 0),
+                    Table::num(m.start, 1), Table::num(m.end, 1),
+                    Table::num(m.duration(), 1)});
   }
   bench::emit(phases, csv);
   std::cout << "\nround completion time: "

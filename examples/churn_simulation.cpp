@@ -23,6 +23,8 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "lb/protocol_round.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/network.h"
 #include "workload/capacity.h"
@@ -95,6 +97,14 @@ int main(int argc, char** argv) {
   cli.add_flag("churn-per-interval", "expected joins (and leaves) between "
                                      "balancing sweeps",
                "24");
+  cli.add_flag("trace",
+               "write the simulation's trace here (Chrome trace_event "
+               "JSON, or JSONL if the name ends in .jsonl)",
+               "");
+  cli.add_flag("metrics",
+               "write the metrics registry here (CSV if the name ends in "
+               ".csv)",
+               "");
   if (!cli.parse(argc, argv)) return 0;
 
   World world;
@@ -112,6 +122,10 @@ int main(int argc, char** argv) {
   sim::Network net(engine, [](sim::Endpoint a, sim::Endpoint b) {
     return a == b ? 0.0 : 1.0;
   });
+  obs::Tracer tracer;
+  const std::string trace_path = cli.get_string("trace");
+  const std::string metrics_path = cli.get_string("metrics");
+  if (!trace_path.empty()) net.attach_tracer(&tracer);
   Table t({"t (s)", "nodes", "heavy % pre", "max overload pre",
            "heavy % post", "max overload post", "moved load",
            "round time", "transfers"});
@@ -191,6 +205,15 @@ int main(int argc, char** argv) {
               << " applied (those touching the crashed node were skipped "
                  "at delivery; the round still completed in "
               << Table::num(r.completion_time, 1) << " time units)\n";
+  }
+  if (!trace_path.empty()) {
+    obs::write_trace_file(tracer, trace_path);
+    std::cerr << "trace written to " << trace_path << " ("
+              << tracer.event_count() << " events)\n";
+  }
+  if (!metrics_path.empty()) {
+    obs::write_metrics_file(net.metrics(), metrics_path);
+    std::cerr << "metrics written to " << metrics_path << "\n";
   }
   return 0;
 }

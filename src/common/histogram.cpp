@@ -61,6 +61,22 @@ std::vector<double> Histogram::cumulative_fractions() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  P2PLB_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (total_ == 0.0) return 0.0;
+  const double target = q * total_;
+  double running = underflow_;
+  if (running >= target) return edges_.front();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (running + counts_[i] >= target && counts_[i] > 0.0) {
+      const double frac = (target - running) / counts_[i];
+      return edges_[i] + frac * (edges_[i + 1] - edges_[i]);
+    }
+    running += counts_[i];
+  }
+  return edges_.back();  // target falls in the overflow mass
+}
+
 std::vector<CdfPoint> weighted_cdf(std::span<const double> values,
                                    std::span<const double> weights) {
   P2PLB_REQUIRE(values.size() == weights.size());

@@ -40,6 +40,13 @@ class Histogram {
   /// Underflow weight is included in every entry; overflow in none.
   [[nodiscard]] std::vector<double> cumulative_fractions() const;
 
+  /// Weight-quantile estimate for q in [0, 1], linearly interpolated
+  /// within the bin that crosses the target cumulative weight.  Underflow
+  /// weight is attributed to the first edge and overflow weight to the
+  /// last, so the result always lies inside [edges.front(), edges.back()].
+  /// An empty histogram returns 0.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   std::vector<double> edges_;
   std::vector<double> counts_;

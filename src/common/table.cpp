@@ -22,6 +22,13 @@ void Table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+void Table::add_row(std::initializer_list<Cell> cells) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (const Cell& cell : cells) out.push_back(cell.text);
+  add_row(std::move(out));
+}
+
 void Table::add_row_numeric(std::initializer_list<double> values,
                             int precision) {
   std::vector<std::string> cells;

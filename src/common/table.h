@@ -9,6 +9,8 @@
 #include <initializer_list>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace p2plb {
@@ -19,8 +21,34 @@ class Table {
   explicit Table(std::vector<std::string> headers);
   Table(std::initializer_list<std::string> headers);
 
+  /// One table cell, implicitly constructible from a string or any
+  /// arithmetic value, so a single add_row call can mix labels and
+  /// numbers.  Integers render without a decimal point; floating-point
+  /// values via num() with its default precision.
+  struct Cell {
+    std::string text;
+
+    Cell(std::string s) : text(std::move(s)) {}
+    Cell(std::string_view s) : text(s) {}
+    Cell(const char* s) : text(s) {}
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T> &&
+                                          !std::is_same_v<T, char>>>
+    Cell(T v) {
+      if constexpr (std::is_integral_v<T>) {
+        text = std::to_string(v);
+      } else {
+        text = num(static_cast<double>(v));
+      }
+    }
+  };
+
   /// Append a row; the cell count must match the header count.
   void add_row(std::vector<std::string> cells);
+
+  /// Append a row of mixed string/number cells, e.g.
+  /// `table.add_row({"p99", h.quantile(0.99), n_samples});`.
+  void add_row(std::initializer_list<Cell> cells);
 
   /// Convenience: format each value with the given precision.
   void add_row_numeric(std::initializer_list<double> values, int precision = 4);

@@ -48,6 +48,11 @@ struct SweepState {
       ++result.local_hops;
     }
   }
+
+  /// Lane the sweep's trace events land on.
+  [[nodiscard]] std::string_view lane() const noexcept {
+    return opts.tag.empty() ? std::string_view("ktree") : opts.tag;
+  }
 };
 
 std::shared_ptr<SweepState> make_state(sim::Network& net, const KTree& tree,
@@ -73,12 +78,20 @@ void fold_up(const std::shared_ptr<SweepState>& s, KtIndex i) {
   const KTree& t = *s->tree;
   if (i == t.root()) {
     s->result.completion_time = s->net->engine().now() - s->start;
+    if (obs::Tracer* tracer = s->net->tracer())
+      tracer->instant(s->net->engine().now(), s->lane(), "sweep.root_folded",
+                      {obs::arg("messages", s->result.messages),
+                       obs::arg("local_hops", s->result.local_hops)});
     if (s->on_complete) s->on_complete(s->result);
     return;
   }
   const KtIndex parent = t.node(i).parent;
   const sim::Time lat = s->net->latency_between(s->host[i], s->host[parent]);
   s->count(lat);
+  if (obs::Tracer* tracer = s->net->tracer())
+    tracer->instant(s->net->engine().now(), s->lane(), "sweep.fold",
+                    {obs::arg("node", i), obs::arg("parent", parent),
+                     obs::arg("latency", lat)});
   s->net->send(
       s->host[i], s->host[parent],
       [s, parent] {
@@ -94,6 +107,10 @@ void deliver_down(const std::shared_ptr<SweepState>& s, KtIndex i) {
   if (t.node(i).is_leaf()) {
     // Events fire in time order, so the last leaf delivery is the max.
     s->result.completion_time = s->net->engine().now() - s->start;
+    if (obs::Tracer* tracer = s->net->tracer())
+      tracer->instant(s->net->engine().now(), s->lane(), "sweep.leaf_reached",
+                      {obs::arg("leaf", i),
+                       obs::arg("leaves_left", s->leaves_left - 1)});
     if (s->on_leaf) s->on_leaf(i);
     if (--s->leaves_left == 0 && s->on_complete) s->on_complete(s->result);
     return;
@@ -103,6 +120,10 @@ void deliver_down(const std::shared_ptr<SweepState>& s, KtIndex i) {
     const KtIndex child = first + c;
     const sim::Time lat = s->net->latency_between(s->host[i], s->host[child]);
     s->count(lat);
+    if (obs::Tracer* tracer = s->net->tracer())
+      tracer->instant(s->net->engine().now(), s->lane(), "sweep.deliver",
+                      {obs::arg("node", i), obs::arg("child", child),
+                       obs::arg("latency", lat)});
     s->net->send(s->host[i], s->host[child],
                  [s, child] { deliver_down(s, child); },
                  s->opts.bytes_per_message, 0.0, s->opts.tag);
@@ -198,15 +219,26 @@ MaintenanceProtocol::MaintenanceProtocol(sim::Engine& engine,
                                          chord::Ring& ring,
                                          std::uint32_t degree,
                                          sim::Time check_interval,
-                                         VsLatencyFn latency)
+                                         VsLatencyFn latency,
+                                         obs::MetricsRegistry* metrics)
     : engine_(engine),
       ring_(ring),
       degree_(degree),
       interval_(check_interval),
-      latency_(std::move(latency)) {
+      latency_(std::move(latency)),
+      metrics_(metrics) {
   P2PLB_REQUIRE(degree_ >= 2);
   P2PLB_REQUIRE(check_interval > 0.0);
   P2PLB_REQUIRE(latency_ != nullptr);
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  constexpr std::string_view kName = "ktree.maintenance.messages";
+  msg_reseed_ = &metrics_->counter(kName, {{"kind", "reseed"}});
+  msg_replant_ = &metrics_->counter(kName, {{"kind", "replant"}});
+  msg_prune_ = &metrics_->counter(kName, {{"kind", "prune"}});
+  msg_create_ = &metrics_->counter(kName, {{"kind", "create"}});
 }
 
 void MaintenanceProtocol::start() {
@@ -217,7 +249,7 @@ void MaintenanceProtocol::start() {
   engine_.every(interval_, [this] {
     if (!instances_.contains(Region::whole()) &&
         ring_.virtual_server_count() > 0) {
-      ++messages_;  // the lookup that re-seeds the root
+      msg_reseed_->increment();  // the lookup that re-seeds the root
       create_instance(Region::whole());
     }
     return true;  // runs for the lifetime of the simulation
@@ -247,7 +279,7 @@ void MaintenanceProtocol::check_instance(const Region& region) {
   // Re-plant: the proper host is the current successor of the midpoint.
   const chord::Key proper = ring_.successor(region.midpoint()).id;
   if (it->second.host_vs != proper) {
-    ++messages_;  // state handoff to the new host
+    msg_replant_->increment();  // state handoff to the new host
     it->second.host_vs = proper;
   }
 
@@ -266,7 +298,7 @@ void MaintenanceProtocol::check_instance(const Region& region) {
         ++it2;
         continue;
       }
-      ++messages_;  // prune notification
+      msg_prune_->increment();  // prune notification
       it2 = instances_.erase(it2);
     }
   } else {
@@ -276,7 +308,7 @@ void MaintenanceProtocol::check_instance(const Region& region) {
       if (child.len == 0 || instances_.contains(child)) continue;
       const chord::Key child_host = ring_.successor(child.midpoint()).id;
       const sim::Time lat = latency_(proper, child_host);
-      if (lat > 0.0) ++messages_;
+      if (lat > 0.0) msg_create_->increment();
       engine_.schedule_after(lat,
                              [this, child] { create_instance(child); });
     }

@@ -26,9 +26,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "chord/ring.h"
 #include "ktree/region.h"
 #include "ktree/tree.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "sim/network.h"
 
@@ -118,10 +121,14 @@ void begin_dissemination(sim::Network& net, const KTree& tree,
 class MaintenanceProtocol {
  public:
   /// `ring`, `engine` must outlive the protocol.  `check_interval` is
-  /// the paper's periodic-check period T.
+  /// the paper's periodic-check period T.  Maintenance traffic is counted
+  /// in `metrics` as `ktree.maintenance.messages{kind=...}` (kinds:
+  /// reseed, replant, prune, create); when `metrics` is null the protocol
+  /// owns a private registry, so messages() always works.
   MaintenanceProtocol(sim::Engine& engine, chord::Ring& ring,
                       std::uint32_t degree, sim::Time check_interval,
-                      VsLatencyFn latency);
+                      VsLatencyFn latency,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   /// Bootstrap: create the root instance and start its periodic check.
   void start();
@@ -138,8 +145,15 @@ class MaintenanceProtocol {
   [[nodiscard]] std::size_t instance_count() const {
     return instances_.size();
   }
-  /// Remote maintenance messages sent so far.
-  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+  /// Remote maintenance messages sent so far (sum over all kinds in the
+  /// metrics registry).
+  [[nodiscard]] std::uint64_t messages() const noexcept {
+    double sum = 0.0;
+    for (const obs::Counter* c :
+         {msg_reseed_, msg_replant_, msg_prune_, msg_create_})
+      sum += c->value();
+    return static_cast<std::uint64_t>(sum);
+  }
 
   /// Visit every live instance as fn(region, host_vs) -- diagnostics.
   template <typename Fn>
@@ -178,7 +192,12 @@ class MaintenanceProtocol {
   sim::Time interval_;
   VsLatencyFn latency_;
   std::map<Region, Instance, RegionOrder> instances_;
-  std::uint64_t messages_ = 0;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* msg_reseed_ = nullptr;   ///< lookups re-seeding the root
+  obs::Counter* msg_replant_ = nullptr;  ///< state handoffs to a new host
+  obs::Counter* msg_prune_ = nullptr;    ///< prune notifications
+  obs::Counter* msg_create_ = nullptr;   ///< remote child-create messages
 };
 
 }  // namespace p2plb::ktree

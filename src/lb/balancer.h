@@ -67,11 +67,30 @@ enum class Phase : std::uint8_t {
 };
 inline constexpr std::size_t kPhaseCount = 4;
 
-/// Traffic and timing of one protocol phase, measured on the simulated
-/// network (per-tag sim::Network counters).  Under the synchronous
-/// wrapper the message/byte counts are real but every time is zero
-/// (constant-zero latency).  Times are in sim::Time units; kTransfer may
-/// start before kVsa ends (Section 3.5's VSA/VST overlap).
+/// Short display name of a phase ("aggregation", "dissemination", "vsa",
+/// "transfer") -- shared by report printers and trace span names.
+[[nodiscard]] constexpr const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kAggregation:
+      return "aggregation";
+    case Phase::kDissemination:
+      return "dissemination";
+    case Phase::kVsa:
+      return "vsa";
+    case Phase::kTransfer:
+      return "transfer";
+  }
+  return "?";
+}
+
+/// Traffic and timing of one protocol phase.  A view over the unified
+/// metrics registry: counts are diffs of the network's registry counters
+/// (net.messages{tag=...} / net.bytes{tag=...}) taken at the phase
+/// boundaries, with the legacy per-tag sim::Network counters asserted
+/// equal as a regression check.  Under the synchronous wrapper the
+/// message/byte counts are real but every time is zero (constant-zero
+/// latency).  Times are in sim::Time units; kTransfer may start before
+/// kVsa ends (Section 3.5's VSA/VST overlap).
 struct PhaseMetrics {
   std::uint64_t messages = 0;
   double bytes = 0.0;

@@ -57,6 +57,17 @@ ProtocolRound::ProtocolRound(sim::Network& net, chord::Ring& ring,
                                     : tree_.entry_leaf_for(key);
     report_plan_.emplace_back(leaf, i);
   }
+
+  // Resolve the per-phase registry handles once: PhaseMetrics are diffs
+  // of these counters taken at phase boundaries.
+  registry_ = &net_.metrics();
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const obs::Labels labels{
+        {"tag", std::string(tag_of(static_cast<Phase>(p)))}};
+    phase_counters_[p] =
+        PhaseCounters{&registry_->counter("net.messages", labels),
+                      &registry_->counter("net.bytes", labels)};
+  }
 }
 
 std::string_view ProtocolRound::tag_of(Phase p) noexcept {
@@ -74,17 +85,35 @@ std::string_view ProtocolRound::tag_of(Phase p) noexcept {
 }
 
 void ProtocolRound::begin_phase(Phase p) {
+  const std::size_t i = static_cast<std::size_t>(p);
   metrics(p).start = net_.engine().now();
-  phase_base_[static_cast<std::size_t>(p)] = net_.counters(tag_of(p));
+  phase_base_[i] = net_.counters(tag_of(p));
+  phase_reg_base_[i] = {phase_counters_[i].messages->value(),
+                        phase_counters_[i].bytes->value()};
+  if (obs::Tracer* tr = net_.tracer())
+    tr->begin(net_.engine().now(), tag_of(p), phase_name(p));
 }
 
 void ProtocolRound::end_phase(Phase p) {
+  const std::size_t i = static_cast<std::size_t>(p);
   PhaseMetrics& m = metrics(p);
-  const sim::TrafficCounters& base = phase_base_[static_cast<std::size_t>(p)];
-  const sim::TrafficCounters now = net_.counters(tag_of(p));
   m.end = net_.engine().now();
-  m.messages = now.messages - base.messages;
-  m.bytes = now.bytes - base.bytes;
+  // The registry is the accounting source; the legacy per-tag counters
+  // must tell the identical story (regression check for the migration).
+  m.messages = static_cast<std::uint64_t>(
+      phase_counters_[i].messages->value() - phase_reg_base_[i].first);
+  m.bytes = phase_counters_[i].bytes->value() - phase_reg_base_[i].second;
+  const sim::TrafficCounters& base = phase_base_[i];
+  const sim::TrafficCounters now = net_.counters(tag_of(p));
+  P2PLB_ASSERT_MSG(m.messages == now.messages - base.messages &&
+                       m.bytes == now.bytes - base.bytes,
+                   "registry phase diff diverged from legacy counters");
+  // Phase 4's span closes once, in maybe_finish -- end_phase(kTransfer)
+  // is re-stamped on every delivery.
+  if (p != Phase::kTransfer)
+    if (obs::Tracer* tr = net_.tracer())
+      tr->end(net_.engine().now(), tag_of(p), phase_name(p),
+              {obs::arg("messages", m.messages), obs::arg("bytes", m.bytes)});
 }
 
 void ProtocolRound::start(
@@ -93,6 +122,10 @@ void ProtocolRound::start(
   started_ = true;
   on_complete_ = std::move(on_complete);
   t0_ = net_.engine().now();
+  if (obs::Tracer* tr = net_.tracer())
+    tr->begin(t0_, "lb.round", "round",
+              {obs::arg("nodes", report_plan_.size()),
+               obs::arg("planned_transfers", report_.vsa.assignments.size())});
   begin_phase(Phase::kAggregation);
   start_aggregation();
 }
@@ -202,6 +235,11 @@ void ProtocolRound::vsa_process(ktree::KtIndex node) {
     for (const std::uint32_t idx : node_trace->assignments) {
       Assignment& a = report_.vsa.assignments[idx];
       a.available_at = phase_now;
+      if (obs::Tracer* tr = net_.tracer())
+        tr->instant(net_.engine().now(), kTagVsa, "vsa.match",
+                    {obs::arg("vs", a.vs), obs::arg("from", a.from),
+                     obs::arg("to", a.to), obs::arg("load", a.load),
+                     obs::arg("depth", a.rendezvous_depth)});
       vsa_send(host_ep_[node], node_ep_.at(a.from), config_.wire.notify,
                [this, idx] { begin_transfer(idx); });
       vsa_send(host_ep_[node], node_ep_.at(a.to), config_.wire.notify,
@@ -239,14 +277,31 @@ void ProtocolRound::begin_transfer(std::size_t assignment_index) {
   }
   const Assignment& a = report_.vsa.assignments[assignment_index];
   ++transfers_outstanding_;
+  const double distance = net_.latency_between(node_ep_.at(a.from),
+                                               node_ep_.at(a.to));
+  registry_
+      ->histogram("lb.transfer_distance", {0, 1, 2, 4, 8, 16, 32, 64, 128})
+      .observe(distance, a.load);
+  if (obs::Tracer* tr = net_.tracer())
+    tr->async_begin(net_.engine().now(), kTagTransfer, "transfer",
+                    assignment_index + 1,
+                    {obs::arg("vs", a.vs), obs::arg("from", a.from),
+                     obs::arg("to", a.to), obs::arg("load", a.load)});
   net_.send(
       node_ep_.at(a.from), node_ep_.at(a.to),
       [this, assignment_index] {
         // Applied at delivery time against the *live* ring: a server that
         // vanished or a destination that died is skipped (lazy protocol).
         const Assignment& done = report_.vsa.assignments[assignment_index];
-        report_.transfers_applied +=
+        const std::size_t applied =
             apply_assignments(ring_, std::span<const Assignment>(&done, 1));
+        report_.transfers_applied += applied;
+        if (applied > 0)
+          registry_->counter("lb.load_moved").add(done.load);
+        if (obs::Tracer* tr = net_.tracer())
+          tr->async_end(net_.engine().now(), kTagTransfer, "transfer",
+                        assignment_index + 1,
+                        {obs::arg("applied", applied > 0)});
         P2PLB_ASSERT(transfers_outstanding_ > 0);
         --transfers_outstanding_;
         end_phase(Phase::kTransfer);  // re-stamped per delivery: last wins
@@ -280,6 +335,26 @@ void ProtocolRound::maybe_finish() {
   report_.aggregation.messages = metrics(Phase::kAggregation).messages;
   report_.dissemination.messages = metrics(Phase::kDissemination).messages;
   report_.vsa.messages = metrics(Phase::kVsa).messages;
+
+  // Round outcomes land in the registry next to the traffic counters.
+  const std::size_t planned = report_.vsa.assignments.size();
+  registry_->counter("lb.rounds").increment();
+  registry_->counter("lb.transfers_planned")
+      .add(static_cast<double>(planned));
+  registry_->counter("lb.transfers_applied")
+      .add(static_cast<double>(report_.transfers_applied));
+  registry_->counter("lb.transfers_skipped")
+      .add(static_cast<double>(planned - report_.transfers_applied));
+
+  if (obs::Tracer* tr = net_.tracer()) {
+    if (transfer_started_)
+      tr->end(now, kTagTransfer, phase_name(Phase::kTransfer),
+              {obs::arg("messages", metrics(Phase::kTransfer).messages),
+               obs::arg("applied", report_.transfers_applied)});
+    tr->end(now, "lb.round", "round",
+            {obs::arg("transfers_applied", report_.transfers_applied),
+             obs::arg("completion_time", report_.completion_time)});
+  }
 
   done_ = true;
   if (on_complete_) on_complete_(report_);

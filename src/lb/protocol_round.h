@@ -49,6 +49,7 @@
 #include "common/error.h"
 #include "ktree/tree.h"
 #include "lb/balancer.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 
 namespace p2plb::lb {
@@ -150,10 +151,21 @@ class ProtocolRound {
   /// (entry leaf, reporting node) in live-node order.
   std::vector<std::pair<ktree::KtIndex, chord::NodeIndex>> report_plan_;
 
+  // Observability.  The round always has a registry (the network creates
+  // an owned one on demand); PhaseMetrics are registry-counter diffs with
+  // the legacy per-tag counters asserted equal (see balancer.h).
+  struct PhaseCounters {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::array<PhaseCounters, kPhaseCount> phase_counters_{};
+
   // Event-time state.
   std::function<void(const BalanceReport&)> on_complete_;
   double t0_ = 0.0;
   std::array<sim::TrafficCounters, kPhaseCount> phase_base_{};
+  std::array<std::pair<double, double>, kPhaseCount> phase_reg_base_{};
   std::unordered_map<ktree::KtIndex, std::size_t> lbi_waits_;
   std::function<void(ktree::KtIndex)> release_leaf_;
   std::size_t handoffs_left_ = 0;

@@ -1,0 +1,160 @@
+// Unified metrics registry: named, label-aware counters, gauges and
+// histograms shared by every layer of the stack.
+//
+// Before this module each subsystem kept its own tallies (the network's
+// TrafficCounters, the balancer's analytic message counts, the tree
+// maintenance counter), which is how accounting schemes drift apart.  A
+// MetricsRegistry is the one place simulation-wide totals accumulate:
+// sim::Network books every send into it, lb::ProtocolRound derives its
+// per-phase metrics from it, and ktree::MaintenanceProtocol counts its
+// repair traffic in it.  The registry is deterministic by construction --
+// metrics are stored in canonical-key order, so snapshots and exports are
+// stable across runs for golden tests.
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime: resolve once, update on the hot path without a
+// lookup.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace p2plb {
+class Table;
+}
+
+namespace p2plb::obs {
+
+/// Metric labels: (key, value) pairs.  Canonicalized (sorted by key) when
+/// forming the metric's identity, so label order at the call site never
+/// matters.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing total.
+class Counter {
+ public:
+  void increment() noexcept { value_ += 1.0; }
+  /// Add a non-negative delta.
+  void add(double delta);
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A value that can move both ways (queue depths, live-node counts, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double delta) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A weighted distribution metric over fixed bin edges, with quantile
+/// export (see Histogram::quantile).
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> edges)
+      : histogram_(std::move(edges)) {}
+
+  void observe(double x, double weight = 1.0) {
+    ++samples_;
+    histogram_.add(x, weight);
+  }
+
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+  [[nodiscard]] double total_weight() const noexcept {
+    return histogram_.total();
+  }
+  [[nodiscard]] const Histogram& histogram() const noexcept {
+    return histogram_;
+  }
+  [[nodiscard]] double quantile(double q) const {
+    return histogram_.quantile(q);
+  }
+
+ private:
+  Histogram histogram_;
+  std::uint64_t samples_ = 0;
+};
+
+/// A point-in-time reading of every scalar the registry holds (counters,
+/// gauges, and each histogram's sample count / total weight), keyed by
+/// canonical metric key.  diff() turns two snapshots into per-metric
+/// deltas -- how phase- or interval-scoped accounting is derived from
+/// cumulative totals.
+struct MetricsSnapshot {
+  std::map<std::string, double> values;
+
+  /// Value for a canonical key (0 when absent -- absent means "metric did
+  /// not exist yet", which reads as zero everywhere in this codebase).
+  [[nodiscard]] double value(std::string_view key) const;
+
+  /// Per-key `this - earlier` over the keys of *this* snapshot.  A key
+  /// absent from `earlier` counts as 0 there.
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& earlier) const;
+};
+
+/// The registry itself.  Deterministic iteration order (canonical keys);
+/// all handles remain valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create.  `name` must be non-empty; repeated calls with the
+  /// same (name, labels) return the same object.
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  /// `edges` is used only on first creation (see Histogram's edge rules).
+  HistogramMetric& histogram(std::string_view name, std::vector<double> edges,
+                             const Labels& labels = {});
+
+  /// Lookup without creating (nullptr when the metric does not exist).
+  [[nodiscard]] const Counter* find_counter(std::string_view name,
+                                            const Labels& labels = {}) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Two-column ("metric", "value") table of everything the registry
+  /// holds; histograms expand to count / weight / p50 / p90 / p99 rows.
+  [[nodiscard]] Table to_table() const;
+  /// to_table() rendered as aligned text / CSV.
+  void write_text(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  /// Canonical identity: `name` alone, or `name{k1=v1,k2=v2}` with label
+  /// keys sorted.  This is the key used by snapshots and exports.
+  [[nodiscard]] static std::string key_of(std::string_view name,
+                                          const Labels& labels);
+
+ private:
+  // node-based maps: value addresses are stable across inserts.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, HistogramMetric> histograms_;
+};
+
+/// Write the registry to `path`: CSV when the name ends in ".csv",
+/// aligned text otherwise.  Throws PreconditionError on an unwritable
+/// path.
+void write_metrics_file(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace p2plb::obs

@@ -1,0 +1,197 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace p2plb::obs {
+
+namespace {
+
+constexpr char kPhaseLetter[] = {'B', 'E', 'b', 'e', 'i'};
+
+bool is_async(EventKind kind) noexcept {
+  return kind == EventKind::kAsyncBegin || kind == EventKind::kAsyncEnd;
+}
+
+void write_args_object(std::ostream& os, const std::vector<Arg>& args) {
+  os << '{';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ',';
+    os << json_string(args[i].key) << ':' << args[i].json;
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string json_string(std::string_view s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no NaN/Inf
+  char buf[64];
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  std::string s = buf;
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+Arg arg(std::string key, std::string_view value) {
+  return Arg{std::move(key), json_string(value)};
+}
+
+Arg arg(std::string key, double value) {
+  return Arg{std::move(key), json_number(value)};
+}
+
+void Tracer::push(double t, EventKind kind, std::string_view lane,
+                  std::string_view name, std::uint64_t id,
+                  std::vector<Arg> args) {
+  events_.push_back(TraceEvent{t, kind, std::string(lane), std::string(name),
+                               id, std::move(args)});
+}
+
+void Tracer::begin(double t, std::string_view lane, std::string_view name,
+                   std::vector<Arg> args) {
+  push(t, EventKind::kBegin, lane, name, 0, std::move(args));
+}
+
+void Tracer::end(double t, std::string_view lane, std::string_view name,
+                 std::vector<Arg> args) {
+  push(t, EventKind::kEnd, lane, name, 0, std::move(args));
+}
+
+void Tracer::async_begin(double t, std::string_view lane,
+                         std::string_view name, std::uint64_t id,
+                         std::vector<Arg> args) {
+  push(t, EventKind::kAsyncBegin, lane, name, id, std::move(args));
+}
+
+void Tracer::async_end(double t, std::string_view lane, std::string_view name,
+                       std::uint64_t id, std::vector<Arg> args) {
+  push(t, EventKind::kAsyncEnd, lane, name, id, std::move(args));
+}
+
+void Tracer::instant(double t, std::string_view lane, std::string_view name,
+                     std::vector<Arg> args) {
+  push(t, EventKind::kInstant, lane, name, 0, std::move(args));
+}
+
+std::vector<std::string> Tracer::lanes() const {
+  std::vector<std::string> out;
+  for (const TraceEvent& e : events_) {
+    bool seen = false;
+    for (const std::string& lane : out) {
+      if (lane == e.lane) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(e.lane);
+  }
+  return out;
+}
+
+void Tracer::write_jsonl(std::ostream& os) const {
+  for (const TraceEvent& e : events_) {
+    os << "{\"t\":" << json_number(e.time) << ",\"ph\":\""
+       << kPhaseLetter[static_cast<std::size_t>(e.kind)] << "\",\"lane\":"
+       << json_string(e.lane) << ",\"name\":" << json_string(e.name);
+    if (is_async(e.kind)) os << ",\"id\":" << e.id;
+    if (!e.args.empty()) {
+      os << ",\"args\":";
+      write_args_object(os, e.args);
+    }
+    os << "}\n";
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  // Timestamps are exported in microseconds; one sim latency unit maps
+  // to 1 ms so sub-unit delays stay visible in the viewer.
+  constexpr double kTsScale = 1000.0;
+  const std::vector<std::string> lane_order = lanes();
+  const auto tid_of = [&lane_order](const std::string& lane) {
+    for (std::size_t i = 0; i < lane_order.size(); ++i)
+      if (lane_order[i] == lane) return i;
+    return std::size_t{0};  // unreachable: every event's lane is listed
+  };
+
+  os << "{\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"p2plb\"}}";
+  for (std::size_t i = 0; i < lane_order.size(); ++i) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << i
+       << ",\"args\":{\"name\":" << json_string(lane_order[i]) << "}}";
+    os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+          "\"tid\":"
+       << i << ",\"args\":{\"sort_index\":" << i << "}}";
+  }
+  for (const TraceEvent& e : events_) {
+    os << ",\n{\"name\":" << json_string(e.name)
+       << ",\"cat\":" << json_string(e.lane) << ",\"ph\":\""
+       << kPhaseLetter[static_cast<std::size_t>(e.kind)]
+       << "\",\"ts\":" << json_number(e.time * kTsScale)
+       << ",\"pid\":1,\"tid\":" << tid_of(e.lane);
+    if (is_async(e.kind)) os << ",\"id\":" << e.id;
+    if (e.kind == EventKind::kInstant) os << ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+      os << ",\"args\":";
+      write_args_object(os, e.args);
+    }
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_trace_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream os(path);
+  P2PLB_REQUIRE_MSG(os.good(), "cannot open trace file: " + path);
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    tracer.write_jsonl(os);
+  } else {
+    tracer.write_chrome_trace(os);
+  }
+}
+
+}  // namespace p2plb::obs

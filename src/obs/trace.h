@@ -1,0 +1,119 @@
+// Structured tracing over simulated time.
+//
+// A Tracer records timestamped events -- spans (begin/end), async spans
+// (begin/end correlated by id, free to overlap and to close out of
+// order), and instants -- each on a named *lane* (a display track:
+// "lb.aggregation", "lb.transfer", "net", ...).  Timestamps are supplied
+// by the caller in sim::Time units, so obs stays below sim in the layer
+// graph and a (seed, scenario) pair always produces the identical trace.
+//
+// Two exporters:
+//   * write_jsonl      -- one JSON object per line, stable field order;
+//                         the machine-diffable form golden tests pin.
+//   * write_chrome_trace -- Chrome trace_event JSON ("traceEvents"), one
+//                         thread lane per trace lane, loadable directly
+//                         in Perfetto (ui.perfetto.dev) or
+//                         chrome://tracing.  Sync spans become B/E
+//                         events, async spans b/e events, instants i.
+//
+// The null-tracer fast path is a null pointer at the instrumentation
+// site: every producer holds an `obs::Tracer*` that defaults to nullptr
+// and skips all event construction when unset, so an untraced run does
+// no extra work beyond one pointer test per hook.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2plb::obs {
+
+/// One key/value argument of a trace event.  `json` holds the value
+/// pre-encoded as a JSON scalar so exporters never re-interpret it.
+struct Arg {
+  std::string key;
+  std::string json;
+};
+
+/// Encode a JSON string scalar (quotes + escapes).
+[[nodiscard]] std::string json_string(std::string_view s);
+/// Encode a JSON number: integral values print without a decimal point,
+/// others with up to 6 fractional digits (trailing zeros trimmed) --
+/// deterministic across platforms.
+[[nodiscard]] std::string json_number(double v);
+
+[[nodiscard]] Arg arg(std::string key, std::string_view value);
+[[nodiscard]] inline Arg arg(std::string key, const char* value) {
+  return arg(std::move(key), std::string_view(value));
+}
+[[nodiscard]] Arg arg(std::string key, double value);
+template <std::integral T>
+[[nodiscard]] Arg arg(std::string key, T value) {
+  return arg(std::move(key), static_cast<double>(value));
+}
+
+/// What kind of mark an event is; values match the Chrome trace "ph"
+/// letters they export as.
+enum class EventKind : std::uint8_t {
+  kBegin,       ///< "B" -- sync span open (LIFO per lane)
+  kEnd,         ///< "E" -- sync span close
+  kAsyncBegin,  ///< "b" -- async span open, correlated by id
+  kAsyncEnd,    ///< "e" -- async span close
+  kInstant,     ///< "i" -- point event
+};
+
+/// One recorded event.
+struct TraceEvent {
+  double time = 0.0;  ///< sim::Time units
+  EventKind kind = EventKind::kInstant;
+  std::string lane;
+  std::string name;
+  std::uint64_t id = 0;  ///< async span correlation id (0 for sync kinds)
+  std::vector<Arg> args;
+};
+
+/// Event recorder.  Not thread-safe (the simulator is single-threaded).
+class Tracer {
+ public:
+  void begin(double t, std::string_view lane, std::string_view name,
+             std::vector<Arg> args = {});
+  void end(double t, std::string_view lane, std::string_view name,
+           std::vector<Arg> args = {});
+  void async_begin(double t, std::string_view lane, std::string_view name,
+                   std::uint64_t id, std::vector<Arg> args = {});
+  void async_end(double t, std::string_view lane, std::string_view name,
+                 std::uint64_t id, std::vector<Arg> args = {});
+  void instant(double t, std::string_view lane, std::string_view name,
+               std::vector<Arg> args = {});
+
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return events_.size();
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  void clear() noexcept { events_.clear(); }
+
+  /// Lanes in order of first appearance (the Chrome exporter's tid
+  /// assignment, exposed for tests).
+  [[nodiscard]] std::vector<std::string> lanes() const;
+
+  void write_jsonl(std::ostream& os) const;
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  void push(double t, EventKind kind, std::string_view lane,
+            std::string_view name, std::uint64_t id, std::vector<Arg> args);
+
+  std::vector<TraceEvent> events_;
+};
+
+/// Write the trace to `path`: JSONL when the name ends in ".jsonl",
+/// Chrome trace_event JSON otherwise.  Throws PreconditionError on an
+/// unwritable path.
+void write_trace_file(const Tracer& tracer, const std::string& path);
+
+}  // namespace p2plb::obs

@@ -10,14 +10,26 @@
 // may carry a tag ("lb.vsa", "ktree.maintenance", ...) and the network
 // keeps an independent counter set per tag, which is how overlapping
 // protocol phases on one shared network are told apart.
+//
+// Observability: attach_metrics() mirrors every send into an
+// obs::MetricsRegistry (net.messages / net.bytes / net.latency_sum,
+// plus a {tag=...} labelled set per tag) and attach_tracer() records a
+// msg.send instant at scheduling time and a msg.deliver instant at
+// delivery time, on the lane named after the tag ("net" for untagged
+// sends).  Both sinks default to detached and cost one pointer test per
+// send when unset.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 
 namespace p2plb::sim {
@@ -68,11 +80,75 @@ class Network {
         it = tagged_.emplace(std::string(tag), TrafficCounters{}).first;
       account(it->second, lat, bytes);
     }
+    if (metrics_ != nullptr) {
+      totals_handles_.messages->increment();
+      totals_handles_.bytes->add(bytes);
+      totals_handles_.latency->add(lat);
+      if (!tag.empty()) {
+        const TagHandles& h = tag_metric_handles(tag);
+        h.messages->increment();
+        h.bytes->add(bytes);
+        h.latency->add(lat);
+      }
+    }
+    if (tracer_ != nullptr) {
+      const std::string_view lane = tag.empty() ? std::string_view("net") : tag;
+      tracer_->instant(engine_.now(), lane, "msg.send",
+                       {obs::arg("from", from), obs::arg("to", to),
+                        obs::arg("bytes", bytes), obs::arg("latency", lat)});
+      // Re-check tracer_ at delivery time: the sink may detach while the
+      // message is in flight.  The wrapper fires inside the same engine
+      // event as the payload, so tracing adds no events to the schedule.
+      on_receive = [this, lane = std::string(lane), from, to,
+                    inner = std::move(on_receive)]() {
+        if (tracer_ != nullptr)
+          tracer_->instant(engine_.now(), lane, "msg.deliver",
+                           {obs::arg("from", from), obs::arg("to", to)});
+        inner();
+      };
+    }
     return engine_.schedule_after(lat + processing_delay,
                                   std::move(on_receive));
   }
 
   [[nodiscard]] Engine& engine() noexcept { return engine_; }
+
+  /// Record every send/deliver into `tracer` (nullptr detaches).
+  void attach_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// Mirror all subsequent accounting into `registry` (non-null).  The
+  /// registry counters are seeded from the current legacy counters, so a
+  /// network with a fresh registry of its own agrees with its legacy
+  /// counters exactly.  A registry shared across networks accumulates all
+  /// of them, and reset_counters() clears only the legacy side -- in both
+  /// cases the schemes intentionally diverge.
+  void attach_metrics(obs::MetricsRegistry* registry) {
+    P2PLB_REQUIRE(registry != nullptr);
+    P2PLB_REQUIRE_MSG(metrics_ == nullptr || metrics_ == registry,
+                      "a different metrics registry is already attached");
+    if (metrics_ == registry) return;
+    metrics_ = registry;
+    totals_handles_ = TagHandles{&metrics_->counter("net.messages"),
+                                 &metrics_->counter("net.bytes"),
+                                 &metrics_->counter("net.latency_sum")};
+    seed(totals_handles_, totals_);
+    tag_handles_.clear();
+    for (const auto& [tag, counters] : tagged_)
+      seed(tag_metric_handles(tag), counters);
+  }
+  /// The attached registry, creating (and owning) one on first use.
+  [[nodiscard]] obs::MetricsRegistry& metrics() {
+    if (metrics_ == nullptr) {
+      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+      attach_metrics(owned_metrics_.get());
+    }
+    return *metrics_;
+  }
+  /// The attached registry, or nullptr when none is attached.
+  [[nodiscard]] obs::MetricsRegistry* metrics_registry() const noexcept {
+    return metrics_;
+  }
 
   /// The latency the next send between these endpoints would pay (no
   /// accounting side effects).
@@ -105,10 +181,38 @@ class Network {
   }
 
  private:
+  /// Registry handles for one counter set, resolved once and then updated
+  /// without a registry lookup.
+  struct TagHandles {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* latency = nullptr;
+  };
+
   static void account(TrafficCounters& c, Time lat, double bytes) noexcept {
     ++c.messages;
     c.bytes += bytes;
     c.latency_sum += lat;
+  }
+
+  /// Bring freshly resolved registry handles up to date with traffic that
+  /// predates the attach.
+  static void seed(const TagHandles& h, const TrafficCounters& c) {
+    h.messages->add(static_cast<double>(c.messages));
+    h.bytes->add(c.bytes);
+    h.latency->add(c.latency_sum);
+  }
+
+  const TagHandles& tag_metric_handles(std::string_view tag) {
+    const auto it = tag_handles_.find(tag);
+    if (it != tag_handles_.end()) return it->second;
+    const obs::Labels labels{{"tag", std::string(tag)}};
+    return tag_handles_
+        .emplace(std::string(tag),
+                 TagHandles{&metrics_->counter("net.messages", labels),
+                            &metrics_->counter("net.bytes", labels),
+                            &metrics_->counter("net.latency_sum", labels)})
+        .first->second;
   }
 
   Engine& engine_;
@@ -117,6 +221,12 @@ class Network {
   // Ordered so iteration (and therefore any derived output) is
   // deterministic; std::less<> enables string_view lookups.
   std::map<std::string, TrafficCounters, std::less<>> tagged_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  TagHandles totals_handles_;
+  std::map<std::string, TagHandles, std::less<>> tag_handles_;
 };
 
 }  // namespace p2plb::sim

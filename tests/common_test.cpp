@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "common/cli.h"
@@ -288,6 +289,32 @@ TEST(Histogram, RejectsBadEdges) {
   EXPECT_THROW(h.add(0.5, -1.0), PreconditionError);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinTheCrossingBin) {
+  Histogram h({0.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.add(5.0, 1.0);
+  h.add(15.0, 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 10.0);  // exactly drains bin 0
+  EXPECT_NEAR(h.quantile(0.50), 10.0 + 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.quantile(0.90), 10.0 + 10.0 * (2.6 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  EXPECT_THROW((void)h.quantile(-0.01), PreconditionError);
+  EXPECT_THROW((void)h.quantile(1.01), PreconditionError);
+}
+
+TEST(Histogram, QuantileAttributesUnderAndOverflowToTheEdges) {
+  Histogram h({0.0, 1.0});
+  h.add(-5.0);  // underflow
+  h.add(9.0);   // overflow
+  // Half the mass sits below the range, half above: the estimate clamps
+  // to the edges instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
 TEST(WeightedCdf, CollapsesTiesAndNormalizes) {
   const std::vector<double> values{3.0, 1.0, 3.0, 2.0};
   const std::vector<double> weights{1.0, 2.0, 1.0, 1.0};
@@ -340,6 +367,25 @@ TEST(Table, NumTrimsZeros) {
   EXPECT_EQ(Table::num(1.5, 4), "1.5");
   EXPECT_EQ(Table::num(2.0, 4), "2");
   EXPECT_EQ(Table::num(0.1234, 2), "0.12");
+}
+
+TEST(Table, MixedCellRowRendersStringsAndNumbers) {
+  Table t({"metric", "count", "value"});
+  // One braced row mixing a label, an integer and a double: integers
+  // render without a decimal point, doubles through num().
+  t.add_row({"p99", std::uint64_t{12}, 3.25});
+  t.add_row({std::string("p50"), -4, 2.0});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "metric,count,value\n"
+            "p99,12,3.25\n"
+            "p50,-4,2\n");
+}
+
+TEST(Table, MixedCellRowWidthValidated) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one-cell", 1, 2.0}), PreconditionError);
 }
 
 // --- Cli -----------------------------------------------------------------------

@@ -1,0 +1,568 @@
+// Tests for the observability layer (obs::MetricsRegistry, obs::Tracer).
+//
+// Three groups:
+//   * unit tests for the registry primitives (canonical keys, counters,
+//     gauges, histograms, snapshots, exports);
+//   * golden-file tests pinning the exact JSONL and Chrome trace_event
+//     output of one small deterministic balancing round -- any change to
+//     event ordering, field order or number formatting shows up as a
+//     byte-level diff here;
+//   * null-tracer / registry-vs-legacy tests: tracing must not perturb
+//     the simulation, and the registry must agree exactly with the
+//     network's legacy TrafficCounters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "lb/protocol_round.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace p2plb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry primitives
+// ---------------------------------------------------------------------------
+
+TEST(MetricsKey, CanonicalizesLabels) {
+  EXPECT_EQ(obs::MetricsRegistry::key_of("net.messages", {}), "net.messages");
+  EXPECT_EQ(obs::MetricsRegistry::key_of("m", {{"tag", "lb.vsa"}}),
+            "m{tag=lb.vsa}");
+  // Label order at the call site never matters: keys are sorted.
+  EXPECT_EQ(obs::MetricsRegistry::key_of("m", {{"b", "2"}, {"a", "1"}}),
+            obs::MetricsRegistry::key_of("m", {{"a", "1"}, {"b", "2"}}));
+  EXPECT_EQ(obs::MetricsRegistry::key_of("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=1,b=2}");
+}
+
+TEST(MetricsKey, RejectsMalformedNamesAndLabels) {
+  EXPECT_THROW((void)obs::MetricsRegistry::key_of("", {}), PreconditionError);
+  EXPECT_THROW((void)obs::MetricsRegistry::key_of("m", {{"", "v"}}),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)obs::MetricsRegistry::key_of("m", {{"k", "1"}, {"k", "2"}}),
+      PreconditionError);
+}
+
+TEST(Metrics, CounterMovesForwardOnly) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.increment();
+  c.add(2.5);
+  c.add(0.0);
+  EXPECT_EQ(c.value(), 3.5);
+  EXPECT_THROW(c.add(-1.0), PreconditionError);
+  EXPECT_EQ(c.value(), 3.5);  // failed add leaves the value untouched
+}
+
+TEST(Metrics, GaugeMovesBothWays) {
+  obs::Gauge g;
+  g.set(4.0);
+  g.add(-1.5);
+  EXPECT_EQ(g.value(), 2.5);
+}
+
+TEST(Metrics, HistogramQuantiles) {
+  obs::HistogramMetric h({0.0, 10.0, 20.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+  h.observe(5.0);        // bin [0, 10), weight 1
+  h.observe(15.0, 3.0);  // bin [10, 20), weight 3
+  EXPECT_EQ(h.samples(), 2u);
+  EXPECT_EQ(h.total_weight(), 4.0);
+  // p50 target = 2: one unit through bin 0, a third into bin 1.
+  EXPECT_NEAR(h.quantile(0.50), 10.0 + 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.quantile(0.90), 10.0 + 10.0 * (2.6 / 3.0), 1e-12);
+  EXPECT_NEAR(h.quantile(1.00), 20.0, 1e-12);
+}
+
+TEST(Metrics, RegistryHandlesAreStableAndFindable) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x", {{"tag", "t"}});
+  obs::Counter& b = reg.counter("x", {{"tag", "t"}});
+  EXPECT_EQ(&a, &b);  // find-or-create returns the same object
+  a.increment();
+  const obs::Counter* found = reg.find_counter("x", {{"tag", "t"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->value(), 1.0);
+  EXPECT_EQ(reg.find_counter("x"), nullptr);  // different identity
+  EXPECT_EQ(reg.size(), 1u);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h", {0.0, 1.0});
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Metrics, SnapshotAndDiff) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").add(3.0);
+  reg.histogram("h", {0.0, 1.0, 2.0}).observe(0.5, 2.0);
+  const obs::MetricsSnapshot before = reg.snapshot();
+  EXPECT_EQ(before.value("c"), 3.0);
+  EXPECT_EQ(before.value("h/count"), 1.0);
+  EXPECT_EQ(before.value("h/weight"), 2.0);
+  EXPECT_EQ(before.value("missing"), 0.0);
+
+  reg.counter("c").add(4.0);
+  reg.counter("late").increment();  // born between the snapshots
+  reg.histogram("h", {}).observe(1.5);
+  const obs::MetricsSnapshot d = reg.snapshot().diff(before);
+  EXPECT_EQ(d.value("c"), 4.0);
+  EXPECT_EQ(d.value("late"), 1.0);
+  EXPECT_EQ(d.value("h/count"), 1.0);
+  EXPECT_EQ(d.value("h/weight"), 1.0);
+}
+
+TEST(Metrics, CsvExportIsCanonical) {
+  obs::MetricsRegistry reg;
+  reg.counter("msgs").add(3.0);
+  reg.counter("msgs", {{"tag", "lb"}}).add(2.0);
+  reg.gauge("queue.depth").set(1.5);
+  obs::HistogramMetric& h = reg.histogram("dist", {0.0, 10.0, 20.0});
+  h.observe(5.0);
+  h.observe(15.0, 3.0);
+  std::ostringstream os;
+  reg.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "metric,value\n"
+            "msgs,3\n"
+            "msgs{tag=lb},2\n"
+            "queue.depth,1.5\n"
+            "dist/count,2\n"
+            "dist/weight,4\n"
+            "dist/p50,13.333333\n"
+            "dist/p90,18.666667\n"
+            "dist/p99,19.866667\n");
+}
+
+TEST(Metrics, FileWriterPicksFormatBySuffix) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").increment();
+  const std::string csv_path = testing::TempDir() + "obs_metrics.csv";
+  const std::string txt_path = testing::TempDir() + "obs_metrics.txt";
+  obs::write_metrics_file(reg, csv_path);
+  obs::write_metrics_file(reg, txt_path);
+  std::ifstream csv(csv_path), txt(txt_path);
+  std::string csv_line, txt_line;
+  ASSERT_TRUE(std::getline(csv, csv_line));
+  ASSERT_TRUE(std::getline(txt, txt_line));
+  EXPECT_EQ(csv_line, "metric,value");
+  EXPECT_NE(txt_line, "metric,value");  // aligned text, not CSV
+  EXPECT_THROW(obs::write_metrics_file(reg, "/nonexistent-dir/m.csv"),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer primitives
+// ---------------------------------------------------------------------------
+
+TEST(Trace, JsonScalars) {
+  EXPECT_EQ(obs::json_number(2.0), "2");
+  EXPECT_EQ(obs::json_number(-3.0), "-3");
+  EXPECT_EQ(obs::json_number(1.5), "1.5");
+  EXPECT_EQ(obs::json_number(0.1234567), "0.123457");  // 6 digits, trimmed
+  EXPECT_EQ(obs::json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(obs::json_string(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Trace, JsonlFieldOrderAndLanes) {
+  obs::Tracer tr;
+  tr.begin(0.0, "lane", "span", {obs::arg("k", 1)});
+  tr.async_begin(0.5, "lane", "job", 7, {obs::arg("s", "a\"b")});
+  tr.instant(1.0, "other", "mark");
+  tr.async_end(1.5, "lane", "job", 7);
+  tr.end(2.0, "lane", "span");
+  std::ostringstream os;
+  tr.write_jsonl(os);
+  EXPECT_EQ(
+      os.str(),
+      "{\"t\":0,\"ph\":\"B\",\"lane\":\"lane\",\"name\":\"span\","
+      "\"args\":{\"k\":1}}\n"
+      "{\"t\":0.5,\"ph\":\"b\",\"lane\":\"lane\",\"name\":\"job\",\"id\":7,"
+      "\"args\":{\"s\":\"a\\\"b\"}}\n"
+      "{\"t\":1,\"ph\":\"i\",\"lane\":\"other\",\"name\":\"mark\"}\n"
+      "{\"t\":1.5,\"ph\":\"e\",\"lane\":\"lane\",\"name\":\"job\",\"id\":7}\n"
+      "{\"t\":2,\"ph\":\"E\",\"lane\":\"lane\",\"name\":\"span\"}\n");
+  EXPECT_EQ(tr.event_count(), 5u);
+  EXPECT_EQ(tr.lanes(), (std::vector<std::string>{"lane", "other"}));
+  tr.clear();
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden round: two physical nodes, three virtual servers, one transfer.
+// ---------------------------------------------------------------------------
+
+/// Node A (capacity 1) is overloaded by its 2.0-load server; node B
+/// (capacity 10) has room for exactly that one.  Deterministic: fixed
+/// keys, fixed seed, unit latency.
+chord::Ring golden_ring() {
+  chord::Ring ring;
+  const auto a = ring.add_node(1.0);
+  const auto b = ring.add_node(10.0);
+  ring.add_virtual_server(a, 0x40000000u);
+  ring.add_virtual_server(a, 0x80000000u);
+  ring.add_virtual_server(b, 0xC0000000u);
+  ring.set_load(0x40000000u, 2.0);
+  ring.set_load(0x80000000u, 0.4);
+  ring.set_load(0xC0000000u, 0.5);
+  return ring;
+}
+
+struct GoldenRun {
+  std::uint64_t events_executed = 0;
+  std::size_t transfers_applied = 0;
+  double completion_time = 0.0;
+};
+
+/// One timed round over the golden ring; `tracer` may be nullptr.
+GoldenRun run_golden_round(obs::Tracer* tracer) {
+  auto ring = golden_ring();
+  sim::Engine engine;
+  sim::Network net(engine, [](sim::Endpoint x, sim::Endpoint y) {
+    return x == y ? 0.0 : 1.0;
+  });
+  if (tracer != nullptr) net.attach_tracer(tracer);
+  Rng rng(7);
+  lb::ProtocolRound round(net, ring, {}, rng);
+  round.start();
+  engine.run();
+  EXPECT_TRUE(round.done());
+  return GoldenRun{engine.events_executed(),
+                   round.report().transfers_applied,
+                   round.report().completion_time};
+}
+
+// The pinned exports.  Regenerate by running the scenario above and
+// dumping write_jsonl / write_chrome_trace -- but treat any diff as a
+// breaking change to the trace format first.
+constexpr const char* kGoldenJsonl = R"gold({"t":0,"ph":"B","lane":"lb.round","name":"round","args":{"nodes":2,"planned_transfers":1}}
+{"t":0,"ph":"B","lane":"lb.aggregation","name":"aggregation"}
+{"t":0,"ph":"i","lane":"lb.aggregation","name":"sweep.fold","args":{"node":1,"parent":0,"latency":0}}
+{"t":0,"ph":"i","lane":"lb.aggregation","name":"msg.send","args":{"from":0,"to":0,"bytes":24,"latency":0}}
+{"t":0,"ph":"i","lane":"lb.aggregation","name":"sweep.fold","args":{"node":4,"parent":2,"latency":1}}
+{"t":0,"ph":"i","lane":"lb.aggregation","name":"msg.send","args":{"from":0,"to":1,"bytes":24,"latency":1}}
+{"t":0,"ph":"i","lane":"lb.aggregation","name":"msg.send","args":{"from":0,"to":1,"bytes":24,"latency":1}}
+{"t":0,"ph":"i","lane":"lb.aggregation","name":"msg.send","args":{"from":1,"to":1,"bytes":24,"latency":0}}
+{"t":0,"ph":"i","lane":"lb.aggregation","name":"msg.deliver","args":{"from":0,"to":0}}
+{"t":0,"ph":"i","lane":"lb.aggregation","name":"msg.deliver","args":{"from":1,"to":1}}
+{"t":1,"ph":"i","lane":"lb.aggregation","name":"msg.deliver","args":{"from":0,"to":1}}
+{"t":1,"ph":"i","lane":"lb.aggregation","name":"msg.deliver","args":{"from":0,"to":1}}
+{"t":1,"ph":"i","lane":"lb.aggregation","name":"sweep.fold","args":{"node":3,"parent":2,"latency":0}}
+{"t":1,"ph":"i","lane":"lb.aggregation","name":"msg.send","args":{"from":1,"to":1,"bytes":24,"latency":0}}
+{"t":1,"ph":"i","lane":"lb.aggregation","name":"msg.deliver","args":{"from":1,"to":1}}
+{"t":1,"ph":"i","lane":"lb.aggregation","name":"sweep.fold","args":{"node":2,"parent":0,"latency":1}}
+{"t":1,"ph":"i","lane":"lb.aggregation","name":"msg.send","args":{"from":1,"to":0,"bytes":24,"latency":1}}
+{"t":2,"ph":"i","lane":"lb.aggregation","name":"msg.deliver","args":{"from":1,"to":0}}
+{"t":2,"ph":"i","lane":"lb.aggregation","name":"sweep.root_folded","args":{"messages":2,"local_hops":2}}
+{"t":2,"ph":"E","lane":"lb.aggregation","name":"aggregation","args":{"messages":6,"bytes":144}}
+{"t":2,"ph":"B","lane":"lb.dissemination","name":"dissemination"}
+{"t":2,"ph":"i","lane":"lb.dissemination","name":"sweep.deliver","args":{"node":0,"child":1,"latency":0}}
+{"t":2,"ph":"i","lane":"lb.dissemination","name":"msg.send","args":{"from":0,"to":0,"bytes":24,"latency":0}}
+{"t":2,"ph":"i","lane":"lb.dissemination","name":"sweep.deliver","args":{"node":0,"child":2,"latency":1}}
+{"t":2,"ph":"i","lane":"lb.dissemination","name":"msg.send","args":{"from":0,"to":1,"bytes":24,"latency":1}}
+{"t":2,"ph":"i","lane":"lb.dissemination","name":"msg.deliver","args":{"from":0,"to":0}}
+{"t":2,"ph":"i","lane":"lb.dissemination","name":"sweep.leaf_reached","args":{"leaf":1,"leaves_left":2}}
+{"t":2,"ph":"i","lane":"lb.dissemination","name":"msg.send","args":{"from":0,"to":0,"bytes":24,"latency":0}}
+{"t":2,"ph":"i","lane":"lb.dissemination","name":"msg.deliver","args":{"from":0,"to":0}}
+{"t":3,"ph":"i","lane":"lb.dissemination","name":"msg.deliver","args":{"from":0,"to":1}}
+{"t":3,"ph":"i","lane":"lb.dissemination","name":"sweep.deliver","args":{"node":2,"child":3,"latency":0}}
+{"t":3,"ph":"i","lane":"lb.dissemination","name":"msg.send","args":{"from":1,"to":1,"bytes":24,"latency":0}}
+{"t":3,"ph":"i","lane":"lb.dissemination","name":"sweep.deliver","args":{"node":2,"child":4,"latency":1}}
+{"t":3,"ph":"i","lane":"lb.dissemination","name":"msg.send","args":{"from":1,"to":0,"bytes":24,"latency":1}}
+{"t":3,"ph":"i","lane":"lb.dissemination","name":"msg.deliver","args":{"from":1,"to":1}}
+{"t":3,"ph":"i","lane":"lb.dissemination","name":"sweep.leaf_reached","args":{"leaf":3,"leaves_left":1}}
+{"t":3,"ph":"i","lane":"lb.dissemination","name":"msg.send","args":{"from":1,"to":1,"bytes":24,"latency":0}}
+{"t":3,"ph":"i","lane":"lb.dissemination","name":"msg.deliver","args":{"from":1,"to":1}}
+{"t":4,"ph":"i","lane":"lb.dissemination","name":"msg.deliver","args":{"from":1,"to":0}}
+{"t":4,"ph":"i","lane":"lb.dissemination","name":"sweep.leaf_reached","args":{"leaf":4,"leaves_left":0}}
+{"t":4,"ph":"i","lane":"lb.dissemination","name":"msg.send","args":{"from":0,"to":0,"bytes":24,"latency":0}}
+{"t":4,"ph":"i","lane":"lb.dissemination","name":"msg.deliver","args":{"from":0,"to":0}}
+{"t":4,"ph":"E","lane":"lb.dissemination","name":"dissemination","args":{"messages":7,"bytes":168}}
+{"t":4,"ph":"B","lane":"lb.vsa","name":"vsa"}
+{"t":4,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":0,"to":1,"bytes":32,"latency":1}}
+{"t":4,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":0,"to":1,"bytes":32,"latency":1}}
+{"t":4,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":1,"to":1,"bytes":32,"latency":0}}
+{"t":4,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":1,"to":1}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":0,"to":1}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":0,"to":1}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":1,"to":1,"bytes":32,"latency":0}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":1,"to":1,"bytes":32,"latency":0}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":1,"to":1,"bytes":32,"latency":0}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":1,"to":1}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":1,"to":1}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":1,"to":1}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":1,"to":0,"bytes":32,"latency":1}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":1,"to":0,"bytes":32,"latency":1}}
+{"t":5,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":1,"to":0,"bytes":32,"latency":1}}
+{"t":6,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":1,"to":0}}
+{"t":6,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":1,"to":0}}
+{"t":6,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":1,"to":0}}
+{"t":6,"ph":"i","lane":"lb.vsa","name":"vsa.match","args":{"vs":1073741824,"from":0,"to":1,"load":2,"depth":0}}
+{"t":6,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":0,"to":0,"bytes":16,"latency":0}}
+{"t":6,"ph":"i","lane":"lb.vsa","name":"msg.send","args":{"from":0,"to":1,"bytes":16,"latency":1}}
+{"t":6,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":0,"to":0}}
+{"t":6,"ph":"B","lane":"lb.transfer","name":"transfer"}
+{"t":6,"ph":"b","lane":"lb.transfer","name":"transfer","id":1,"args":{"vs":1073741824,"from":0,"to":1,"load":2}}
+{"t":6,"ph":"i","lane":"lb.transfer","name":"msg.send","args":{"from":0,"to":1,"bytes":2,"latency":1}}
+{"t":7,"ph":"i","lane":"lb.vsa","name":"msg.deliver","args":{"from":0,"to":1}}
+{"t":7,"ph":"E","lane":"lb.vsa","name":"vsa","args":{"messages":11,"bytes":320}}
+{"t":7,"ph":"i","lane":"lb.transfer","name":"msg.deliver","args":{"from":0,"to":1}}
+{"t":7,"ph":"e","lane":"lb.transfer","name":"transfer","id":1,"args":{"applied":1}}
+{"t":7,"ph":"E","lane":"lb.transfer","name":"transfer","args":{"messages":1,"applied":1}}
+{"t":7,"ph":"E","lane":"lb.round","name":"round","args":{"transfers_applied":1,"completion_time":7}}
+)gold";
+
+constexpr const char* kGoldenChrome = R"gold({"traceEvents":[
+{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"p2plb"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"lb.round"}},
+{"name":"thread_sort_index","ph":"M","pid":1,"tid":0,"args":{"sort_index":0}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"lb.aggregation"}},
+{"name":"thread_sort_index","ph":"M","pid":1,"tid":1,"args":{"sort_index":1}},
+{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"lb.dissemination"}},
+{"name":"thread_sort_index","ph":"M","pid":1,"tid":2,"args":{"sort_index":2}},
+{"name":"thread_name","ph":"M","pid":1,"tid":3,"args":{"name":"lb.vsa"}},
+{"name":"thread_sort_index","ph":"M","pid":1,"tid":3,"args":{"sort_index":3}},
+{"name":"thread_name","ph":"M","pid":1,"tid":4,"args":{"name":"lb.transfer"}},
+{"name":"thread_sort_index","ph":"M","pid":1,"tid":4,"args":{"sort_index":4}},
+{"name":"round","cat":"lb.round","ph":"B","ts":0,"pid":1,"tid":0,"args":{"nodes":2,"planned_transfers":1}},
+{"name":"aggregation","cat":"lb.aggregation","ph":"B","ts":0,"pid":1,"tid":1},
+{"name":"sweep.fold","cat":"lb.aggregation","ph":"i","ts":0,"pid":1,"tid":1,"s":"t","args":{"node":1,"parent":0,"latency":0}},
+{"name":"msg.send","cat":"lb.aggregation","ph":"i","ts":0,"pid":1,"tid":1,"s":"t","args":{"from":0,"to":0,"bytes":24,"latency":0}},
+{"name":"sweep.fold","cat":"lb.aggregation","ph":"i","ts":0,"pid":1,"tid":1,"s":"t","args":{"node":4,"parent":2,"latency":1}},
+{"name":"msg.send","cat":"lb.aggregation","ph":"i","ts":0,"pid":1,"tid":1,"s":"t","args":{"from":0,"to":1,"bytes":24,"latency":1}},
+{"name":"msg.send","cat":"lb.aggregation","ph":"i","ts":0,"pid":1,"tid":1,"s":"t","args":{"from":0,"to":1,"bytes":24,"latency":1}},
+{"name":"msg.send","cat":"lb.aggregation","ph":"i","ts":0,"pid":1,"tid":1,"s":"t","args":{"from":1,"to":1,"bytes":24,"latency":0}},
+{"name":"msg.deliver","cat":"lb.aggregation","ph":"i","ts":0,"pid":1,"tid":1,"s":"t","args":{"from":0,"to":0}},
+{"name":"msg.deliver","cat":"lb.aggregation","ph":"i","ts":0,"pid":1,"tid":1,"s":"t","args":{"from":1,"to":1}},
+{"name":"msg.deliver","cat":"lb.aggregation","ph":"i","ts":1000,"pid":1,"tid":1,"s":"t","args":{"from":0,"to":1}},
+{"name":"msg.deliver","cat":"lb.aggregation","ph":"i","ts":1000,"pid":1,"tid":1,"s":"t","args":{"from":0,"to":1}},
+{"name":"sweep.fold","cat":"lb.aggregation","ph":"i","ts":1000,"pid":1,"tid":1,"s":"t","args":{"node":3,"parent":2,"latency":0}},
+{"name":"msg.send","cat":"lb.aggregation","ph":"i","ts":1000,"pid":1,"tid":1,"s":"t","args":{"from":1,"to":1,"bytes":24,"latency":0}},
+{"name":"msg.deliver","cat":"lb.aggregation","ph":"i","ts":1000,"pid":1,"tid":1,"s":"t","args":{"from":1,"to":1}},
+{"name":"sweep.fold","cat":"lb.aggregation","ph":"i","ts":1000,"pid":1,"tid":1,"s":"t","args":{"node":2,"parent":0,"latency":1}},
+{"name":"msg.send","cat":"lb.aggregation","ph":"i","ts":1000,"pid":1,"tid":1,"s":"t","args":{"from":1,"to":0,"bytes":24,"latency":1}},
+{"name":"msg.deliver","cat":"lb.aggregation","ph":"i","ts":2000,"pid":1,"tid":1,"s":"t","args":{"from":1,"to":0}},
+{"name":"sweep.root_folded","cat":"lb.aggregation","ph":"i","ts":2000,"pid":1,"tid":1,"s":"t","args":{"messages":2,"local_hops":2}},
+{"name":"aggregation","cat":"lb.aggregation","ph":"E","ts":2000,"pid":1,"tid":1,"args":{"messages":6,"bytes":144}},
+{"name":"dissemination","cat":"lb.dissemination","ph":"B","ts":2000,"pid":1,"tid":2},
+{"name":"sweep.deliver","cat":"lb.dissemination","ph":"i","ts":2000,"pid":1,"tid":2,"s":"t","args":{"node":0,"child":1,"latency":0}},
+{"name":"msg.send","cat":"lb.dissemination","ph":"i","ts":2000,"pid":1,"tid":2,"s":"t","args":{"from":0,"to":0,"bytes":24,"latency":0}},
+{"name":"sweep.deliver","cat":"lb.dissemination","ph":"i","ts":2000,"pid":1,"tid":2,"s":"t","args":{"node":0,"child":2,"latency":1}},
+{"name":"msg.send","cat":"lb.dissemination","ph":"i","ts":2000,"pid":1,"tid":2,"s":"t","args":{"from":0,"to":1,"bytes":24,"latency":1}},
+{"name":"msg.deliver","cat":"lb.dissemination","ph":"i","ts":2000,"pid":1,"tid":2,"s":"t","args":{"from":0,"to":0}},
+{"name":"sweep.leaf_reached","cat":"lb.dissemination","ph":"i","ts":2000,"pid":1,"tid":2,"s":"t","args":{"leaf":1,"leaves_left":2}},
+{"name":"msg.send","cat":"lb.dissemination","ph":"i","ts":2000,"pid":1,"tid":2,"s":"t","args":{"from":0,"to":0,"bytes":24,"latency":0}},
+{"name":"msg.deliver","cat":"lb.dissemination","ph":"i","ts":2000,"pid":1,"tid":2,"s":"t","args":{"from":0,"to":0}},
+{"name":"msg.deliver","cat":"lb.dissemination","ph":"i","ts":3000,"pid":1,"tid":2,"s":"t","args":{"from":0,"to":1}},
+{"name":"sweep.deliver","cat":"lb.dissemination","ph":"i","ts":3000,"pid":1,"tid":2,"s":"t","args":{"node":2,"child":3,"latency":0}},
+{"name":"msg.send","cat":"lb.dissemination","ph":"i","ts":3000,"pid":1,"tid":2,"s":"t","args":{"from":1,"to":1,"bytes":24,"latency":0}},
+{"name":"sweep.deliver","cat":"lb.dissemination","ph":"i","ts":3000,"pid":1,"tid":2,"s":"t","args":{"node":2,"child":4,"latency":1}},
+{"name":"msg.send","cat":"lb.dissemination","ph":"i","ts":3000,"pid":1,"tid":2,"s":"t","args":{"from":1,"to":0,"bytes":24,"latency":1}},
+{"name":"msg.deliver","cat":"lb.dissemination","ph":"i","ts":3000,"pid":1,"tid":2,"s":"t","args":{"from":1,"to":1}},
+{"name":"sweep.leaf_reached","cat":"lb.dissemination","ph":"i","ts":3000,"pid":1,"tid":2,"s":"t","args":{"leaf":3,"leaves_left":1}},
+{"name":"msg.send","cat":"lb.dissemination","ph":"i","ts":3000,"pid":1,"tid":2,"s":"t","args":{"from":1,"to":1,"bytes":24,"latency":0}},
+{"name":"msg.deliver","cat":"lb.dissemination","ph":"i","ts":3000,"pid":1,"tid":2,"s":"t","args":{"from":1,"to":1}},
+{"name":"msg.deliver","cat":"lb.dissemination","ph":"i","ts":4000,"pid":1,"tid":2,"s":"t","args":{"from":1,"to":0}},
+{"name":"sweep.leaf_reached","cat":"lb.dissemination","ph":"i","ts":4000,"pid":1,"tid":2,"s":"t","args":{"leaf":4,"leaves_left":0}},
+{"name":"msg.send","cat":"lb.dissemination","ph":"i","ts":4000,"pid":1,"tid":2,"s":"t","args":{"from":0,"to":0,"bytes":24,"latency":0}},
+{"name":"msg.deliver","cat":"lb.dissemination","ph":"i","ts":4000,"pid":1,"tid":2,"s":"t","args":{"from":0,"to":0}},
+{"name":"dissemination","cat":"lb.dissemination","ph":"E","ts":4000,"pid":1,"tid":2,"args":{"messages":7,"bytes":168}},
+{"name":"vsa","cat":"lb.vsa","ph":"B","ts":4000,"pid":1,"tid":3},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":4000,"pid":1,"tid":3,"s":"t","args":{"from":0,"to":1,"bytes":32,"latency":1}},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":4000,"pid":1,"tid":3,"s":"t","args":{"from":0,"to":1,"bytes":32,"latency":1}},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":4000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":1,"bytes":32,"latency":0}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":4000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":1}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":0,"to":1}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":0,"to":1}},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":1,"bytes":32,"latency":0}},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":1,"bytes":32,"latency":0}},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":1,"bytes":32,"latency":0}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":1}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":1}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":1}},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":0,"bytes":32,"latency":1}},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":0,"bytes":32,"latency":1}},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":5000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":0,"bytes":32,"latency":1}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":6000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":0}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":6000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":0}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":6000,"pid":1,"tid":3,"s":"t","args":{"from":1,"to":0}},
+{"name":"vsa.match","cat":"lb.vsa","ph":"i","ts":6000,"pid":1,"tid":3,"s":"t","args":{"vs":1073741824,"from":0,"to":1,"load":2,"depth":0}},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":6000,"pid":1,"tid":3,"s":"t","args":{"from":0,"to":0,"bytes":16,"latency":0}},
+{"name":"msg.send","cat":"lb.vsa","ph":"i","ts":6000,"pid":1,"tid":3,"s":"t","args":{"from":0,"to":1,"bytes":16,"latency":1}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":6000,"pid":1,"tid":3,"s":"t","args":{"from":0,"to":0}},
+{"name":"transfer","cat":"lb.transfer","ph":"B","ts":6000,"pid":1,"tid":4},
+{"name":"transfer","cat":"lb.transfer","ph":"b","ts":6000,"pid":1,"tid":4,"id":1,"args":{"vs":1073741824,"from":0,"to":1,"load":2}},
+{"name":"msg.send","cat":"lb.transfer","ph":"i","ts":6000,"pid":1,"tid":4,"s":"t","args":{"from":0,"to":1,"bytes":2,"latency":1}},
+{"name":"msg.deliver","cat":"lb.vsa","ph":"i","ts":7000,"pid":1,"tid":3,"s":"t","args":{"from":0,"to":1}},
+{"name":"vsa","cat":"lb.vsa","ph":"E","ts":7000,"pid":1,"tid":3,"args":{"messages":11,"bytes":320}},
+{"name":"msg.deliver","cat":"lb.transfer","ph":"i","ts":7000,"pid":1,"tid":4,"s":"t","args":{"from":0,"to":1}},
+{"name":"transfer","cat":"lb.transfer","ph":"e","ts":7000,"pid":1,"tid":4,"id":1,"args":{"applied":1}},
+{"name":"transfer","cat":"lb.transfer","ph":"E","ts":7000,"pid":1,"tid":4,"args":{"messages":1,"applied":1}},
+{"name":"round","cat":"lb.round","ph":"E","ts":7000,"pid":1,"tid":0,"args":{"transfers_applied":1,"completion_time":7}}
+],"displayTimeUnit":"ms"}
+)gold";
+
+TEST(TraceGolden, JsonlMatchesPinnedOutput) {
+  obs::Tracer tracer;
+  const GoldenRun run = run_golden_round(&tracer);
+  EXPECT_EQ(run.transfers_applied, 1u);
+  EXPECT_EQ(run.completion_time, 7.0);
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+  EXPECT_EQ(os.str(), kGoldenJsonl);
+}
+
+TEST(TraceGolden, ChromeTraceMatchesPinnedOutput) {
+  obs::Tracer tracer;
+  run_golden_round(&tracer);
+  EXPECT_EQ(tracer.lanes(),
+            (std::vector<std::string>{"lb.round", "lb.aggregation",
+                                      "lb.dissemination", "lb.vsa",
+                                      "lb.transfer"}));
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  EXPECT_EQ(os.str(), kGoldenChrome);
+}
+
+TEST(TraceGolden, TransferPhaseOverlapsVsaSweep) {
+  // The paper's Section 3.5 pipelining claim, read off the trace itself:
+  // the first transfer span opens before the vsa span closes.
+  obs::Tracer tracer;
+  run_golden_round(&tracer);
+  double transfer_begin = -1.0, vsa_end = -1.0;
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (e.lane == "lb.transfer" && e.kind == obs::EventKind::kAsyncBegin &&
+        transfer_begin < 0.0)
+      transfer_begin = e.time;
+    if (e.lane == "lb.vsa" && e.kind == obs::EventKind::kEnd) vsa_end = e.time;
+  }
+  ASSERT_GE(transfer_begin, 0.0);
+  ASSERT_GE(vsa_end, 0.0);
+  EXPECT_LT(transfer_begin, vsa_end);
+}
+
+TEST(TraceGolden, NullTracerDoesNotPerturbTheRound) {
+  obs::Tracer tracer;
+  const GoldenRun traced = run_golden_round(&tracer);
+  const GoldenRun untraced = run_golden_round(nullptr);
+  // The deliver hook wraps callbacks inside existing engine events, so an
+  // untraced run executes the identical schedule and reaches the identical
+  // outcome.
+  EXPECT_EQ(traced.events_executed, untraced.events_executed);
+  EXPECT_EQ(traced.transfers_applied, untraced.transfers_applied);
+  EXPECT_EQ(traced.completion_time, untraced.completion_time);
+  EXPECT_GT(tracer.event_count(), 0u);
+}
+
+TEST(TraceGolden, FileWriterPicksFormatBySuffix) {
+  obs::Tracer tracer;
+  run_golden_round(&tracer);
+  const std::string jsonl_path = testing::TempDir() + "obs_trace.jsonl";
+  const std::string chrome_path = testing::TempDir() + "obs_trace.json";
+  obs::write_trace_file(tracer, jsonl_path);
+  obs::write_trace_file(tracer, chrome_path);
+  std::ifstream jsonl(jsonl_path), chrome(chrome_path);
+  std::string jsonl_line, chrome_line;
+  ASSERT_TRUE(std::getline(jsonl, jsonl_line));
+  ASSERT_TRUE(std::getline(chrome, chrome_line));
+  EXPECT_EQ(jsonl_line.substr(0, 6), "{\"t\":0");
+  EXPECT_EQ(chrome_line, "{\"traceEvents\":[");
+  EXPECT_THROW(obs::write_trace_file(tracer, "/nonexistent-dir/t.json"),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Network <-> registry parity
+// ---------------------------------------------------------------------------
+
+sim::LatencyFn unit_latency() {
+  return [](sim::Endpoint a, sim::Endpoint b) { return a == b ? 0.0 : 1.0; };
+}
+
+void expect_registry_matches(const obs::MetricsRegistry& reg,
+                             const sim::TrafficCounters& legacy,
+                             const obs::Labels& labels) {
+  const obs::Counter* messages = reg.find_counter("net.messages", labels);
+  const obs::Counter* bytes = reg.find_counter("net.bytes", labels);
+  const obs::Counter* latency = reg.find_counter("net.latency_sum", labels);
+  ASSERT_NE(messages, nullptr);
+  ASSERT_NE(bytes, nullptr);
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(messages->value(), static_cast<double>(legacy.messages));
+  EXPECT_EQ(bytes->value(), legacy.bytes);
+  EXPECT_EQ(latency->value(), legacy.latency_sum);
+}
+
+TEST(NetworkMetrics, RegistryMatchesLegacyCounters) {
+  sim::Engine engine;
+  sim::Network net(engine, unit_latency());
+  obs::MetricsRegistry reg;
+  net.attach_metrics(&reg);
+  net.send(0, 1, [] {}, 100.0, 0.0, "lb.vsa");
+  net.send(1, 1, [] {}, 50.0, 0.0, "lb.vsa");
+  net.send(0, 2, [] {}, 10.0, 0.0, "ktree.maintenance");
+  net.send(2, 0, [] {}, 8.0);  // untagged: totals only
+  engine.run();
+
+  expect_registry_matches(reg, net.totals(), {});
+  expect_registry_matches(reg, net.counters("lb.vsa"),
+                          {{"tag", "lb.vsa"}});
+  expect_registry_matches(reg, net.counters("ktree.maintenance"),
+                          {{"tag", "ktree.maintenance"}});
+  // The untagged send created no phantom tag series.
+  EXPECT_EQ(reg.find_counter("net.messages", {{"tag", ""}}), nullptr);
+  // Attaching the same registry again is a no-op; a different one throws.
+  net.attach_metrics(&reg);
+  obs::MetricsRegistry other;
+  EXPECT_THROW(net.attach_metrics(&other), PreconditionError);
+}
+
+TEST(NetworkMetrics, AttachAfterTrafficSeedsTheRegistry) {
+  sim::Engine engine;
+  sim::Network net(engine, unit_latency());
+  net.send(0, 1, [] {}, 40.0, 0.0, "lb.transfer");
+  net.send(1, 0, [] {}, 60.0, 0.0, "lb.transfer");
+  engine.run();
+
+  // Mid-run attach: the registry starts out equal to the legacy counters
+  // (seeded), not at zero.
+  obs::MetricsRegistry reg;
+  net.attach_metrics(&reg);
+  expect_registry_matches(reg, net.totals(), {});
+  expect_registry_matches(reg, net.counters("lb.transfer"),
+                          {{"tag", "lb.transfer"}});
+
+  // ...and stays equal as traffic continues.
+  net.send(0, 1, [] {}, 5.0, 0.0, "lb.transfer");
+  engine.run();
+  expect_registry_matches(reg, net.totals(), {});
+  expect_registry_matches(reg, net.counters("lb.transfer"),
+                          {{"tag", "lb.transfer"}});
+}
+
+TEST(NetworkMetrics, ResetCountersLeavesTheRegistryUntouched) {
+  sim::Engine engine;
+  sim::Network net(engine, unit_latency());
+  obs::MetricsRegistry& reg = net.metrics();  // lazily owned registry
+  net.send(0, 1, [] {}, 10.0, 0.0, "lb.vsa");
+  engine.run();
+  expect_registry_matches(reg, net.totals(), {});
+
+  // reset_counters() is an interval boundary for the legacy side only:
+  // the registry keeps cumulative simulation-wide totals.
+  net.reset_counters();
+  EXPECT_EQ(net.totals().messages, 0u);
+  const obs::Counter* messages = reg.find_counter("net.messages");
+  ASSERT_NE(messages, nullptr);
+  EXPECT_EQ(messages->value(), 1.0);
+}
+
+}  // namespace
+}  // namespace p2plb

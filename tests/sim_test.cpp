@@ -243,5 +243,48 @@ TEST(Network, PerTagCountersTrackBytesIndependently) {
   EXPECT_EQ(net.totals().messages, 0u);
 }
 
+TEST(TrafficCounters, MeanLatencyOfZeroMessagesIsZero) {
+  TrafficCounters c;
+  EXPECT_DOUBLE_EQ(c.mean_latency(), 0.0);
+  c.latency_sum = 5.0;  // degenerate: latency mass but no messages
+  EXPECT_DOUBLE_EQ(c.mean_latency(), 0.0);
+
+  Engine e;
+  Network net(e, [](Endpoint, Endpoint) { return 1.0; });
+  // A fresh network and a never-used tag both read as zero, not NaN.
+  EXPECT_DOUBLE_EQ(net.mean_latency(), 0.0);
+  EXPECT_DOUBLE_EQ(net.counters("never-used").mean_latency(), 0.0);
+}
+
+TEST(Network, ResetClearsEveryTagAndLaterTrafficStartsFresh) {
+  Engine e;
+  // Distinct per-destination latencies so each tag has its own mean.
+  Network net(e, [](Endpoint, Endpoint to) {
+    return static_cast<Time>(to);
+  });
+  net.send(0, 1, [] {}, 10.0, 0.0, "alpha");
+  net.send(0, 3, [] {}, 10.0, 0.0, "alpha");
+  net.send(0, 2, [] {}, 4.0, 0.0, "beta");
+  e.run();
+  EXPECT_DOUBLE_EQ(net.counters("alpha").mean_latency(), 2.0);
+  EXPECT_DOUBLE_EQ(net.counters("beta").mean_latency(), 2.0);
+
+  net.reset_counters();
+  for (const char* tag : {"alpha", "beta"}) {
+    EXPECT_EQ(net.counters(tag).messages, 0u) << tag;
+    EXPECT_DOUBLE_EQ(net.counters(tag).bytes, 0.0) << tag;
+    EXPECT_DOUBLE_EQ(net.counters(tag).mean_latency(), 0.0) << tag;
+  }
+  EXPECT_EQ(net.totals().messages, 0u);
+
+  // Traffic after the reset repopulates only its own tag.
+  net.send(0, 5, [] {}, 2.0, 0.0, "alpha");
+  e.run();
+  EXPECT_EQ(net.counters("alpha").messages, 1u);
+  EXPECT_DOUBLE_EQ(net.counters("alpha").mean_latency(), 5.0);
+  EXPECT_EQ(net.counters("beta").messages, 0u);
+  EXPECT_EQ(net.totals().messages, 1u);
+}
+
 }  // namespace
 }  // namespace p2plb::sim

@@ -12,9 +12,15 @@
 // topology is given, unit latency otherwise -- and the round table gains
 // a completion-time column plus a per-phase timing breakdown.
 //
+// `--trace FILE` / `--metrics FILE` (they imply `--timed`) export the
+// run's structured trace (Chrome trace_event JSON, or JSONL when FILE
+// ends in .jsonl) and the unified metrics registry (CSV when FILE ends
+// in .csv, aligned text otherwise).
+//
 //   $ p2plb_sim --topology ts5k-large --workload gaussian --mode aware
 //   $ p2plb_sim --nodes 1024 --workload zipf --zipf 1.1 --rounds 4
 //   $ p2plb_sim --topology ts5k-small --timed
+//   $ p2plb_sim --timed --trace trace.json --metrics metrics.csv
 #include <iostream>
 #include <optional>
 
@@ -23,6 +29,8 @@
 #include "lb/controller.h"
 #include "lb/proximity.h"
 #include "lb/vst.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/network.h"
 #include "workload/objects.h"
@@ -135,7 +143,13 @@ int run(const Cli& cli) {
 
   // Keep pre-transfer assignments for cost accounting (first round).
   Rng brng(seed + 2);
-  const bool timed = cli.get_bool("timed");
+  const std::string trace_path = cli.get_string("trace");
+  const std::string metrics_path = cli.get_string("metrics");
+  bool timed = cli.get_bool("timed");
+  if (!timed && (!trace_path.empty() || !metrics_path.empty())) {
+    std::cerr << "note: --trace/--metrics imply --timed\n";
+    timed = true;
+  }
   lb::ControllerResult result;
   std::optional<topo::DistanceOracle> oracle;
   if (timed) {
@@ -152,7 +166,18 @@ int run(const Cli& cli) {
       };
     }
     sim::Network net(engine, latency);
+    obs::Tracer tracer;
+    if (!trace_path.empty()) net.attach_tracer(&tracer);
     result = lb::balance_until_stable(net, ring, config, brng, keys);
+    if (!trace_path.empty()) {
+      obs::write_trace_file(tracer, trace_path);
+      std::cerr << "trace written to " << trace_path << " ("
+                << tracer.event_count() << " events)\n";
+    }
+    if (!metrics_path.empty()) {
+      obs::write_metrics_file(net.metrics(), metrics_path);
+      std::cerr << "metrics written to " << metrics_path << "\n";
+    }
   } else {
     result = lb::balance_until_stable(ring, config, brng, keys);
   }
@@ -175,15 +200,14 @@ int run(const Cli& cli) {
 
   if (timed && !result.rounds.empty()) {
     print_heading(std::cout, "per-phase breakdown (first round)");
-    static constexpr const char* kPhaseNames[lb::kPhaseCount] = {
-        "1 LBI aggregation", "2 LBI dissemination", "3 VSA sweep",
-        "4 VS transfers"};
     Table phases({"phase", "messages", "bytes", "start", "end", "duration"});
     for (std::size_t p = 0; p < lb::kPhaseCount; ++p) {
       const lb::PhaseMetrics& m = result.rounds.front().phases[p];
-      phases.add_row({kPhaseNames[p], std::to_string(m.messages),
-                      Table::num(m.bytes, 0), Table::num(m.start, 1),
-                      Table::num(m.end, 1), Table::num(m.duration(), 1)});
+      phases.add_row({std::to_string(p + 1) + " " +
+                          lb::phase_name(static_cast<lb::Phase>(p)),
+                      m.messages, Table::num(m.bytes, 0),
+                      Table::num(m.start, 1), Table::num(m.end, 1),
+                      Table::num(m.duration(), 1)});
     }
     bench::emit(phases, csv);
   }
@@ -233,6 +257,14 @@ int main(int argc, char** argv) {
   cli.add_flag("bits", "Hilbert grid bits per dimension", "2");
   cli.add_flag("timed", "run rounds event-driven over simulated latencies",
                "false");
+  cli.add_flag("trace",
+               "write a structured trace here (Chrome trace_event JSON, "
+               "or JSONL if the name ends in .jsonl); implies --timed",
+               "");
+  cli.add_flag("metrics",
+               "write the metrics registry here (CSV if the name ends in "
+               ".csv, aligned text otherwise); implies --timed",
+               "");
   cli.add_flag("csv", "emit CSV tables", "false");
   if (!cli.parse(argc, argv)) return 0;
   return run(cli);
