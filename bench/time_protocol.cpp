@@ -18,6 +18,7 @@
 #include "ktree/protocol.h"
 #include "ktree/tree.h"
 #include "lb/protocol_round.h"
+#include "obs/format.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
@@ -50,14 +51,8 @@ int main(int argc, char** argv) {
   cli.add_flag("crash-fraction", "fraction of nodes to crash", "0.1");
   cli.add_flag("timed-nodes",
                "ring size for the end-to-end timed balancing round", "512");
-  cli.add_flag("trace",
-               "write the timed round's trace here (Chrome trace_event "
-               "JSON, or JSONL if the name ends in .jsonl)",
-               "");
-  cli.add_flag("metrics",
-               "write the timed round's metrics registry here (CSV if the "
-               "name ends in .csv)",
-               "");
+  cli.add_flag("trace", p2plb::obs::kTraceFlagHelp, "");
+  cli.add_flag("metrics", p2plb::obs::kMetricsFlagHelp, "");
   cli.add_flag("csv", "emit CSV instead of aligned tables", "false");
   if (!cli.parse(argc, argv)) return 0;
   const bool csv = cli.get_bool("csv");

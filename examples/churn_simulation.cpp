@@ -11,19 +11,32 @@
 // max unit load right before and right after each round -- showing the
 // balancer repeatedly absorbing churn-induced imbalance.
 //
-// One designated round gets a node crashed under it mid-flight: because
-// decisions and endpoints are snapshotted at round start and transfers
-// are validated at delivery, the round still completes (transfers whose
-// endpoints vanished are skipped, none are lost from the accounting).
+// One designated round gets a crash burst under it mid-flight
+// (`--crash-burst N` nodes at once): because decisions and endpoints are
+// snapshotted at round start and transfers are validated at delivery, the
+// round still completes (transfers whose endpoints vanished are skipped,
+// none are lost from the accounting).
+//
+// With `--sample-every T --series FILE` an obs::Sampler additionally
+// records the lb::HealthProbe gauges (plus net.* totals) every T time
+// units, and the crash burst drops an `event.crash` marker into the same
+// series -- feed the file to tools/p2plb_report to measure how long the
+// system takes to re-converge.
+#include <algorithm>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "lb/health.h"
 #include "lb/protocol_round.h"
+#include "obs/format.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/network.h"
@@ -97,14 +110,13 @@ int main(int argc, char** argv) {
   cli.add_flag("churn-per-interval", "expected joins (and leaves) between "
                                      "balancing sweeps",
                "24");
-  cli.add_flag("trace",
-               "write the simulation's trace here (Chrome trace_event "
-               "JSON, or JSONL if the name ends in .jsonl)",
-               "");
-  cli.add_flag("metrics",
-               "write the metrics registry here (CSV if the name ends in "
-               ".csv)",
-               "");
+  cli.add_flag("crash-burst",
+               "nodes crashed at once under the designated round", "1");
+  cli.add_flag("sample-every",
+               "sampling period in simulated time (0 = no sampling)", "0");
+  cli.add_flag("trace", obs::kTraceFlagHelp, "");
+  cli.add_flag("metrics", obs::kMetricsFlagHelp, "");
+  cli.add_flag("series", obs::kSeriesFlagHelp, "");
   if (!cli.parse(argc, argv)) return 0;
 
   World world;
@@ -125,7 +137,23 @@ int main(int argc, char** argv) {
   obs::Tracer tracer;
   const std::string trace_path = cli.get_string("trace");
   const std::string metrics_path = cli.get_string("metrics");
+  const std::string series_path = cli.get_string("series");
   if (!trace_path.empty()) net.attach_tracer(&tracer);
+
+  constexpr double kEpsilon = 0.1;
+  double sample_every = cli.get_double("sample-every");
+  if (sample_every <= 0.0 && !series_path.empty()) sample_every = 10.0;
+  obs::TimeSeriesSink sink;
+  std::optional<obs::Sampler> sampler;
+  lb::HealthProbe health(world.ring, {kEpsilon, "health"});
+  if (sample_every > 0.0) {
+    sampler.emplace(sink, sample_every);
+    sampler->add_probe([&health](double time, obs::TimeSeriesSink& s) {
+      health.sample_into(time, s);
+    });
+    sampler->add_registry(net.metrics(), {"net."});
+  }
+
   Table t({"t (s)", "nodes", "heavy % pre", "max overload pre",
            "heavy % post", "max overload post", "moved load",
            "round time", "transfers"});
@@ -148,9 +176,11 @@ int main(int argc, char** argv) {
   schedule_churn(schedule_churn, false);
 
   int rounds_started = 0;
-  const int crash_round = intervals / 2;  // this round loses a node mid-flight
+  const int crash_round = intervals / 2;  // this round loses nodes mid-flight
+  const auto crash_burst =
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          cli.get_int("crash-burst"), 0));
   const lb::ProtocolRound* crashed_round = nullptr;
-  constexpr double kEpsilon = 0.1;
   // In-flight rounds: each must outlive its events, so they live here.
   std::vector<std::unique_ptr<lb::ProtocolRound>> rounds;
   engine.every(kBalanceInterval, [&] {
@@ -174,12 +204,27 @@ int main(int argc, char** argv) {
                  std::to_string(report.transfers_applied)});
     });
     if (++rounds_started == crash_round) {
-      // Crash a node one latency unit into the round: its LBI triple and
-      // VSA records are already counted, and any transfer from or to it
-      // is skipped at delivery rather than deadlocking the round.
+      // Crash a burst of nodes one latency unit into the round: their
+      // LBI triples and VSA records are already counted, and any
+      // transfer from or to them is skipped at delivery rather than
+      // deadlocking the round.  Loads are redrawn for the shrunken arc
+      // layout, so the burst shows up as a heavy-fraction spike the
+      // later rounds have to work back down.
       engine.schedule_after(1.0, [&] {
-        const auto live = world.ring.live_nodes();
-        world.ring.remove_node(live[world.rng.below(live.size())]);
+        std::size_t crashed = 0;
+        for (std::size_t c = 0; c < crash_burst; ++c) {
+          const auto live = world.ring.live_nodes();
+          if (live.size() <= 8) break;  // keep a core alive
+          world.ring.remove_node(live[world.rng.below(live.size())]);
+          ++crashed;
+        }
+        world.reassign_loads();
+        if (sampler) {
+          // Mark the disturbance and capture the spike immediately.
+          sink.append(engine.now(), "event.crash",
+                      static_cast<double>(crashed));
+          sampler->tick(engine.now());
+        }
       });
       crashed_round = &round;
     }
@@ -188,6 +233,8 @@ int main(int argc, char** argv) {
 
   // The churn processes reschedule themselves forever; run to a horizon
   // just past the last balancing sweep instead of draining the queue.
+  // (The sampler chain never parks here: the churn keeps the engine busy.)
+  if (sampler) sampler->start(engine);
   engine.run_until(kBalanceInterval * (intervals + 0.5));
   std::cout << "churn simulation: " << intervals << " balancing intervals, "
             << engine.events_executed() << " events, final membership "
@@ -214,6 +261,11 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     obs::write_metrics_file(net.metrics(), metrics_path);
     std::cerr << "metrics written to " << metrics_path << "\n";
+  }
+  if (!series_path.empty()) {
+    obs::write_series_file(sink, series_path);
+    std::cerr << "series written to " << series_path << " (" << sink.size()
+              << " samples)\n";
   }
   return 0;
 }

@@ -71,10 +71,9 @@ void Table::print_text(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
-namespace {
-
-std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+std::string csv_field(const std::string& cell) {
+  // RFC 4180: CR counts as a special character too, not just LF.
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
   std::string out = "\"";
   for (char ch : cell) {
     if (ch == '"') out += '"';
@@ -84,17 +83,88 @@ std::string csv_escape(const std::string& cell) {
   return out;
 }
 
-}  // namespace
+std::vector<std::string> parse_csv_record(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  std::size_t i = 0;
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  while (i < line.size()) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        P2PLB_REQUIRE_MSG(i >= line.size() || line[i] == ',',
+                          "malformed CSV: data after closing quote");
+        continue;
+      }
+      current += ch;
+      ++i;
+      continue;
+    }
+    if (ch == '"' && current.empty()) {
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (ch == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    P2PLB_REQUIRE_MSG(ch != '"', "malformed CSV: quote inside bare field");
+    current += ch;
+    ++i;
+  }
+  P2PLB_REQUIRE_MSG(!quoted, "malformed CSV: unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
 
 void Table::print_csv(std::ostream& os) const {
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      os << csv_escape(cells[c]);
+      os << csv_field(cells[c]);
       if (c + 1 < cells.size()) os << ',';
     }
     os << '\n';
   };
   emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+
+std::string markdown_cell(const std::string& cell) {
+  std::string out;
+  out.reserve(cell.size());
+  for (char ch : cell) {
+    if (ch == '|') out += "\\|";
+    else if (ch == '\n') out += ' ';
+    else out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Table::print_markdown(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (const auto& cell : cells) os << ' ' << markdown_cell(cell) << " |";
+    os << '\n';
+  };
+  emit(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
   for (const auto& row : rows_) emit(row);
 }
 

@@ -61,8 +61,12 @@ class Table {
   /// Render as an aligned text table with a header separator line.
   void print_text(std::ostream& os) const;
 
-  /// Render as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  /// Render as RFC 4180 CSV (cells containing commas, quotes, CR or LF
+  /// are quoted, embedded quotes doubled).  See csv_field().
   void print_csv(std::ostream& os) const;
+
+  /// Render as a GitHub-flavored Markdown table (pipes escaped).
+  void print_markdown(std::ostream& os) const;
 
   /// Format a double with fixed precision, trimming trailing zeros.
   [[nodiscard]] static std::string num(double v, int precision = 4);
@@ -71,6 +75,21 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Quote one CSV field per RFC 4180: returned verbatim unless it contains
+/// a comma, double quote, CR or LF, in which case it is wrapped in double
+/// quotes with embedded quotes doubled.  The single escaping routine every
+/// CSV emitter in the codebase shares (Table, the metrics registry, the
+/// time-series sink).
+[[nodiscard]] std::string csv_field(const std::string& cell);
+
+/// Split one CSV record (no trailing newline) into its fields, undoing
+/// csv_field()'s quoting.  Embedded newlines inside quoted fields are not
+/// supported (no emitter in this codebase produces them); a malformed
+/// record (unterminated quote, garbage after a closing quote) throws
+/// PreconditionError so downstream tools fail loudly on corrupt files.
+[[nodiscard]] std::vector<std::string> parse_csv_record(
+    std::string_view line);
 
 /// Print a section heading used by the figure binaries, e.g.
 /// "== Figure 7(a): moved load distribution, ts5k-large ==".

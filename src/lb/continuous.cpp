@@ -8,12 +8,14 @@ namespace p2plb::lb {
 
 ContinuousLbi::ContinuousLbi(sim::Engine& engine, const chord::Ring& ring,
                              const ktree::MaintenanceProtocol& tree,
-                             sim::Time interval, ktree::VsLatencyFn latency)
+                             sim::Time interval, ktree::VsLatencyFn latency,
+                             obs::MetricsRegistry* metrics)
     : engine_(engine),
       ring_(ring),
       tree_(tree),
       interval_(interval),
-      latency_(std::move(latency)) {
+      latency_(std::move(latency)),
+      metrics_(metrics) {
   P2PLB_REQUIRE(interval_ > 0.0);
   P2PLB_REQUIRE(latency_ != nullptr);
 }
@@ -52,6 +54,7 @@ Lbi ContinuousLbi::local_contribution(const ktree::Region& region) const {
 }
 
 void ContinuousLbi::refresh_all() {
+  const std::uint64_t before = messages_;
   // Collect the live instance set, parents before children (larger
   // regions first): each refresh then reads the *previous* interval's
   // child caches, so information climbs exactly one level per interval
@@ -83,6 +86,12 @@ void ContinuousLbi::refresh_all() {
     fresh[region] = any_child ? merged : local_contribution(region);
   }
   cache_ = std::move(fresh);
+  last_refresh_ = engine_.now();
+  if (metrics_ != nullptr) {
+    metrics_->counter("clbi.refresh_msgs")
+        .add(static_cast<double>(messages_ - before));
+    metrics_->gauge("clbi.root_error").set(root_relative_error());
+  }
 }
 
 Lbi ContinuousLbi::root_estimate() const {
@@ -90,19 +99,26 @@ Lbi ContinuousLbi::root_estimate() const {
   return it == cache_.end() ? Lbi{} : it->second;
 }
 
-bool ContinuousLbi::root_is_accurate(double relative_tolerance) const {
-  P2PLB_REQUIRE(relative_tolerance >= 0.0);
+double ContinuousLbi::root_relative_error() const {
   const Lbi truth = ground_truth_lbi(ring_);
   const Lbi est = root_estimate();
-  auto close = [relative_tolerance](double a, double b) {
+  auto error = [](double a, double b) {
     const double scale = std::max({std::fabs(a), std::fabs(b), 1e-12});
-    return std::fabs(a - b) <= relative_tolerance * scale;
+    return std::fabs(a - b) / scale;
   };
-  const double est_min =
-      est.min_load == std::numeric_limits<double>::infinity() ? 0.0
-                                                              : est.min_load;
-  return close(est.load, truth.load) && close(est.capacity, truth.capacity) &&
-         close(est_min, truth.min_load);
+  // An empty triple reads its L_min as 0 (a ring with no servers, or a
+  // cache that has not converged yet) so the error stays finite.
+  const auto finite_min = [](double m) {
+    return m == std::numeric_limits<double>::infinity() ? 0.0 : m;
+  };
+  return std::max({error(est.load, truth.load),
+                   error(est.capacity, truth.capacity),
+                   error(finite_min(est.min_load), finite_min(truth.min_load))});
+}
+
+bool ContinuousLbi::root_is_accurate(double relative_tolerance) const {
+  P2PLB_REQUIRE(relative_tolerance >= 0.0);
+  return root_relative_error() <= relative_tolerance;
 }
 
 }  // namespace p2plb::lb

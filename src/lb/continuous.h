@@ -20,6 +20,7 @@
 
 #include "ktree/protocol.h"
 #include "lb/lbi.h"
+#include "obs/metrics.h"
 
 namespace p2plb::lb {
 
@@ -27,10 +28,16 @@ namespace p2plb::lb {
 class ContinuousLbi {
  public:
   /// `engine`, `ring` and `tree` must outlive this object; `interval` is
-  /// the refresh period T of Section 3.2 (> 0).
+  /// the refresh period T of Section 3.2 (> 0).  When `metrics` is given
+  /// (and outlives this object), the daemon accounts its refresh traffic
+  /// as the counter `clbi.refresh_msgs` and its current root accuracy as
+  /// the gauge `clbi.root_error` (see root_relative_error), so the
+  /// aggregator's cost and staleness show up in the unified registry next
+  /// to everything else.
   ContinuousLbi(sim::Engine& engine, const chord::Ring& ring,
                 const ktree::MaintenanceProtocol& tree, sim::Time interval,
-                ktree::VsLatencyFn latency);
+                ktree::VsLatencyFn latency,
+                obs::MetricsRegistry* metrics = nullptr);
 
   /// Start the periodic refresh.
   void start();
@@ -41,6 +48,19 @@ class ContinuousLbi {
   /// True iff the root estimate matches the ring's ground truth within a
   /// relative tolerance on L and C (and exactly on L_min).
   [[nodiscard]] bool root_is_accurate(double relative_tolerance) const;
+
+  /// Worst per-component relative error of the root estimate against the
+  /// ring's ground truth (the quantity root_is_accurate thresholds):
+  /// max over <L, C, L_min> of |est - truth| / max(|est|, |truth|, 1e-12).
+  /// An empty cache reads as a root estimate of all zeros.
+  [[nodiscard]] double root_relative_error() const;
+
+  /// Simulated time of the most recent refresh sweep, or a negative value
+  /// before the first one -- the root estimate's staleness is
+  /// `now - last_refresh_time()`.
+  [[nodiscard]] sim::Time last_refresh_time() const noexcept {
+    return last_refresh_;
+  }
 
   /// Refresh messages sent to remote children so far.
   [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
@@ -54,9 +74,11 @@ class ContinuousLbi {
   const ktree::MaintenanceProtocol& tree_;
   sim::Time interval_;
   ktree::VsLatencyFn latency_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   /// Cached subtree summaries, keyed like the protocol's instances.
   std::map<ktree::Region, Lbi, ktree::RegionOrder> cache_;
   std::uint64_t messages_ = 0;
+  sim::Time last_refresh_ = -1.0;
 };
 
 }  // namespace p2plb::lb

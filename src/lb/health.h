@@ -1,0 +1,76 @@
+// Derived system-health gauges for time-series sampling.
+//
+// The metrics registry accumulates what the protocols *did* (messages,
+// transfers, phase timings); a HealthProbe computes what the system *is*
+// at one instant: how unbalanced, how heavy, how stale.  Each reading is
+// a pure function of the ring (plus the optionally attached continuous
+// aggregator and maintenance tree), so sampling never perturbs the
+// simulation -- the schedule-invariance property the observability tests
+// pin.
+//
+// All load gauges are in *unit load*: node i's load divided by its
+// capacity-proportional fair share (L / C) * C_i.  1.0 means exactly
+// fair, 1.5 means 50% over; the paper's epsilon threshold (a node is
+// heavy above (1 + epsilon) x share) reads directly off the same scale.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chord/ring.h"
+#include "ktree/protocol.h"
+#include "lb/continuous.h"
+#include "obs/timeseries.h"
+
+namespace p2plb::lb {
+
+/// What the probe measures and how it names the result.
+struct HealthProbeConfig {
+  /// Heaviness threshold: node i is heavy iff load > (1 + epsilon) x
+  /// fair share (matches classify_node).
+  double epsilon = 0.1;
+  /// Metric-name prefix; readings are emitted as `<prefix>.<gauge>`.
+  std::string prefix = "health";
+};
+
+/// Point-in-time health gauges over a ring (and optional attachments).
+class HealthProbe {
+ public:
+  /// `ring` must outlive the probe.
+  explicit HealthProbe(const chord::Ring& ring, HealthProbeConfig config = {});
+
+  /// Also report the continuous aggregator's root accuracy and staleness
+  /// (`clbi_root_error`, `clbi_staleness`).  Must outlive the probe.
+  void attach_continuous_lbi(const ContinuousLbi* clbi) noexcept {
+    clbi_ = clbi;
+  }
+  /// Also report the maintenance tree's instance count and height
+  /// (`ktree_instances`, `ktree_depth`).  Must outlive the probe.
+  void attach_tree(const ktree::MaintenanceProtocol* tree) noexcept {
+    tree_ = tree;
+  }
+
+  /// All readings at simulated time `now`, as (metric key, value) pairs
+  /// in a fixed order.  Always emitted: nodes, heavy_fraction,
+  /// mean/max/p99 unit load, imbalance (max unit load / mean unit load),
+  /// gini_unit_load, and vs_per_node{q=p50|p99|max}.  Attachments add
+  /// their gauges (see the attach_* docs).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> measure(
+      double now) const;
+
+  /// Append measure(t) to `sink` -- the obs::Sampler probe shape.
+  void sample_into(double t, obs::TimeSeriesSink& sink) const;
+
+  [[nodiscard]] const HealthProbeConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  const chord::Ring& ring_;
+  HealthProbeConfig config_;
+  const ContinuousLbi* clbi_ = nullptr;
+  const ktree::MaintenanceProtocol* tree_ = nullptr;
+};
+
+}  // namespace p2plb::lb

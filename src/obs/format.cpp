@@ -1,0 +1,21 @@
+#include "obs/format.h"
+
+#include <cctype>
+
+namespace p2plb::obs {
+
+bool path_has_extension(std::string_view path,
+                        std::string_view extension) noexcept {
+  if (path.size() < extension.size()) return false;
+  const std::string_view tail = path.substr(path.size() - extension.size());
+  for (std::size_t i = 0; i < extension.size(); ++i) {
+    const auto a =
+        std::tolower(static_cast<unsigned char>(tail[i]));
+    const auto b =
+        std::tolower(static_cast<unsigned char>(extension[i]));
+    if (a != b) return false;
+  }
+  return true;
+}
+
+}  // namespace p2plb::obs

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/table.h"
+#include "obs/format.h"
 
 namespace p2plb::obs {
 
@@ -115,7 +116,7 @@ void write_metrics_file(const MetricsRegistry& registry,
                         const std::string& path) {
   std::ofstream os(path);
   P2PLB_REQUIRE_MSG(os.good(), "cannot open metrics file: " + path);
-  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+  if (path_has_extension(path, ".csv")) {
     registry.write_csv(os);
   } else {
     registry.write_text(os);

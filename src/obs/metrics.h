@@ -151,9 +151,9 @@ class MetricsRegistry {
   std::map<std::string, HistogramMetric> histograms_;
 };
 
-/// Write the registry to `path`: CSV when the name ends in ".csv",
-/// aligned text otherwise.  Throws PreconditionError on an unwritable
-/// path.
+/// Write the registry to `path`: CSV when the name ends in ".csv"
+/// (case-insensitive, see obs::path_has_extension), aligned text
+/// otherwise.  Throws PreconditionError on an unwritable path.
 void write_metrics_file(const MetricsRegistry& registry,
                         const std::string& path);
 

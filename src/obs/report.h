@@ -1,0 +1,70 @@
+// Experiment reports from recorded time series + metrics exports.
+//
+// tools/p2plb_report's engine: given the samples a Sampler recorded over
+// a run (and optionally the final metrics-registry CSV), analyze() folds
+// them into per-series statistics and per-disturbance re-convergence
+// measurements, and write_markdown_report() renders the whole thing as a
+// self-contained Markdown document -- series overview, convergence under
+// churn, before/after health gauges, moved-load-by-distance quantiles and
+// traffic totals.  Everything is computed from the files alone so a
+// report can be (re)generated long after the run, in CI or locally.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace p2plb::obs {
+
+/// What to analyze and how to title it.
+struct ReportOptions {
+  std::string title = "Experiment report";
+  /// The health series whose re-convergence is measured per event.
+  std::string target_metric = "health.heavy_fraction";
+  /// Disturbance markers: every sample of this metric is an event (its
+  /// value records the magnitude, e.g. crashed-node count).
+  std::string event_metric = "event.crash";
+};
+
+/// Per-series descriptive statistics (samples in time order).
+struct SeriesStats {
+  std::string key;
+  std::size_t count = 0;
+  double first = 0.0;
+  double last = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One disturbance and the target series' recovery from it.
+struct EventRecovery {
+  double magnitude = 0.0;  ///< the event sample's value
+  Reconvergence reconvergence;
+};
+
+/// The analyzed run.
+struct ExperimentReport {
+  std::vector<SeriesStats> series;   ///< one per distinct key, sorted
+  std::vector<EventRecovery> events; ///< one per event sample, in order
+};
+
+/// Fold a sample set into the report structure.  Throws PreconditionError
+/// on an empty sample set.
+[[nodiscard]] ExperimentReport analyze(const std::vector<Sample>& samples,
+                                       const ReportOptions& options = {});
+
+/// Parse a metrics-registry CSV export (header "metric,value") back into
+/// a key -> value map.  Malformed input throws PreconditionError.
+[[nodiscard]] std::map<std::string, double> load_metrics_csv(std::istream& is);
+
+/// Render the full Markdown report.  `metrics` is the final registry
+/// export (pass an empty map when no metrics file is available; the
+/// metrics-derived sections are then omitted).
+void write_markdown_report(std::ostream& os, const std::vector<Sample>& samples,
+                           const std::map<std::string, double>& metrics,
+                           const ReportOptions& options = {});
+
+}  // namespace p2plb::obs

@@ -1,0 +1,111 @@
+// Time-series samples over simulated time.
+//
+// The metrics registry answers "how much, in total"; the tracer answers
+// "what happened, when".  What neither can answer is "how did the system
+// *state* evolve": imbalance trajectories under churn, re-convergence
+// after a crash burst, staleness of the continuous aggregator -- the
+// curves the paper's Section 3.2 resilience claim and Section 5 results
+// are really about.  A TimeSeriesSink records (sim_time, metric, value)
+// samples for exactly that: probes (obs::Sampler, lb::HealthProbe) append
+// readings on a fixed cadence, the sink exports them as CSV or JSONL, and
+// the loaders below read the files back so tools/p2plb_report (and the
+// golden tests) can compute convergence times from a finished run.
+//
+// Like the rest of obs, the sink is deterministic: samples are stored in
+// append order, timestamps come from the caller in sim::Time units, and
+// both exporters use the codebase's canonical number formatting -- a
+// (seed, scenario) pair always produces the identical series file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace p2plb::obs {
+
+/// One reading: metric `key` (canonical `name{labels}` form, see
+/// MetricsRegistry::key_of) had `value` at simulated time `t`.
+struct Sample {
+  double t = 0.0;
+  std::string key;
+  double value = 0.0;
+
+  [[nodiscard]] bool operator==(const Sample&) const = default;
+};
+
+/// Append-only recorder of (time, metric, value) samples.
+class TimeSeriesSink {
+ public:
+  /// Record one sample under a plain (label-free) metric name.
+  void append(double t, std::string_view key, double value);
+  /// Record one sample under `name{labels}` (labels canonicalized).
+  void append(double t, std::string_view name, const Labels& labels,
+              double value);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  void clear() noexcept { samples_.clear(); }
+
+  /// CSV export: header "time,metric,value", one sample per row, RFC 4180
+  /// quoting (metric keys may contain commas via labels).
+  void write_csv(std::ostream& os) const;
+  /// JSONL export: {"t":...,"metric":"...","value":...} per line, stable
+  /// field order.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Write the sink to `path`: JSONL when the name ends in ".jsonl"
+/// (case-insensitive), CSV otherwise.  Throws PreconditionError on an
+/// unwritable path.
+void write_series_file(const TimeSeriesSink& sink, const std::string& path);
+
+/// Parse a series back from its CSV / JSONL form (the exact inverses of
+/// the writers above).  Malformed input throws PreconditionError.
+[[nodiscard]] std::vector<Sample> load_series_csv(std::istream& is);
+[[nodiscard]] std::vector<Sample> load_series_jsonl(std::istream& is);
+/// Format picked from the path suffix like write_series_file.
+[[nodiscard]] std::vector<Sample> load_series_file(const std::string& path);
+
+/// The distinct metric keys of a sample set, sorted.
+[[nodiscard]] std::vector<std::string> series_keys(
+    const std::vector<Sample>& samples);
+
+/// One metric's (t, value) points in sample order.
+[[nodiscard]] std::vector<std::pair<double, double>> extract_series(
+    const std::vector<Sample>& samples, std::string_view key);
+
+/// Re-convergence of a health series after a disturbance at `event_time`
+/// (e.g. the heavy-node fraction after a crash burst).
+struct Reconvergence {
+  /// True iff the series returned to (<=) its pre-event level.
+  bool converged = false;
+  /// Time from the event to the first at-or-below-baseline sample
+  /// (meaningful only when converged).
+  double time = 0.0;
+  /// The pre-event level: the last sample strictly before event_time (the
+  /// first sample overall when none precedes the event).  A sample at
+  /// exactly event_time is excluded from both sides: samplers tick right
+  /// at a scripted disturbance, so that reading carries the spike.
+  double baseline = 0.0;
+  /// Worst post-event value seen up to re-convergence (or up to the end
+  /// of the series when it never re-converges).
+  double peak = 0.0;
+  double event_time = 0.0;
+};
+
+/// Measure re-convergence of one extracted series (points in time order)
+/// around a disturbance at `event_time`.  A series with no post-event
+/// samples reports converged = false.
+[[nodiscard]] Reconvergence measure_reconvergence(
+    const std::vector<std::pair<double, double>>& points, double event_time);
+
+}  // namespace p2plb::obs

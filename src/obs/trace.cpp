@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/error.h"
+#include "obs/format.h"
 
 namespace p2plb::obs {
 
@@ -187,7 +188,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
 void write_trace_file(const Tracer& tracer, const std::string& path) {
   std::ofstream os(path);
   P2PLB_REQUIRE_MSG(os.good(), "cannot open trace file: " + path);
-  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+  if (path_has_extension(path, ".jsonl")) {
     tracer.write_jsonl(os);
   } else {
     tracer.write_chrome_trace(os);

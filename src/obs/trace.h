@@ -111,9 +111,9 @@ class Tracer {
   std::vector<TraceEvent> events_;
 };
 
-/// Write the trace to `path`: JSONL when the name ends in ".jsonl",
-/// Chrome trace_event JSON otherwise.  Throws PreconditionError on an
-/// unwritable path.
+/// Write the trace to `path`: JSONL when the name ends in ".jsonl"
+/// (case-insensitive, see obs::path_has_extension), Chrome trace_event
+/// JSON otherwise.  Throws PreconditionError on an unwritable path.
 void write_trace_file(const Tracer& tracer, const std::string& path);
 
 }  // namespace p2plb::obs

@@ -315,6 +315,15 @@ TEST(Histogram, QuantileAttributesUnderAndOverflowToTheEdges) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
 }
 
+TEST(Histogram, QuantileOfASingleSampleStaysInsideItsBin) {
+  Histogram h({0.0, 10.0});
+  h.add(5.0);
+  // One sample: every quantile interpolates within the only occupied bin.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
 TEST(WeightedCdf, CollapsesTiesAndNormalizes) {
   const std::vector<double> values{3.0, 1.0, 3.0, 2.0};
   const std::vector<double> weights{1.0, 2.0, 1.0, 1.0};
@@ -356,6 +365,42 @@ TEST(Table, CsvEscaping) {
   std::ostringstream os;
   t.print_csv(os);
   EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, FieldQuotesPerRfc4180) {
+  EXPECT_EQ(csv_field("plain"), "plain");
+  EXPECT_EQ(csv_field(""), "");
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("cr\rlf\n"), "\"cr\rlf\n\"");
+}
+
+TEST(Csv, ParseRecordInvertsFieldQuoting) {
+  const std::vector<std::string> fields{"plain", "a,b", "say \"hi\"", ""};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += csv_field(fields[i]);
+  }
+  EXPECT_EQ(parse_csv_record(line), fields);
+  EXPECT_EQ(parse_csv_record(""), std::vector<std::string>{""});
+}
+
+TEST(Csv, ParseRecordRejectsMalformedQuoting) {
+  EXPECT_THROW((void)parse_csv_record("\"unterminated"), PreconditionError);
+  EXPECT_THROW((void)parse_csv_record("\"closed\"garbage"),
+               PreconditionError);
+}
+
+TEST(Table, MarkdownRenderingEscapesPipes) {
+  Table t({"metric", "value"});
+  t.add_row({"a|b", "1"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_EQ(os.str(),
+            "| metric | value |\n"
+            "|---|---|\n"
+            "| a\\|b | 1 |\n");
 }
 
 TEST(Table, RowWidthValidated) {

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "ktree/protocol.h"
 #include "lb/continuous.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "workload/capacity.h"
 #include "workload/scenario.h"
@@ -91,6 +92,39 @@ TEST(ContinuousLbi, RootEstimateEmptyBeforeFirstRefresh) {
   EXPECT_DOUBLE_EQ(est.load, 0.0);
   EXPECT_DOUBLE_EQ(est.capacity, 0.0);
   EXPECT_FALSE(w.lbi->root_is_accurate(1e-3));
+}
+
+TEST(ContinuousLbi, ExportsRefreshTrafficAndRootErrorAsMetrics) {
+  sim::Engine engine;
+  Rng rng(907);
+  auto ring = workload::build_ring(
+      16, 3, workload::CapacityProfile::gnutella_like(), rng);
+  workload::assign_loads(
+      ring,
+      workload::scaled_load_model(ring, workload::LoadDistribution::kGaussian),
+      rng);
+  ktree::MaintenanceProtocol tree(engine, ring, 2, 1.0,
+                                  ktree::unit_latency(ring));
+  obs::MetricsRegistry metrics;
+  ContinuousLbi lbi(engine, ring, tree, 1.0, ktree::unit_latency(ring),
+                    &metrics);
+  EXPECT_LT(lbi.last_refresh_time(), 0.0);  // sentinel before any refresh
+  tree.start();
+  lbi.start();
+  engine.run_until(60.0);
+  // The counter accounts every climb message the aggregator ever sent...
+  const auto snapshot = metrics.snapshot();
+  ASSERT_EQ(snapshot.values.count("clbi.refresh_msgs"), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.values.at("clbi.refresh_msgs"),
+                   static_cast<double>(lbi.messages()));
+  EXPECT_GT(lbi.messages(), 0u);
+  // ...and the gauge tracks the *latest* refresh's root accuracy.
+  ASSERT_EQ(snapshot.values.count("clbi.root_error"), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.values.at("clbi.root_error"),
+                   lbi.root_relative_error());
+  EXPECT_LT(snapshot.values.at("clbi.root_error"), 1e-9);
+  EXPECT_GE(lbi.last_refresh_time(), 0.0);
+  EXPECT_LE(lbi.last_refresh_time(), engine.now());
 }
 
 TEST(ContinuousLbi, RejectsBadParams) {

@@ -158,6 +158,30 @@ TEST(Metrics, FileWriterPicksFormatBySuffix) {
                PreconditionError);
 }
 
+TEST(Metrics, FileSuffixMatchIsCaseInsensitive) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").increment();
+  const std::string upper_path = testing::TempDir() + "obs_metrics_up.CSV";
+  obs::write_metrics_file(reg, upper_path);
+  std::ifstream csv(upper_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line, "metric,value");  // CSV despite the upper-case suffix
+}
+
+TEST(Metrics, CsvQuotesLabelValuesPerRfc4180) {
+  obs::MetricsRegistry reg;
+  reg.counter("msgs", {{"tag", "a,b"}}).add(2.0);
+  reg.gauge("g", {{"q", "\"p99\""}}).set(1.5);
+  std::ostringstream os;
+  reg.write_csv(os);
+  // Counters export before gauges (see to_table).
+  EXPECT_EQ(os.str(),
+            "metric,value\n"
+            "\"msgs{tag=a,b}\",2\n"
+            "\"g{q=\"\"p99\"\"}\",1.5\n");
+}
+
 // ---------------------------------------------------------------------------
 // Tracer primitives
 // ---------------------------------------------------------------------------

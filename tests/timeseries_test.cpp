@@ -1,0 +1,578 @@
+// Tests for the time-series observability layer: TimeSeriesSink exports
+// and loaders, re-convergence measurement, the Sampler's idle-stop
+// periodic chain, lb::HealthProbe gauges, and the report generator.
+//
+// Two properties are pinned hard:
+//   * a deterministic churn scenario with a scripted crash burst yields a
+//     byte-stable series from which measure_reconvergence computes one
+//     exact, finite recovery time (the ISSUE's acceptance scenario);
+//   * attaching a *disabled* sampler is schedule-invariant -- the engine
+//     executes the identical event sequence with and without it -- and an
+//     enabled sampler never changes balancing decisions (it only reads).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "lb/controller.h"
+#include "lb/health.h"
+#include "lb/protocol_round.h"
+#include "obs/format.h"
+#include "obs/report.h"
+#include "obs/sampler.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "workload/capacity.h"
+#include "workload/scenario.h"
+
+namespace p2plb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Format helpers
+// ---------------------------------------------------------------------------
+
+TEST(Format, PathHasExtensionIsCaseInsensitive) {
+  EXPECT_TRUE(obs::path_has_extension("metrics.csv", ".csv"));
+  EXPECT_TRUE(obs::path_has_extension("METRICS.CSV", ".csv"));
+  EXPECT_TRUE(obs::path_has_extension("trace.JsOnL", ".jsonl"));
+  EXPECT_FALSE(obs::path_has_extension("metrics.csv.txt", ".csv"));
+  EXPECT_FALSE(obs::path_has_extension("metricscsv", ".csv"));
+  EXPECT_FALSE(obs::path_has_extension("csv", ".csv"));  // shorter than ext
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesSink exports + loaders
+// ---------------------------------------------------------------------------
+
+/// A sink whose keys exercise the escaping paths: a label value with a
+/// comma (canonical key contains one) and a quote in a plain key.
+obs::TimeSeriesSink tricky_sink() {
+  obs::TimeSeriesSink sink;
+  sink.append(0.0, "health.nodes", 64.0);
+  sink.append(2.5, "m", {{"tag", "a,b"}}, 0.125);
+  sink.append(10.0, "quote\"y", 3.0);
+  return sink;
+}
+
+TEST(TimeSeries, CsvExportIsGolden) {
+  std::ostringstream os;
+  tricky_sink().write_csv(os);
+  EXPECT_EQ(os.str(),
+            "time,metric,value\n"
+            "0,health.nodes,64\n"
+            "2.5,\"m{tag=a,b}\",0.125\n"
+            "10,\"quote\"\"y\",3\n");
+}
+
+TEST(TimeSeries, JsonlExportIsGolden) {
+  std::ostringstream os;
+  tricky_sink().write_jsonl(os);
+  EXPECT_EQ(os.str(),
+            "{\"t\":0,\"metric\":\"health.nodes\",\"value\":64}\n"
+            "{\"t\":2.5,\"metric\":\"m{tag=a,b}\",\"value\":0.125}\n"
+            "{\"t\":10,\"metric\":\"quote\\\"y\",\"value\":3}\n");
+}
+
+TEST(TimeSeries, LoadersInvertTheWriters) {
+  const obs::TimeSeriesSink sink = tricky_sink();
+  std::ostringstream csv, jsonl;
+  sink.write_csv(csv);
+  sink.write_jsonl(jsonl);
+  std::istringstream csv_in(csv.str()), jsonl_in(jsonl.str());
+  EXPECT_EQ(obs::load_series_csv(csv_in), sink.samples());
+  EXPECT_EQ(obs::load_series_jsonl(jsonl_in), sink.samples());
+}
+
+TEST(TimeSeries, FileRoundTripPicksFormatBySuffixCaseInsensitive) {
+  const obs::TimeSeriesSink sink = tricky_sink();
+  const std::string jsonl_path = testing::TempDir() + "series.JSONL";
+  const std::string csv_path = testing::TempDir() + "series.csv";
+  obs::write_series_file(sink, jsonl_path);
+  obs::write_series_file(sink, csv_path);
+  EXPECT_EQ(obs::load_series_file(jsonl_path), sink.samples());
+  EXPECT_EQ(obs::load_series_file(csv_path), sink.samples());
+  // The .JSONL file really is JSONL, not CSV.
+  std::ifstream is(jsonl_path);
+  std::string first;
+  ASSERT_TRUE(std::getline(is, first));
+  EXPECT_EQ(first.substr(0, 5), "{\"t\":");
+  EXPECT_THROW(obs::write_series_file(sink, "/nonexistent-dir/s.csv"),
+               PreconditionError);
+  EXPECT_THROW((void)obs::load_series_file("/nonexistent-dir/s.csv"),
+               PreconditionError);
+}
+
+TEST(TimeSeries, LoadersRejectMalformedInput) {
+  std::istringstream empty("");
+  EXPECT_THROW((void)obs::load_series_csv(empty), PreconditionError);
+  std::istringstream bad_header("a,b,c\n");
+  EXPECT_THROW((void)obs::load_series_csv(bad_header), PreconditionError);
+  std::istringstream short_row("time,metric,value\n1,x\n");
+  EXPECT_THROW((void)obs::load_series_csv(short_row), PreconditionError);
+  std::istringstream bad_number("time,metric,value\n1,x,abc\n");
+  EXPECT_THROW((void)obs::load_series_csv(bad_number), PreconditionError);
+  std::istringstream bad_json("{\"x\":1}\n");
+  EXPECT_THROW((void)obs::load_series_jsonl(bad_json), PreconditionError);
+  std::istringstream trailing(
+      "{\"t\":1,\"metric\":\"m\",\"value\":2}garbage\n");
+  EXPECT_THROW((void)obs::load_series_jsonl(trailing), PreconditionError);
+}
+
+TEST(TimeSeries, KeyAndSeriesExtraction) {
+  const obs::TimeSeriesSink sink = tricky_sink();
+  EXPECT_EQ(obs::series_keys(sink.samples()),
+            (std::vector<std::string>{"health.nodes", "m{tag=a,b}",
+                                      "quote\"y"}));
+  const auto points = obs::extract_series(sink.samples(), "m{tag=a,b}");
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0], std::make_pair(2.5, 0.125));
+  EXPECT_TRUE(obs::extract_series(sink.samples(), "missing").empty());
+}
+
+// ---------------------------------------------------------------------------
+// measure_reconvergence
+// ---------------------------------------------------------------------------
+
+TEST(Reconvergence, MeasuresRecoveryAgainstThePreEventBaseline) {
+  const std::vector<std::pair<double, double>> points{
+      {0.0, 0.10}, {10.0, 0.12}, {20.0, 0.50},
+      {30.0, 0.30}, {40.0, 0.12}, {50.0, 0.05}};
+  const obs::Reconvergence rc = obs::measure_reconvergence(points, 15.0);
+  EXPECT_TRUE(rc.converged);
+  EXPECT_DOUBLE_EQ(rc.baseline, 0.12);  // last sample strictly before 15
+  EXPECT_DOUBLE_EQ(rc.peak, 0.50);
+  EXPECT_DOUBLE_EQ(rc.time, 25.0);  // first <= baseline at t = 40
+  EXPECT_DOUBLE_EQ(rc.event_time, 15.0);
+}
+
+TEST(Reconvergence, SampleAtTheEventInstantIsExcluded) {
+  // The forced sampler tick at a scripted crash lands at exactly the
+  // event time and carries the spike; it must poison neither baseline
+  // nor peak-side bookkeeping.
+  const std::vector<std::pair<double, double>> points{
+      {10.0, 0.1}, {15.0, 0.9}, {20.0, 0.8}, {25.0, 0.1}};
+  const obs::Reconvergence rc = obs::measure_reconvergence(points, 15.0);
+  EXPECT_DOUBLE_EQ(rc.baseline, 0.1);
+  EXPECT_DOUBLE_EQ(rc.peak, 0.8);  // the t = 15 spike itself is excluded
+  EXPECT_TRUE(rc.converged);
+  EXPECT_DOUBLE_EQ(rc.time, 10.0);
+}
+
+TEST(Reconvergence, HandlesDegenerateSeries) {
+  EXPECT_FALSE(obs::measure_reconvergence({}, 5.0).converged);
+  // No post-event samples: not converged, baseline = last value.
+  const obs::Reconvergence tail =
+      obs::measure_reconvergence({{0.0, 0.2}, {1.0, 0.3}}, 5.0);
+  EXPECT_FALSE(tail.converged);
+  EXPECT_DOUBLE_EQ(tail.baseline, 0.3);
+  EXPECT_DOUBLE_EQ(tail.peak, 0.3);
+  // Never returns to baseline: peak tracked to the end of the series.
+  const obs::Reconvergence stuck = obs::measure_reconvergence(
+      {{0.0, 0.1}, {10.0, 0.6}, {20.0, 0.4}}, 5.0);
+  EXPECT_FALSE(stuck.converged);
+  EXPECT_DOUBLE_EQ(stuck.peak, 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+TEST(Sampler, TickRunsProbesAndFiltersRegistries) {
+  obs::MetricsRegistry reg;
+  reg.counter("net.messages").add(3.0);
+  reg.counter("lb.rounds").add(1.0);
+  obs::TimeSeriesSink sink;
+  obs::Sampler sampler(sink, 1.0);
+  sampler.add_probe(
+      [](double t, obs::TimeSeriesSink& s) { s.append(t, "probe", t * 2.0); });
+  sampler.add_registry(reg, {"net."});
+  sampler.tick(4.0);
+  ASSERT_EQ(sink.size(), 2u);  // the lb.* metric is filtered out
+  EXPECT_EQ(sink.samples()[0], (obs::Sample{4.0, "probe", 8.0}));
+  EXPECT_EQ(sink.samples()[1], (obs::Sample{4.0, "net.messages", 3.0}));
+  EXPECT_EQ(sampler.ticks(), 1u);
+  EXPECT_THROW(obs::Sampler bad(sink, 0.0), PreconditionError);
+}
+
+TEST(Sampler, PeriodicChainParksAtIdleAndRearms) {
+  sim::Engine engine;
+  obs::TimeSeriesSink sink;
+  obs::Sampler sampler(sink, 1.0);
+  sampler.add_probe(
+      [](double t, obs::TimeSeriesSink& s) { s.append(t, "x", 1.0); });
+  engine.schedule_after(3.5, [] {});
+  sampler.start(engine);
+  EXPECT_TRUE(sampler.running());
+  engine.run();  // must return: the chain parks once the engine is idle
+  // Ticks at 0 (synchronous), 1, 2, 3 (work pending), 4 (idle -> park).
+  EXPECT_EQ(sink.size(), 5u);
+  EXPECT_FALSE(sampler.running());
+  EXPECT_DOUBLE_EQ(sink.samples().back().t, 4.0);
+
+  // Re-arm for a second drain: one immediate tick plus the new chain.
+  engine.schedule_after(1.5, [] {});
+  sampler.ensure_started(engine);
+  EXPECT_TRUE(sampler.running());
+  engine.run();
+  // Ticks at 4 (immediate), 5 (work pending), 6 (idle -> park).
+  EXPECT_EQ(sink.size(), 8u);
+  EXPECT_FALSE(sampler.running());
+}
+
+TEST(Sampler, DisabledSamplerSchedulesNothing) {
+  sim::Engine engine;
+  obs::TimeSeriesSink sink;
+  obs::Sampler sampler(sink, 1.0);
+  sampler.add_probe(
+      [](double t, obs::TimeSeriesSink& s) { s.append(t, "x", 1.0); });
+  sampler.set_enabled(false);
+  sampler.start(engine);
+  sampler.ensure_started(engine);
+  sampler.tick(1.0);
+  EXPECT_FALSE(sampler.running());
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_TRUE(sink.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Schedule invariance of the timed controller's sampler hook
+// ---------------------------------------------------------------------------
+
+enum class SamplerMode { kNone, kDisabled, kEnabled };
+
+/// Drop the `"t":<number>` fields from a JSONL trace, leaving event kind,
+/// lane, name and args -- the decision content.
+std::string strip_timestamps(const std::string& jsonl) {
+  std::string out;
+  std::istringstream is(jsonl);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t start = line.find("{\"t\":");
+    const std::size_t end = line.find(',', start);
+    if (start == 0 && end != std::string::npos) line.erase(1, end - 1);
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+struct TimedOutcome {
+  std::uint64_t events_executed = 0;
+  std::size_t transfers = 0;
+  std::string trace_jsonl;
+  std::vector<double> node_loads;
+  std::size_t samples = 0;
+};
+
+TimedOutcome run_timed_controller(SamplerMode mode) {
+  Rng rng(41);
+  auto ring = workload::build_ring(
+      32, 3, workload::CapacityProfile::gnutella_like(), rng);
+  workload::assign_loads(
+      ring,
+      workload::scaled_load_model(ring, workload::LoadDistribution::kGaussian),
+      rng);
+  sim::Engine engine;
+  sim::Network net(engine, [](sim::Endpoint a, sim::Endpoint b) {
+    return a == b ? 0.0 : 1.0;
+  });
+  obs::Tracer tracer;
+  net.attach_tracer(&tracer);
+  obs::TimeSeriesSink sink;
+  obs::Sampler sampler(sink, 2.0);
+  lb::HealthProbe health(ring, {0.1, "health"});
+  sampler.add_probe([&health](double t, obs::TimeSeriesSink& s) {
+    health.sample_into(t, s);
+  });
+  if (mode == SamplerMode::kDisabled) sampler.set_enabled(false);
+
+  lb::ControllerConfig config;
+  config.max_rounds = 3;
+  Rng brng(7);
+  const lb::ControllerResult result = lb::balance_until_stable(
+      net, ring, config, brng, {},
+      mode == SamplerMode::kNone ? nullptr : &sampler);
+
+  TimedOutcome out;
+  out.events_executed = engine.events_executed();
+  out.transfers = result.total_transfers();
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+  out.trace_jsonl = os.str();
+  for (const chord::NodeIndex i : ring.live_nodes())
+    out.node_loads.push_back(ring.node_load(i));
+  out.samples = sink.size();
+  return out;
+}
+
+TEST(SamplerInvariance, DisabledSamplerIsScheduleInvariant) {
+  const TimedOutcome none = run_timed_controller(SamplerMode::kNone);
+  const TimedOutcome disabled = run_timed_controller(SamplerMode::kDisabled);
+  // Byte-identical trace and identical event count: attaching a disabled
+  // sampler provably did not perturb the schedule.
+  EXPECT_EQ(none.events_executed, disabled.events_executed);
+  EXPECT_EQ(none.trace_jsonl, disabled.trace_jsonl);
+  EXPECT_EQ(none.node_loads, disabled.node_loads);
+  EXPECT_EQ(disabled.samples, 0u);
+}
+
+TEST(SamplerInvariance, EnabledSamplerReadsButNeverSteers) {
+  const TimedOutcome none = run_timed_controller(SamplerMode::kNone);
+  const TimedOutcome enabled = run_timed_controller(SamplerMode::kEnabled);
+  // Sampling adds engine events and stretches each round's drain (later
+  // rounds *start* a little later), so traces are not byte-comparable --
+  // but every decision is: same messages sent, same transfers, same final
+  // loads.  Compare the traces with timestamps ignored.
+  EXPECT_EQ(strip_timestamps(none.trace_jsonl),
+            strip_timestamps(enabled.trace_jsonl));
+  EXPECT_EQ(none.transfers, enabled.transfers);
+  EXPECT_EQ(none.node_loads, enabled.node_loads);
+  EXPECT_GT(enabled.events_executed, none.events_executed);
+  EXPECT_GT(enabled.samples, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// HealthProbe
+// ---------------------------------------------------------------------------
+
+TEST(HealthProbe, ComputesExactGaugesOnAHandBuiltRing) {
+  chord::Ring ring;
+  const auto a = ring.add_node(1.0);
+  const auto b = ring.add_node(3.0);
+  ring.add_virtual_server(a, 0x40000000u);
+  ring.add_virtual_server(b, 0x80000000u);
+  ring.add_virtual_server(b, 0xC0000000u);
+  ring.set_load(0x40000000u, 2.0);
+  ring.set_load(0x80000000u, 0.5);
+  ring.set_load(0xC0000000u, 0.5);
+  // L = 3, C = 4, fair = 0.75; unit_a = 2 / 0.75, unit_b = 1 / 2.25.
+  lb::HealthProbe probe(ring, {0.1, "health"});
+  std::map<std::string, double> g;
+  for (const auto& [key, value] : probe.measure(5.0)) g[key] = value;
+  EXPECT_DOUBLE_EQ(g.at("health.nodes"), 2.0);
+  EXPECT_DOUBLE_EQ(g.at("health.heavy_fraction"), 0.5);  // only node a
+  EXPECT_DOUBLE_EQ(g.at("health.max_unit_load"), 2.0 / 0.75);
+  EXPECT_DOUBLE_EQ(g.at("health.mean_unit_load"),
+                   (2.0 / 0.75 + 1.0 / 2.25) / 2.0);
+  EXPECT_DOUBLE_EQ(g.at("health.vs_per_node{q=max}"), 2.0);
+  EXPECT_DOUBLE_EQ(g.at("health.vs_per_node{q=p50}"), 1.5);
+  EXPECT_GT(g.at("health.imbalance"), 1.0);
+  EXPECT_GT(g.at("health.gini_unit_load"), 0.0);
+  // No attachments: no clbi / ktree gauges.
+  EXPECT_EQ(g.count("health.clbi_root_error"), 0u);
+  EXPECT_EQ(g.count("health.ktree_instances"), 0u);
+}
+
+TEST(HealthProbe, ReportsAttachedAggregatorAndTree) {
+  sim::Engine engine;
+  Rng rng(909);
+  auto ring = workload::build_ring(
+      32, 3, workload::CapacityProfile::gnutella_like(), rng);
+  workload::assign_loads(
+      ring,
+      workload::scaled_load_model(ring, workload::LoadDistribution::kGaussian),
+      rng);
+  ktree::MaintenanceProtocol tree(engine, ring, 2, 1.0,
+                                  ktree::unit_latency(ring));
+  lb::ContinuousLbi lbi(engine, ring, tree, 1.0, ktree::unit_latency(ring));
+  lb::HealthProbe probe(ring);
+  probe.attach_continuous_lbi(&lbi);
+  probe.attach_tree(&tree);
+
+  // Before anything runs: staleness sentinel, no instances yet.
+  std::map<std::string, double> g0;
+  for (const auto& [key, value] : probe.measure(0.0)) g0[key] = value;
+  EXPECT_DOUBLE_EQ(g0.at("health.clbi_staleness"), -1.0);
+
+  tree.start();
+  lbi.start();
+  engine.run_until(80.0);
+  ASSERT_TRUE(tree.converged());
+  std::map<std::string, double> g;
+  for (const auto& [key, value] : probe.measure(engine.now())) g[key] = value;
+  EXPECT_LT(g.at("health.clbi_root_error"), 1e-9);
+  EXPECT_GE(g.at("health.clbi_staleness"), 0.0);
+  EXPECT_LE(g.at("health.clbi_staleness"), 1.0);  // refreshes every 1.0
+  EXPECT_DOUBLE_EQ(g.at("health.ktree_instances"),
+                   static_cast<double>(tree.instance_count()));
+  EXPECT_GE(g.at("health.ktree_depth"), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance scenario: crash burst -> spike -> pinned re-convergence
+// ---------------------------------------------------------------------------
+
+/// Deterministic mini churn run: 64 nodes balancing every 100 time units,
+/// a burst of 8 crashes (plus a load redraw) at t = 350, sampled every 10.
+obs::TimeSeriesSink run_crash_burst_scenario() {
+  Rng rng(2026);
+  auto ring = workload::build_ring(
+      64, 3, workload::CapacityProfile::gnutella_like(), rng);
+  workload::assign_loads(
+      ring,
+      workload::scaled_load_model(ring, workload::LoadDistribution::kGaussian),
+      rng);
+  sim::Engine engine;
+  sim::Network net(engine, [](sim::Endpoint a, sim::Endpoint b) {
+    return a == b ? 0.0 : 1.0;
+  });
+  obs::TimeSeriesSink sink;
+  obs::Sampler sampler(sink, 10.0);
+  lb::HealthProbe health(ring, {0.1, "health"});
+  sampler.add_probe([&health](double t, obs::TimeSeriesSink& s) {
+    health.sample_into(t, s);
+  });
+
+  int started = 0;
+  std::vector<std::unique_ptr<lb::ProtocolRound>> rounds;
+  lb::ProtocolRoundConfig rconfig;
+  rconfig.balancer.epsilon = 0.1;
+  engine.every(100.0, [&] {
+    rounds.push_back(
+        std::make_unique<lb::ProtocolRound>(net, ring, rconfig, rng));
+    rounds.back()->start();
+    return ++started < 8;
+  });
+  engine.schedule_after(350.0, [&] {
+    Rng crng(7);
+    for (int k = 0; k < 8; ++k) {
+      const auto live = ring.live_nodes();
+      ring.remove_node(live[crng.below(live.size())]);
+    }
+    workload::assign_loads(
+        ring,
+        workload::scaled_load_model(ring,
+                                    workload::LoadDistribution::kGaussian),
+        crng);
+    sink.append(engine.now(), "event.crash", 8.0);
+    sampler.tick(engine.now());
+  });
+  sampler.start(engine);
+  engine.run_until(850.0);
+  return sink;
+}
+
+TEST(CrashBurstGolden, ReconvergenceTimeIsFiniteAndPinned) {
+  const obs::TimeSeriesSink sink = run_crash_burst_scenario();
+  const auto heavy =
+      obs::extract_series(sink.samples(), "health.heavy_fraction");
+  ASSERT_GT(heavy.size(), 50u);
+  const obs::Reconvergence rc = obs::measure_reconvergence(heavy, 350.0);
+  // The burst must be visible and the system must demonstrably recover.
+  EXPECT_TRUE(rc.converged);
+  EXPECT_GT(rc.peak, rc.baseline);
+  // Pinned: the scenario is deterministic, so these are exact.  The
+  // rounds before the crash fully balance the system (baseline 0); the
+  // burst plus load redraw leaves 24 of the 56 survivors heavy (3/7),
+  // and the rounds at t = 400 and 500 work it back to zero by t = 540.
+  EXPECT_DOUBLE_EQ(rc.baseline, 0.0);
+  EXPECT_DOUBLE_EQ(rc.peak, 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(rc.time, 190.0);
+}
+
+TEST(CrashBurstGolden, ScenarioIsByteDeterministic) {
+  std::ostringstream a, b;
+  run_crash_burst_scenario().write_csv(a);
+  run_crash_burst_scenario().write_csv(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CrashBurstGolden, ReportPipelineComputesTheSameRecovery) {
+  // End-to-end through the file formats: export, reload, analyze -- the
+  // exact path tools/p2plb_report takes.
+  const obs::TimeSeriesSink sink = run_crash_burst_scenario();
+  const std::string path = testing::TempDir() + "burst_series.csv";
+  obs::write_series_file(sink, path);
+  const std::vector<obs::Sample> samples = obs::load_series_file(path);
+  const obs::ExperimentReport report = obs::analyze(samples, {});
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.events[0].magnitude, 8.0);
+  const obs::Reconvergence direct = obs::measure_reconvergence(
+      obs::extract_series(sink.samples(), "health.heavy_fraction"), 350.0);
+  EXPECT_EQ(report.events[0].reconvergence.converged, direct.converged);
+  EXPECT_DOUBLE_EQ(report.events[0].reconvergence.time, direct.time);
+
+  std::ostringstream md;
+  obs::write_markdown_report(md, samples, {}, {});
+  EXPECT_NE(md.str().find("## Convergence under churn"), std::string::npos);
+  EXPECT_NE(md.str().find("| yes |"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Report generator on synthetic input
+// ---------------------------------------------------------------------------
+
+TEST(Report, AnalyzeFoldsSeriesAndEvents) {
+  std::vector<obs::Sample> samples{
+      {0.0, "health.heavy_fraction", 0.1},
+      {10.0, "health.heavy_fraction", 0.1},
+      {15.0, "event.crash", 4.0},
+      {20.0, "health.heavy_fraction", 0.6},
+      {30.0, "health.heavy_fraction", 0.05},
+  };
+  const obs::ExperimentReport report = obs::analyze(samples, {});
+  ASSERT_EQ(report.series.size(), 2u);
+  EXPECT_EQ(report.series[0].key, "event.crash");
+  EXPECT_EQ(report.series[1].key, "health.heavy_fraction");
+  EXPECT_EQ(report.series[1].count, 4u);
+  EXPECT_DOUBLE_EQ(report.series[1].first, 0.1);
+  EXPECT_DOUBLE_EQ(report.series[1].last, 0.05);
+  EXPECT_DOUBLE_EQ(report.series[1].max, 0.6);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.events[0].magnitude, 4.0);
+  EXPECT_TRUE(report.events[0].reconvergence.converged);
+  EXPECT_DOUBLE_EQ(report.events[0].reconvergence.time, 15.0);
+  EXPECT_THROW((void)obs::analyze({}, {}), PreconditionError);
+}
+
+TEST(Report, MarkdownContainsAllSections) {
+  std::vector<obs::Sample> samples{
+      {0.0, "health.heavy_fraction", 0.1},
+      {15.0, "event.crash", 4.0},
+      {20.0, "health.heavy_fraction", 0.6},
+      {30.0, "health.heavy_fraction", 0.05},
+  };
+  std::map<std::string, double> metrics{
+      {"net.messages", 123.0},
+      {"lb.transfer_distance/count", 5.0},
+      {"lb.transfer_distance/p50", 2.0},
+      {"lb.transfer_distance/p99", 7.5},
+  };
+  std::ostringstream os;
+  obs::write_markdown_report(os, samples, metrics, {});
+  const std::string md = os.str();
+  EXPECT_NE(md.find("# Experiment report"), std::string::npos);
+  EXPECT_NE(md.find("## Convergence under churn"), std::string::npos);
+  EXPECT_NE(md.find("## Series overview"), std::string::npos);
+  EXPECT_NE(md.find("## Health before / after"), std::string::npos);
+  EXPECT_NE(md.find("## Moved load by distance"), std::string::npos);
+  EXPECT_NE(md.find("## Traffic totals"), std::string::npos);
+  EXPECT_NE(md.find("| net.messages | 123 |"), std::string::npos);
+  // Markdown tables, not CSV: header separators present.
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+}
+
+TEST(Report, LoadMetricsCsvInvertsRegistryExport) {
+  obs::MetricsRegistry reg;
+  reg.counter("msgs", {{"tag", "a,b"}}).add(2.0);
+  reg.gauge("depth").set(1.5);
+  std::ostringstream os;
+  reg.write_csv(os);
+  std::istringstream is(os.str());
+  const std::map<std::string, double> loaded = obs::load_metrics_csv(is);
+  EXPECT_DOUBLE_EQ(loaded.at("msgs{tag=a,b}"), 2.0);
+  EXPECT_DOUBLE_EQ(loaded.at("depth"), 1.5);
+  std::istringstream bad("wrong,header\n");
+  EXPECT_THROW((void)obs::load_metrics_csv(bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace p2plb

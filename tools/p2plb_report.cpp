@@ -1,0 +1,102 @@
+// p2plb_report -- experiment reports from recorded runs.
+//
+// Reads the time series a sampled run exported (`--series`, CSV or JSONL
+// by suffix, case-insensitive) plus optionally the final metrics-registry
+// CSV (`--metrics`), and writes a self-contained Markdown report: series
+// overview, re-convergence after each recorded disturbance, before/after
+// health gauges, moved-load-by-distance quantiles and traffic totals.
+//
+//   $ churn_simulation --sample-every 10 --series series.csv
+//   $ p2plb_report --series series.csv --out report.md
+//   $ p2plb_sim --sample-every 5 --series s.csv --metrics m.csv
+//   $ p2plb_report --series s.csv --metrics m.csv --out report.md
+//
+// Exits non-zero (with a diagnostic on stderr) on missing, empty or
+// malformed input, so CI can gate on it.
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "obs/format.h"
+#include "obs/report.h"
+#include "obs/timeseries.h"
+
+namespace {
+
+using namespace p2plb;
+
+int run(const Cli& cli) {
+  const std::string series_path = cli.get_string("series");
+  if (series_path.empty()) {
+    std::cerr << "p2plb_report: --series is required\n";
+    return 1;
+  }
+  const std::vector<obs::Sample> samples = obs::load_series_file(series_path);
+  if (samples.empty()) {
+    std::cerr << "p2plb_report: " << series_path << " holds no samples\n";
+    return 1;
+  }
+
+  std::map<std::string, double> metrics;
+  const std::string metrics_path = cli.get_string("metrics");
+  if (!metrics_path.empty()) {
+    std::ifstream is(metrics_path);
+    if (!is.good()) {
+      std::cerr << "p2plb_report: cannot open " << metrics_path << "\n";
+      return 1;
+    }
+    metrics = obs::load_metrics_csv(is);
+  }
+
+  obs::ReportOptions options;
+  options.title = cli.get_string("title");
+  options.target_metric = cli.get_string("target");
+  options.event_metric = cli.get_string("event");
+
+  std::ostringstream report;
+  obs::write_markdown_report(report, samples, metrics, options);
+
+  const std::string out_path = cli.get_string("out");
+  if (out_path.empty()) {
+    std::cout << report.str();
+  } else {
+    std::ofstream os(out_path);
+    if (!os.good()) {
+      std::cerr << "p2plb_report: cannot open " << out_path << "\n";
+      return 1;
+    }
+    os << report.str();
+    std::cerr << "report written to " << out_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("series",
+               "time-series file to analyze (CSV, or JSONL if the name "
+               "ends in .jsonl, case-insensitive); required",
+               "");
+  cli.add_flag("metrics",
+               "final metrics-registry CSV export (optional; adds the "
+               "moved-load and traffic sections)",
+               "");
+  cli.add_flag("out", "write the Markdown report here (default: stdout)", "");
+  cli.add_flag("title", "report title", "Experiment report");
+  cli.add_flag("target", "health series measured for re-convergence",
+               "health.heavy_fraction");
+  cli.add_flag("event", "disturbance-marker series", "event.crash");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    return run(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "p2plb_report: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -15,21 +15,31 @@
 // `--trace FILE` / `--metrics FILE` (they imply `--timed`) export the
 // run's structured trace (Chrome trace_event JSON, or JSONL when FILE
 // ends in .jsonl) and the unified metrics registry (CSV when FILE ends
-// in .csv, aligned text otherwise).
+// in .csv, aligned text otherwise; both suffix checks case-insensitive).
+//
+// `--sample-every T` / `--series FILE` (they also imply `--timed`)
+// attach an obs::Sampler: every T units of simulated time it records the
+// lb::HealthProbe gauges plus the network's `net.*` totals onto a time
+// series, exported to FILE for tools/p2plb_report.
 //
 //   $ p2plb_sim --topology ts5k-large --workload gaussian --mode aware
 //   $ p2plb_sim --nodes 1024 --workload zipf --zipf 1.1 --rounds 4
 //   $ p2plb_sim --topology ts5k-small --timed
 //   $ p2plb_sim --timed --trace trace.json --metrics metrics.csv
+//   $ p2plb_sim --sample-every 5 --series series.csv
 #include <iostream>
 #include <optional>
 
 #include "bench_util.h"
 #include "common/stats.h"
 #include "lb/controller.h"
+#include "lb/health.h"
 #include "lb/proximity.h"
 #include "lb/vst.h"
+#include "obs/format.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/network.h"
@@ -145,9 +155,14 @@ int run(const Cli& cli) {
   Rng brng(seed + 2);
   const std::string trace_path = cli.get_string("trace");
   const std::string metrics_path = cli.get_string("metrics");
+  const std::string series_path = cli.get_string("series");
+  double sample_every = cli.get_double("sample-every");
+  const bool sampling = sample_every > 0.0 || !series_path.empty();
+  if (sampling && sample_every <= 0.0) sample_every = 5.0;
   bool timed = cli.get_bool("timed");
-  if (!timed && (!trace_path.empty() || !metrics_path.empty())) {
-    std::cerr << "note: --trace/--metrics imply --timed\n";
+  if (!timed && (!trace_path.empty() || !metrics_path.empty() || sampling)) {
+    std::cerr << "note: --trace/--metrics/--series/--sample-every imply "
+                 "--timed\n";
     timed = true;
   }
   lb::ControllerResult result;
@@ -168,7 +183,23 @@ int run(const Cli& cli) {
     sim::Network net(engine, latency);
     obs::Tracer tracer;
     if (!trace_path.empty()) net.attach_tracer(&tracer);
-    result = lb::balance_until_stable(net, ring, config, brng, keys);
+    obs::TimeSeriesSink sink;
+    std::optional<obs::Sampler> sampler;
+    lb::HealthProbe health(ring, {config.balancer.epsilon, "health"});
+    if (sampling) {
+      sampler.emplace(sink, sample_every);
+      sampler->add_probe([&health](double t, obs::TimeSeriesSink& s) {
+        health.sample_into(t, s);
+      });
+      sampler->add_registry(net.metrics(), {"net."});
+    }
+    result = lb::balance_until_stable(net, ring, config, brng, keys,
+                                      sampler ? &*sampler : nullptr);
+    if (!series_path.empty()) {
+      obs::write_series_file(sink, series_path);
+      std::cerr << "series written to " << series_path << " (" << sink.size()
+                << " samples)\n";
+    }
     if (!trace_path.empty()) {
       obs::write_trace_file(tracer, trace_path);
       std::cerr << "trace written to " << trace_path << " ("
@@ -258,12 +289,18 @@ int main(int argc, char** argv) {
   cli.add_flag("timed", "run rounds event-driven over simulated latencies",
                "false");
   cli.add_flag("trace",
-               "write a structured trace here (Chrome trace_event JSON, "
-               "or JSONL if the name ends in .jsonl); implies --timed",
+               std::string(p2plb::obs::kTraceFlagHelp) + "; implies --timed",
                "");
   cli.add_flag("metrics",
-               "write the metrics registry here (CSV if the name ends in "
-               ".csv, aligned text otherwise); implies --timed",
+               std::string(p2plb::obs::kMetricsFlagHelp) + "; implies --timed",
+               "");
+  cli.add_flag("sample-every",
+               "sampling period in simulated time (0 = no sampling); "
+               "implies --timed",
+               "0");
+  cli.add_flag("series",
+               std::string(p2plb::obs::kSeriesFlagHelp) +
+                   "; implies --timed, default period 5",
                "");
   cli.add_flag("csv", "emit CSV tables", "false");
   if (!cli.parse(argc, argv)) return 0;
