@@ -79,10 +79,12 @@ VsaResult run_vsa(const ktree::KTree& tree, const VsaEntries& entries,
   VsaResult result;
   result.rounds = static_cast<std::uint32_t>(tree.height()) + 1;
 
-  // Scratch lists exist only for touched KT nodes.
-  std::unordered_map<ktree::KtIndex, Lists> scratch;
+  // Scratch lists exist only for touched KT nodes.  Ordered: the
+  // key-local rendezvous below iterates this map, and its iteration
+  // order fixes the order of result.assignments.
+  std::map<ktree::KtIndex, Lists> scratch;
   // Record-arrival times per touched node (latency model only).
-  std::unordered_map<ktree::KtIndex, double> ready;
+  std::map<ktree::KtIndex, double> ready;
   auto seed_entries = [&](ktree::KtIndex leaf, const auto& records,
                           auto member) {
     Lists& lists = scratch[leaf];
@@ -118,7 +120,9 @@ VsaResult run_vsa(const ktree::KTree& tree, const VsaEntries& entries,
     for (auto& [leaf, lists] : scratch) {
       const std::uint16_t depth = tree.node(leaf).depth;
       const std::size_t first_pair = result.assignments.size();
-      std::unordered_map<chord::Key, Lists> by_key;
+      // Ordered: pairing order and the merge order of leftovers back
+      // into the leaf lists (equal-key multimap ties!) follow this walk.
+      std::map<chord::Key, Lists> by_key;
       for (auto& [load, record] : lists.heavies)
         by_key[record.origin_key].heavies.emplace(load, record);
       for (auto& [delta, record] : lists.lights)
@@ -150,8 +154,8 @@ VsaResult run_vsa(const ktree::KTree& tree, const VsaEntries& entries,
     for (ktree::KtIndex i = range.begin; i < range.end; ++i) {
       const auto it = scratch.find(i);
       if (it == scratch.end()) continue;
-      // Move the lists out before touching the map again: inserting the
-      // parent's scratch entry may rehash and invalidate iterators.
+      // Move the lists out before touching the map again: creating the
+      // parent's scratch entry below must not alias this node's entry.
       Lists lists = std::move(it->second);
       scratch.erase(it);
       const double now = params.latency ? ready[i] : 0.0;

@@ -20,7 +20,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "chord/ring.h"
@@ -62,9 +62,14 @@ struct Assignment {
 };
 
 /// Where each record enters the tree: leaf index -> records.
+///
+/// Ordered maps on purpose: both the sweep and lb::ProtocolRound iterate
+/// these, and the iteration order fixes the order of assignments, trace
+/// events and network sends.  Hash order would make all of that
+/// standard-library-dependent (see the no-unordered-iteration lint rule).
 struct VsaEntries {
-  std::unordered_map<ktree::KtIndex, std::vector<ShedCandidate>> heavy;
-  std::unordered_map<ktree::KtIndex, std::vector<SpareCapacity>> light;
+  std::map<ktree::KtIndex, std::vector<ShedCandidate>> heavy;
+  std::map<ktree::KtIndex, std::vector<SpareCapacity>> light;
 
   [[nodiscard]] std::size_t heavy_count() const;
   [[nodiscard]] std::size_t light_count() const;
@@ -82,7 +87,9 @@ struct VsaNodeTrace {
   /// Leftover records forwarded to the parent (one message each).
   std::uint32_t forwarded_up = 0;
 };
-using VsaTrace = std::unordered_map<ktree::KtIndex, VsaNodeTrace>;
+/// Ordered for the same reason as VsaEntries: ProtocolRound derives its
+/// send schedule from a walk over this map.
+using VsaTrace = std::map<ktree::KtIndex, VsaNodeTrace>;
 
 /// Sweep parameters.
 struct VsaParams {

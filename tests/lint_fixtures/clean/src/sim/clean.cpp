@@ -1,0 +1,13 @@
+// Fixture: a well-behaved translation unit; zero findings expected.
+#include "sim/clean.h"
+
+namespace p2plb_fixture {
+
+std::map<std::string, int> tally(const std::string& word) {
+  std::map<std::string, int> counts;
+  counts[word] += 1;
+  for (const auto& [key, value] : counts) (void)key, (void)value;  // ordered
+  return counts;
+}
+
+}  // namespace p2plb_fixture

@@ -1,0 +1,17 @@
+// Fixture: a well-behaved header -- guard first, no using-namespace,
+// ordered containers, no ambient randomness or clocks.  Must produce
+// zero findings.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace p2plb_fixture {
+
+/// Strings mentioning rand(), time( and std::random_device must not
+/// fire: literals and comments are invisible to the tokenizer.
+inline const char* kDecoy = "calls rand() and time(nullptr) at 'runtime'";
+
+std::map<std::string, int> tally(const std::string& word);
+
+}  // namespace p2plb_fixture

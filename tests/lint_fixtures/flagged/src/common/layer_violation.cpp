@@ -1,0 +1,5 @@
+// Fixture: src/common sits at the bottom of the layer DAG, so including
+// anything from src/lb must trip the layering rule.
+#include "lb/balancer.h"
+
+int fixture_layer_violation() { return 0; }

@@ -1,0 +1,14 @@
+// Fixture: every violation here carries an allow() escape hatch, so this
+// file must contribute ZERO findings -- both the same-line and the
+// directive-on-its-own-line forms.
+#include <cstdlib>
+#include <unordered_map>
+
+int fixture_allowed() {
+  int sum = std::rand();  // p2plb-lint: allow(no-std-rand)
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  // Summation is order-insensitive.  p2plb-lint: allow(no-unordered-iteration)
+  for (const auto& [key, value] : counts) sum += key + value;
+  return sum;
+}

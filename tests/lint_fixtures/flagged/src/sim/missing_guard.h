@@ -1,0 +1,3 @@
+// Fixture: a header without '#pragma once' (or a classic guard) must
+// trip header-guard.
+inline int fixture_missing_guard() { return 1; }

@@ -1,0 +1,15 @@
+// Fixture: pointer-keyed containers and std::hash over pointers must
+// trip no-pointer-keys (addresses differ run to run); value-keyed maps
+// with pointer *values* must not.
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+int fixture_pointer_keys(int* p) {
+  std::map<int*, int> by_address;  // finding
+  by_address[p] = 1;
+  const std::size_t h = std::hash<int*>{}(p);  // finding
+  std::unordered_map<int, int*> by_id;  // fine: pointer is the value
+  by_id[7] = p;
+  return by_address[p] + static_cast<int>(h % 2) + (by_id.at(7) == p ? 1 : 0);
+}

@@ -1,0 +1,14 @@
+// Fixture: range-for over an unordered container must trip
+// no-unordered-iteration; lookups and ordered iteration must not.
+#include <map>
+#include <unordered_map>
+
+int fixture_unordered_iter() {
+  std::unordered_map<int, int> histogram;
+  histogram[1] = 2;
+  int sum = histogram.count(1) != 0U ? histogram.at(1) : 0;  // fine: lookup
+  for (const auto& [key, value] : histogram) sum += key + value;  // finding
+  std::map<int, int> sorted(histogram.begin(), histogram.end());
+  for (const auto& [key, value] : sorted) sum -= key + value;  // fine
+  return sum;
+}

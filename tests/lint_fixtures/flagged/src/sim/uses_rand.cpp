@@ -1,0 +1,7 @@
+// Fixture: ambient C randomness must trip no-std-rand (twice).
+#include <cstdlib>
+
+int fixture_rand() {
+  std::srand(42);
+  return std::rand();
+}

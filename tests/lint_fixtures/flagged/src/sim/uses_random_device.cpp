@@ -1,0 +1,7 @@
+// Fixture: std::random_device must trip no-random-device.
+#include <random>
+
+unsigned fixture_random_device() {
+  std::random_device rd;
+  return rd();
+}

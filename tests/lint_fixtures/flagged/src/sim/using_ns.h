@@ -1,0 +1,9 @@
+// Fixture: 'using namespace' in a header must trip
+// no-using-namespace-header (the guard itself is fine).
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string fixture_using_ns() { return "x"; }

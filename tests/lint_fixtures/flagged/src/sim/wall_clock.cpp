@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads must trip no-wall-clock.  The bare C call
+// and the <chrono> clock are separate findings; a member call through an
+// object (`stamps.time(...)`) must NOT fire -- only bare or
+// std-qualified calls count as wall-clock reads.
+#include <chrono>
+#include <ctime>
+
+#include "sim/stamps.h"
+
+long fixture_wall_clock(const Stamps& stamps) {
+  const auto tick = std::chrono::system_clock::now();  // finding
+  const double member = stamps.time(3);  // fine: not the libc time()
+  return static_cast<long>(member) + std::time(nullptr) +  // finding
+         tick.time_since_epoch().count();
+}

@@ -1,0 +1,4 @@
+// Fixture: a directory under src/ that is not in the declared layer DAG
+// must trip the layering rule -- new modules have to be placed in the
+// DAG deliberately, not spring into existence unlayered.
+int fixture_rogue_module() { return 0; }

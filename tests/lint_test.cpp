@@ -1,0 +1,149 @@
+// Self-tests for p2plb-lint: every rule must fire on its fixture under
+// tests/lint_fixtures/flagged/, the allow() escape hatch must suppress,
+// and the clean fixture must produce zero findings.  The fixtures are
+// never compiled -- they only have to *look* like the code each rule
+// exists to catch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace p2plb::lint {
+namespace {
+
+std::vector<Finding> lint_fixture(const std::string& name) {
+  return lint_tree(std::string(P2PLB_LINT_FIXTURES_DIR) + "/" + name);
+}
+
+std::size_t count(const std::vector<Finding>& findings,
+                  const std::string& file_suffix, const std::string& rule) {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(), [&](const Finding& f) {
+        return f.rule == rule && f.file.size() >= file_suffix.size() &&
+               f.file.compare(f.file.size() - file_suffix.size(),
+                              file_suffix.size(), file_suffix) == 0;
+      }));
+}
+
+TEST(LintFixtures, EveryRuleFiresExactlyWhereExpected) {
+  const std::vector<Finding> findings = lint_fixture("flagged");
+
+  EXPECT_EQ(count(findings, "layer_violation.cpp", kRuleLayering), 1u);
+  EXPECT_EQ(count(findings, "rogue_module.cpp", kRuleLayering), 1u);
+  EXPECT_EQ(count(findings, "uses_rand.cpp", kRuleStdRand), 2u);
+  EXPECT_EQ(count(findings, "uses_random_device.cpp", kRuleRandomDevice), 1u);
+  EXPECT_EQ(count(findings, "wall_clock.cpp", kRuleWallClock), 2u);
+  EXPECT_EQ(count(findings, "unordered_iter.cpp", kRuleUnorderedIter), 1u);
+  EXPECT_EQ(count(findings, "pointer_keys.cpp", kRulePointerKeys), 2u);
+  EXPECT_EQ(count(findings, "missing_guard.h", kRuleHeaderGuard), 1u);
+  EXPECT_EQ(count(findings, "using_ns.h", kRuleUsingNamespace), 1u);
+
+  // The allow() escape hatch suppresses both its forms.
+  for (const Finding& f : findings)
+    EXPECT_EQ(f.file.find("allowed.cpp"), std::string::npos)
+        << f.to_string();
+
+  // Exact total: any extra finding is a false positive regression.
+  EXPECT_EQ(findings.size(), 12u);
+
+  // Findings carry file:line locations inside the fixture tree.
+  for (const Finding& f : findings) {
+    EXPECT_GT(f.line, 0u) << f.to_string();
+    EXPECT_EQ(f.file.find("src/"), 0u) << f.to_string();
+  }
+}
+
+TEST(LintFixtures, CleanFixtureProducesNoFindings) {
+  const std::vector<Finding> findings = lint_fixture("clean");
+  for (const Finding& f : findings) ADD_FAILURE() << f.to_string();
+}
+
+TEST(LintRules, RuleListCoversLayeringPlusAtLeastSevenOthers) {
+  const std::vector<std::string>& rules = all_rules();
+  EXPECT_GE(rules.size(), 8u);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleLayering),
+            rules.end());
+}
+
+// ---------------------------------------------------------------------------
+// Unit tests on parse_source/run_rules for the tricky lexer corners.
+
+std::vector<Finding> lint_snippet(const std::string& rel_path,
+                                  const std::string& code) {
+  std::vector<SourceFile> files;
+  files.push_back(parse_source(rel_path, code));
+  return run_rules(files);
+}
+
+TEST(LintLexer, LiteralsAndCommentsAreInvisible) {
+  const std::vector<Finding> findings = lint_snippet(
+      "src/sim/decoy.cpp",
+      "// std::rand() in a comment\n"
+      "const char* a = \"std::rand() time(nullptr)\";\n"
+      "const char* b = R\"(std::random_device inside raw \" string)\";\n"
+      "const char c = '\\'';\n"
+      "const int grouped = 1'000'000;\n");
+  for (const Finding& f : findings) ADD_FAILURE() << f.to_string();
+}
+
+TEST(LintLexer, AllowOnOwnLineCoversNextLine) {
+  const std::vector<Finding> suppressed = lint_snippet(
+      "src/sim/a.cpp",
+      "// p2plb-lint: allow(no-std-rand)\n"
+      "int x = rand();\n");
+  EXPECT_TRUE(suppressed.empty());
+
+  const std::vector<Finding> active = lint_snippet(
+      "src/sim/b.cpp",
+      "// p2plb-lint: allow(no-random-device)  (wrong rule)\n"
+      "int x = rand();\n");
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].rule, kRuleStdRand);
+  EXPECT_EQ(active[0].line, 2u);
+}
+
+TEST(LintLexer, DeterminismRulesGovernSrcOnly) {
+  const std::vector<Finding> findings = lint_snippet(
+      "tests/a_test.cpp", "int x = rand();\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintLayering, AllowedEdgeAndViolationEdge) {
+  EXPECT_TRUE(lint_snippet("src/lb/x.cpp",
+                           "#include \"ktree/tree.h\"\n")
+                  .empty());
+  const std::vector<Finding> findings = lint_snippet(
+      "src/chord/x.cpp", "#include \"lb/balancer.h\"\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleLayering);
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(LintUnordered, AliasDeclaredElsewhereIsTracked) {
+  std::vector<SourceFile> files;
+  files.push_back(parse_source(
+      "src/sim/t.h",
+      "#pragma once\n"
+      "#include <unordered_map>\n"
+      "using Index = std::unordered_map<int, int>;\n"));
+  files.push_back(parse_source(
+      "src/sim/t.cpp",
+      "#include \"sim/t.h\"\n"
+      "int f() {\n"
+      "  Index lookup;\n"
+      "  int s = 0;\n"
+      "  for (const auto& [k, v] : lookup) s += v;\n"
+      "  return s;\n"
+      "}\n"));
+  const std::vector<Finding> findings = run_rules(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleUnorderedIter);
+  EXPECT_EQ(findings[0].file, "src/sim/t.cpp");
+  EXPECT_EQ(findings[0].line, 5u);
+}
+
+}  // namespace
+}  // namespace p2plb::lint

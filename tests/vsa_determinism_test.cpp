@@ -1,0 +1,148 @@
+// Regression tests for a bug p2plb-lint surfaced: the VSA sweep used to
+// iterate unordered_map state (the entry map, the per-node scratch, the
+// key-local rendezvous groups), so the ORDER of result.assignments -- and
+// with it the multimap tie-breaks when leftovers merge back into a leaf's
+// lists, the VsaTrace-driven send schedule of lb::ProtocolRound, and every
+// golden trace downstream -- depended on hash order, i.e. on the insertion
+// history and the standard library.  VsaEntries/VsaTrace are std::map now;
+// these tests pin that the sweep's full output is a pure function of the
+// record *set*, not of the order the records were inserted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "chord/ring.h"
+#include "common/rng.h"
+#include "ktree/tree.h"
+#include "lb/vsa.h"
+
+namespace p2plb::lb {
+namespace {
+
+struct Records {
+  ktree::KtIndex leaf;
+  std::vector<ShedCandidate> heavy;
+  std::vector<SpareCapacity> light;
+};
+
+struct World {
+  chord::Ring ring;
+  std::unique_ptr<ktree::KTree> tree;
+  std::vector<Records> per_leaf;
+};
+
+/// A deterministic ring plus heavy/light records spread over every leaf,
+/// with clustered origin keys and deliberate equal-load ties (equal loads
+/// under different origin keys are exactly the case whose pairing used to
+/// depend on hash order).
+World make_world(std::uint64_t seed) {
+  World w;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const auto n = w.ring.add_node(1.0);
+    for (std::size_t v = 0; v < 3; ++v)
+      (void)w.ring.add_random_virtual_server(n, rng);
+  }
+  w.tree = std::make_unique<ktree::KTree>(w.ring, 2);
+  const auto& tree = *w.tree;
+
+  std::vector<ktree::KtIndex> leaves;
+  for (ktree::KtIndex i = 0; i < tree.size(); ++i)
+    if (tree.node(i).is_leaf()) leaves.push_back(i);
+
+  const auto ids = w.ring.server_ids();
+  const auto live = w.ring.live_nodes();
+  std::size_t next_vs = 0;
+  for (const ktree::KtIndex leaf : leaves) {
+    Records r;
+    r.leaf = leaf;
+    for (std::size_t k = 0; k < 2 && next_vs < ids.size(); ++k, ++next_vs) {
+      const chord::Key vs = ids[next_vs];
+      // Every other record reuses load 7.0: an exact tie.
+      const double load = (k % 2 == 0) ? 7.0 : rng.uniform(1.0, 10.0);
+      const auto origin = static_cast<chord::Key>(rng.below(3));
+      r.heavy.push_back({load, vs, w.ring.server(vs).owner, origin});
+    }
+    const chord::NodeIndex node = live[rng.below(live.size())];
+    r.light.push_back(
+        {rng.uniform(5.0, 20.0), node, static_cast<chord::Key>(rng.below(3))});
+    w.per_leaf.push_back(std::move(r));
+  }
+  return w;
+}
+
+VsaEntries build_entries(const World& w, bool reversed) {
+  std::vector<const Records*> order;
+  order.reserve(w.per_leaf.size());
+  for (const Records& r : w.per_leaf) order.push_back(&r);
+  if (reversed) std::reverse(order.begin(), order.end());
+  VsaEntries entries;
+  for (const Records* r : order) {
+    for (const ShedCandidate& h : r->heavy) entries.heavy[r->leaf].push_back(h);
+    for (const SpareCapacity& l : r->light) entries.light[r->leaf].push_back(l);
+  }
+  return entries;
+}
+
+void expect_identical(const VsaResult& a, const VsaResult& b) {
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    const Assignment& x = a.assignments[i];
+    const Assignment& y = b.assignments[i];
+    EXPECT_EQ(x.vs, y.vs) << "assignment " << i;
+    EXPECT_EQ(x.from, y.from) << "assignment " << i;
+    EXPECT_EQ(x.to, y.to) << "assignment " << i;
+    EXPECT_DOUBLE_EQ(x.load, y.load) << "assignment " << i;
+    EXPECT_EQ(x.rendezvous_depth, y.rendezvous_depth) << "assignment " << i;
+  }
+  ASSERT_EQ(a.unassigned_heavy.size(), b.unassigned_heavy.size());
+  for (std::size_t i = 0; i < a.unassigned_heavy.size(); ++i)
+    EXPECT_EQ(a.unassigned_heavy[i].vs, b.unassigned_heavy[i].vs);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.pairs_per_depth, b.pairs_per_depth);
+}
+
+class VsaDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VsaDeterminism, ResultIsInvariantUnderEntryInsertionOrder) {
+  const World w = make_world(GetParam());
+  const VsaEntries forward = build_entries(w, /*reversed=*/false);
+  const VsaEntries backward = build_entries(w, /*reversed=*/true);
+
+  for (const std::size_t threshold : {std::size_t{0}, std::size_t{4}}) {
+    VsaParams params;
+    params.rendezvous_threshold = threshold;
+    params.min_load = 0.5;
+    params.key_local_rendezvous = true;
+
+    VsaTrace trace_fwd;
+    VsaTrace trace_bwd;
+    VsaParams pf = params;
+    pf.trace = &trace_fwd;
+    VsaParams pb = params;
+    pb.trace = &trace_bwd;
+
+    const VsaResult a = run_vsa(*w.tree, forward, pf);
+    const VsaResult b = run_vsa(*w.tree, backward, pb);
+    expect_identical(a, b);
+
+    // The per-node dataflow (what ProtocolRound replays as network sends)
+    // must match too, node by node and index by index.
+    ASSERT_EQ(trace_fwd.size(), trace_bwd.size());
+    auto ita = trace_fwd.begin();
+    auto itb = trace_bwd.begin();
+    for (; ita != trace_fwd.end(); ++ita, ++itb) {
+      EXPECT_EQ(ita->first, itb->first);
+      EXPECT_EQ(ita->second.assignments, itb->second.assignments);
+      EXPECT_EQ(ita->second.forwarded_up, itb->second.forwarded_up);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VsaDeterminism,
+                         ::testing::Values(7, 21, 42, 1234, 99991));
+
+}  // namespace
+}  // namespace p2plb::lb

@@ -1,0 +1,53 @@
+// p2plb-lint CLI: lint the tree rooted at --root (default: cwd).
+//
+//   p2plb_lint --root /path/to/repo     lint src/tools/bench/examples/tests
+//   p2plb_lint --list-rules             print every rule id and exit
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "lint_core.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : p2plb::lint::all_rules())
+        std::cout << rule << '\n';
+      return 0;
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: p2plb_lint [--root DIR] [--list-rules]\n";
+      return 0;
+    }
+    std::cerr << "p2plb_lint: unknown argument '" << arg << "'\n";
+    return 2;
+  }
+
+  try {
+    const std::vector<p2plb::lint::Finding> findings =
+        p2plb::lint::lint_tree(root);
+    for (const p2plb::lint::Finding& f : findings)
+      std::cerr << f.to_string() << '\n';
+    if (!findings.empty()) {
+      std::cerr << "p2plb_lint: " << findings.size() << " finding"
+                << (findings.size() == 1 ? "" : "s")
+                << " (suppress a justified one with '// p2plb-lint: "
+                   "allow(<rule>)')\n";
+      return 1;
+    }
+    std::cout << "p2plb_lint: clean\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+}
