@@ -27,7 +27,7 @@ void Ring::add_virtual_server(NodeIndex owner, Key id) {
   P2PLB_REQUIRE_MSG(n.alive, "cannot add a virtual server to a dead node");
   P2PLB_REQUIRE_MSG(!servers_.contains(id), "virtual server id collision");
   servers_.emplace(id, VirtualServer{id, owner, 0.0});
-  n.servers.push_back(id);
+  n.servers.insert(std::lower_bound(n.servers.begin(), n.servers.end(), id), id);
 }
 
 Key Ring::add_random_virtual_server(NodeIndex owner, Rng& rng) {
@@ -65,7 +65,7 @@ void Ring::transfer_virtual_server(Key id, NodeIndex new_owner) {
   if (it->second.owner == new_owner) return;
   Node& src = mutable_node(it->second.owner);
   std::erase(src.servers, id);
-  dst.servers.push_back(id);
+  dst.servers.insert(std::lower_bound(dst.servers.begin(), dst.servers.end(), id), id);
   it->second.owner = new_owner;
 }
 

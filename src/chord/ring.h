@@ -36,7 +36,11 @@ struct Node {
   std::uint32_t attachment = kNoAttachment;
   /// False once the node has left or crashed.
   bool alive = true;
-  /// Ids of the virtual servers this node currently hosts.
+  /// Ids of the virtual servers this node currently hosts, kept sorted
+  /// ascending.  The order is an invariant, not a convenience: balancing
+  /// samples reporters from this vector (aggregate_lbi), so if it
+  /// depended on the order transfers were *applied*, the timed and
+  /// synchronous controllers would drift apart after the first round.
   std::vector<Key> servers;
 
   static constexpr std::uint32_t kNoAttachment = 0xFFFFFFFFu;

@@ -26,6 +26,14 @@ VsEndpointFn owner_endpoint(const chord::Ring& ring) {
 
 namespace {
 
+/// Annotation context for a sweep instant: ties it to the
+/// currently-delivering message (span 0 -- the instant is not a DAG node
+/// of its own, it decorates its parent).
+obs::SpanContext annotate(const sim::Network& net) {
+  const obs::SpanContext& ambient = net.current_context();
+  return obs::SpanContext{ambient.trace, 0, ambient.span};
+}
+
 /// Shared state of one in-flight sweep; events hold it via shared_ptr so
 /// the begin_* call can return before the sweep finishes.
 struct SweepState {
@@ -80,6 +88,7 @@ void fold_up(const std::shared_ptr<SweepState>& s, KtIndex i) {
     s->result.completion_time = s->net->engine().now() - s->start;
     if (obs::Tracer* tracer = s->net->tracer())
       tracer->instant(s->net->engine().now(), s->lane(), "sweep.root_folded",
+                      annotate(*s->net),
                       {obs::arg("messages", s->result.messages),
                        obs::arg("local_hops", s->result.local_hops)});
     if (s->on_complete) s->on_complete(s->result);
@@ -90,6 +99,7 @@ void fold_up(const std::shared_ptr<SweepState>& s, KtIndex i) {
   s->count(lat);
   if (obs::Tracer* tracer = s->net->tracer())
     tracer->instant(s->net->engine().now(), s->lane(), "sweep.fold",
+                    annotate(*s->net),
                     {obs::arg("node", i), obs::arg("parent", parent),
                      obs::arg("latency", lat)});
   s->net->send(
@@ -109,6 +119,7 @@ void deliver_down(const std::shared_ptr<SweepState>& s, KtIndex i) {
     s->result.completion_time = s->net->engine().now() - s->start;
     if (obs::Tracer* tracer = s->net->tracer())
       tracer->instant(s->net->engine().now(), s->lane(), "sweep.leaf_reached",
+                      annotate(*s->net),
                       {obs::arg("leaf", i),
                        obs::arg("leaves_left", s->leaves_left - 1)});
     if (s->on_leaf) s->on_leaf(i);
@@ -122,6 +133,7 @@ void deliver_down(const std::shared_ptr<SweepState>& s, KtIndex i) {
     s->count(lat);
     if (obs::Tracer* tracer = s->net->tracer())
       tracer->instant(s->net->engine().now(), s->lane(), "sweep.deliver",
+                      annotate(*s->net),
                       {obs::arg("node", i), obs::arg("child", child),
                        obs::arg("latency", lat)});
     s->net->send(s->host[i], s->host[child],
@@ -250,17 +262,34 @@ void MaintenanceProtocol::start() {
     if (!instances_.contains(Region::whole()) &&
         ring_.virtual_server_count() > 0) {
       msg_reseed_->increment();  // the lookup that re-seeds the root
-      create_instance(Region::whole());
+      // A reseed starts a fresh causal chain: nothing live caused it.
+      const obs::SpanContext cause = trace_event(
+          "maint.reseed", {}, Region::whole(),
+          ring_.successor(Region::whole().midpoint()).id);
+      create_instance(Region::whole(), cause);
     }
     return true;  // runs for the lifetime of the simulation
   });
 }
 
-void MaintenanceProtocol::create_instance(const Region& region) {
+obs::SpanContext MaintenanceProtocol::trace_event(
+    std::string_view name, const obs::SpanContext& parent,
+    const Region& region, chord::Key host) {
+  if (tracer_ == nullptr) return {};
+  const obs::SpanContext ctx = tracer_->child_of(parent);
+  tracer_->instant(engine_.now(), "ktree.maintenance", name, ctx,
+                   {obs::arg("lo", region.lo), obs::arg("len", region.len),
+                    obs::arg("host", host)});
+  return ctx;
+}
+
+void MaintenanceProtocol::create_instance(const Region& region,
+                                          const obs::SpanContext& cause) {
   if (instances_.contains(region)) return;
   if (ring_.virtual_server_count() == 0) return;
   Instance inst;
   inst.host_vs = ring_.successor(region.midpoint()).id;
+  inst.ctx = trace_event("maint.create", cause, region, inst.host_vs);
   instances_.emplace(region, inst);
   schedule_check(region);
 }
@@ -281,6 +310,10 @@ void MaintenanceProtocol::check_instance(const Region& region) {
   if (it->second.host_vs != proper) {
     msg_replant_->increment();  // state handoff to the new host
     it->second.host_vs = proper;
+    // The replant extends the instance's causal chain: later actions by
+    // this instance parent to it.
+    it->second.ctx = trace_event("maint.replant", it->second.ctx, region,
+                                 proper);
   }
 
   const bool is_leaf = region.len <= ring_.arc_size(proper);
@@ -299,6 +332,8 @@ void MaintenanceProtocol::check_instance(const Region& region) {
         continue;
       }
       msg_prune_->increment();  // prune notification
+      trace_event("maint.prune", it->second.ctx, it2->first,
+                  it2->second.host_vs);
       it2 = instances_.erase(it2);
     }
   } else {
@@ -309,8 +344,12 @@ void MaintenanceProtocol::check_instance(const Region& region) {
       const chord::Key child_host = ring_.successor(child.midpoint()).id;
       const sim::Time lat = latency_(proper, child_host);
       if (lat > 0.0) msg_create_->increment();
-      engine_.schedule_after(lat,
-                             [this, child] { create_instance(child); });
+      // The child's creation is caused by this instance's check; capture
+      // the parent context now so a replant in between doesn't rewrite
+      // history.
+      engine_.schedule_after(lat, [this, child, cause = it->second.ctx] {
+        create_instance(child, cause);
+      });
     }
   }
   schedule_check(region);

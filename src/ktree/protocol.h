@@ -24,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <memory>
@@ -32,6 +33,7 @@
 #include "ktree/region.h"
 #include "ktree/tree.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/network.h"
 
@@ -133,6 +135,15 @@ class MaintenanceProtocol {
   /// Bootstrap: create the root instance and start its periodic check.
   void start();
 
+  /// Record the causal repair chain into `tracer` (nullptr detaches).
+  /// Only *acting* checks emit events (maint.create / maint.replant /
+  /// maint.prune / maint.reseed on the "ktree.maintenance" lane), each a
+  /// child span of the instance event that caused it, so a repair after
+  /// a crash reads as one connected DAG and an idle steady state adds no
+  /// events at all.  With no tracer attached the protocol allocates no
+  /// ids and its schedule is unchanged.
+  void attach_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   /// Crash a node: removes it from the ring and destroys every KT-node
   /// instance hosted by one of its virtual servers.
   void crash_node(chord::NodeIndex node);
@@ -180,9 +191,19 @@ class MaintenanceProtocol {
   struct Instance {
     chord::Key host_vs = 0;
     bool alive = true;
+    /// Causal identity of the instance's last recorded lifecycle event
+    /// (creation or replant); children of its checks parent to it.
+    obs::SpanContext ctx;
   };
 
-  void create_instance(const Region& region);
+  /// Emit a lifecycle instant as a child span of `parent` (no-op with no
+  /// tracer attached); returns the new event's context.
+  obs::SpanContext trace_event(std::string_view name,
+                               const obs::SpanContext& parent,
+                               const Region& region, chord::Key host);
+
+  void create_instance(const Region& region,
+                       const obs::SpanContext& cause = {});
   void check_instance(const Region& region);
   void schedule_check(const Region& region);
 
@@ -193,6 +214,7 @@ class MaintenanceProtocol {
   VsLatencyFn latency_;
   std::map<Region, Instance, RegionOrder> instances_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* msg_reseed_ = nullptr;   ///< lookups re-seeding the root
   obs::Counter* msg_replant_ = nullptr;  ///< state handoffs to a new host

@@ -90,8 +90,13 @@ void ProtocolRound::begin_phase(Phase p) {
   phase_base_[i] = net_.counters(tag_of(p));
   phase_reg_base_[i] = {phase_counters_[i].messages->value(),
                         phase_counters_[i].bytes->value()};
-  if (obs::Tracer* tr = net_.tracer())
-    tr->begin(net_.engine().now(), tag_of(p), phase_name(p));
+  if (obs::Tracer* tr = net_.tracer()) {
+    // Child of whatever caused the transition: the round span for phase
+    // 1 (start() installs it as ambient), the last-arriving message of
+    // the previous phase otherwise.
+    phase_ctx_[i] = tr->child_of(net_.current_context());
+    tr->begin(net_.engine().now(), tag_of(p), phase_name(p), phase_ctx_[i]);
+  }
 }
 
 void ProtocolRound::end_phase(Phase p) {
@@ -112,7 +117,7 @@ void ProtocolRound::end_phase(Phase p) {
   // is re-stamped on every delivery.
   if (p != Phase::kTransfer)
     if (obs::Tracer* tr = net_.tracer())
-      tr->end(net_.engine().now(), tag_of(p), phase_name(p),
+      tr->end(net_.engine().now(), tag_of(p), phase_name(p), phase_ctx_[i],
               {obs::arg("messages", m.messages), obs::arg("bytes", m.bytes)});
 }
 
@@ -122,10 +127,20 @@ void ProtocolRound::start(
   started_ = true;
   on_complete_ = std::move(on_complete);
   t0_ = net_.engine().now();
-  if (obs::Tracer* tr = net_.tracer())
-    tr->begin(t0_, "lb.round", "round",
+  // Sized even untraced so a mid-round tracer attach cannot index out of
+  // range (the contexts just stay zero).
+  transfer_ctx_.resize(report_.vsa.assignments.size());
+  if (obs::Tracer* tr = net_.tracer()) {
+    // The round span roots one fresh trace; everything the round causes
+    // -- phases, messages, matches, transfers -- descends from it.
+    round_ctx_ = obs::SpanContext{tr->new_trace_id(), tr->new_span_id(), 0};
+    tr->begin(t0_, "lb.round", "round", round_ctx_,
               {obs::arg("nodes", report_plan_.size()),
                obs::arg("planned_transfers", report_.vsa.assignments.size())});
+  }
+  // Ambient for the synchronous fan-out below: phase 1's report sends
+  // (and reporter-less leaf folds) parent to the round span.
+  const sim::Network::ContextScope scope(net_, round_ctx_);
   begin_phase(Phase::kAggregation);
   start_aggregation();
 }
@@ -235,11 +250,17 @@ void ProtocolRound::vsa_process(ktree::KtIndex node) {
     for (const std::uint32_t idx : node_trace->assignments) {
       Assignment& a = report_.vsa.assignments[idx];
       a.available_at = phase_now;
-      if (obs::Tracer* tr = net_.tracer())
-        tr->instant(net_.engine().now(), kTagVsa, "vsa.match",
+      // The match is a DAG node between the last-arriving record and the
+      // pair notifications: scope it so the notify sends parent to it.
+      obs::SpanContext match_ctx = net_.current_context();
+      if (obs::Tracer* tr = net_.tracer()) {
+        match_ctx = tr->child_of(match_ctx);
+        tr->instant(net_.engine().now(), kTagVsa, "vsa.match", match_ctx,
                     {obs::arg("vs", a.vs), obs::arg("from", a.from),
                      obs::arg("to", a.to), obs::arg("load", a.load),
                      obs::arg("depth", a.rendezvous_depth)});
+      }
+      const sim::Network::ContextScope scope(net_, match_ctx);
       vsa_send(host_ep_[node], node_ep_.at(a.from), config_.wire.notify,
                [this, idx] { begin_transfer(idx); });
       vsa_send(host_ep_[node], node_ep_.at(a.to), config_.wire.notify,
@@ -282,11 +303,17 @@ void ProtocolRound::begin_transfer(std::size_t assignment_index) {
   registry_
       ->histogram("lb.transfer_distance", {0, 1, 2, 4, 8, 16, 32, 64, 128})
       .observe(distance, a.load);
-  if (obs::Tracer* tr = net_.tracer())
+  if (obs::Tracer* tr = net_.tracer()) {
+    // Child of the notify delivery that triggered this transfer.
+    transfer_ctx_[assignment_index] = tr->child_of(net_.current_context());
     tr->async_begin(net_.engine().now(), kTagTransfer, "transfer",
-                    assignment_index + 1,
+                    assignment_index + 1, transfer_ctx_[assignment_index],
                     {obs::arg("vs", a.vs), obs::arg("from", a.from),
                      obs::arg("to", a.to), obs::arg("load", a.load)});
+  }
+  // The payload message is a child of the transfer span (zero -- and
+  // unused -- when untraced).
+  const sim::Network::ContextScope scope(net_, transfer_ctx_[assignment_index]);
   net_.send(
       node_ep_.at(a.from), node_ep_.at(a.to),
       [this, assignment_index] {
@@ -300,7 +327,7 @@ void ProtocolRound::begin_transfer(std::size_t assignment_index) {
           registry_->counter("lb.load_moved").add(done.load);
         if (obs::Tracer* tr = net_.tracer())
           tr->async_end(net_.engine().now(), kTagTransfer, "transfer",
-                        assignment_index + 1,
+                        assignment_index + 1, transfer_ctx_[assignment_index],
                         {obs::arg("applied", applied > 0)});
         P2PLB_ASSERT(transfers_outstanding_ > 0);
         --transfers_outstanding_;
@@ -349,9 +376,10 @@ void ProtocolRound::maybe_finish() {
   if (obs::Tracer* tr = net_.tracer()) {
     if (transfer_started_)
       tr->end(now, kTagTransfer, phase_name(Phase::kTransfer),
+              phase_ctx_[static_cast<std::size_t>(Phase::kTransfer)],
               {obs::arg("messages", metrics(Phase::kTransfer).messages),
                obs::arg("applied", report_.transfers_applied)});
-    tr->end(now, "lb.round", "round",
+    tr->end(now, "lb.round", "round", round_ctx_,
             {obs::arg("transfers_applied", report_.transfers_applied),
              obs::arg("completion_time", report_.completion_time)});
   }

@@ -160,6 +160,12 @@ class ProtocolRound {
   };
   obs::MetricsRegistry* registry_ = nullptr;
   std::array<PhaseCounters, kPhaseCount> phase_counters_{};
+  // Causal spans (zero when no tracer is attached): the round span roots
+  // one trace; each phase span and per-transfer async span is a child of
+  // the message whose delivery started it (the round span for phase 1).
+  obs::SpanContext round_ctx_;
+  std::array<obs::SpanContext, kPhaseCount> phase_ctx_{};
+  std::vector<obs::SpanContext> transfer_ctx_;  // per assignment index
 
   // Event-time state.
   std::function<void(const BalanceReport&)> on_complete_;

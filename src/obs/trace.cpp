@@ -12,10 +12,19 @@ namespace p2plb::obs {
 
 namespace {
 
-constexpr char kPhaseLetter[] = {'B', 'E', 'b', 'e', 'i'};
+constexpr char kPhaseLetter[] = {'B', 'E', 'b', 'e', 'i', 's', 'f'};
 
 bool is_async(EventKind kind) noexcept {
   return kind == EventKind::kAsyncBegin || kind == EventKind::kAsyncEnd;
+}
+
+bool is_flow(EventKind kind) noexcept {
+  return kind == EventKind::kFlowStart || kind == EventKind::kFlowEnd;
+}
+
+/// Async spans and flows correlate by id; other kinds never print one.
+bool has_id(EventKind kind) noexcept {
+  return is_async(kind) || is_flow(kind);
 }
 
 void write_args_object(std::ostream& os, const std::vector<Arg>& args) {
@@ -87,35 +96,72 @@ Arg arg(std::string key, double value) {
 
 void Tracer::push(double t, EventKind kind, std::string_view lane,
                   std::string_view name, std::uint64_t id,
-                  std::vector<Arg> args) {
+                  const SpanContext& ctx, std::vector<Arg> args) {
   events_.push_back(TraceEvent{t, kind, std::string(lane), std::string(name),
-                               id, std::move(args)});
+                               id, ctx, std::move(args)});
 }
 
 void Tracer::begin(double t, std::string_view lane, std::string_view name,
                    std::vector<Arg> args) {
-  push(t, EventKind::kBegin, lane, name, 0, std::move(args));
+  push(t, EventKind::kBegin, lane, name, 0, {}, std::move(args));
+}
+
+void Tracer::begin(double t, std::string_view lane, std::string_view name,
+                   const SpanContext& ctx, std::vector<Arg> args) {
+  push(t, EventKind::kBegin, lane, name, 0, ctx, std::move(args));
 }
 
 void Tracer::end(double t, std::string_view lane, std::string_view name,
                  std::vector<Arg> args) {
-  push(t, EventKind::kEnd, lane, name, 0, std::move(args));
+  push(t, EventKind::kEnd, lane, name, 0, {}, std::move(args));
+}
+
+void Tracer::end(double t, std::string_view lane, std::string_view name,
+                 const SpanContext& ctx, std::vector<Arg> args) {
+  push(t, EventKind::kEnd, lane, name, 0, ctx, std::move(args));
 }
 
 void Tracer::async_begin(double t, std::string_view lane,
                          std::string_view name, std::uint64_t id,
                          std::vector<Arg> args) {
-  push(t, EventKind::kAsyncBegin, lane, name, id, std::move(args));
+  push(t, EventKind::kAsyncBegin, lane, name, id, {}, std::move(args));
+}
+
+void Tracer::async_begin(double t, std::string_view lane,
+                         std::string_view name, std::uint64_t id,
+                         const SpanContext& ctx, std::vector<Arg> args) {
+  push(t, EventKind::kAsyncBegin, lane, name, id, ctx, std::move(args));
 }
 
 void Tracer::async_end(double t, std::string_view lane, std::string_view name,
                        std::uint64_t id, std::vector<Arg> args) {
-  push(t, EventKind::kAsyncEnd, lane, name, id, std::move(args));
+  push(t, EventKind::kAsyncEnd, lane, name, id, {}, std::move(args));
+}
+
+void Tracer::async_end(double t, std::string_view lane, std::string_view name,
+                       std::uint64_t id, const SpanContext& ctx,
+                       std::vector<Arg> args) {
+  push(t, EventKind::kAsyncEnd, lane, name, id, ctx, std::move(args));
 }
 
 void Tracer::instant(double t, std::string_view lane, std::string_view name,
                      std::vector<Arg> args) {
-  push(t, EventKind::kInstant, lane, name, 0, std::move(args));
+  push(t, EventKind::kInstant, lane, name, 0, {}, std::move(args));
+}
+
+void Tracer::instant(double t, std::string_view lane, std::string_view name,
+                     const SpanContext& ctx, std::vector<Arg> args) {
+  push(t, EventKind::kInstant, lane, name, 0, ctx, std::move(args));
+}
+
+void Tracer::flow_start(double t, std::string_view lane,
+                        std::string_view name, std::uint64_t id) {
+  push(t, EventKind::kFlowStart, lane, name, id, {}, {});
+}
+
+void Tracer::flow_end(double t, std::string_view lane, std::string_view name,
+                      std::uint64_t id) {
+  push(t, EventKind::kFlowEnd, lane, name, id, {}, {});
 }
 
 std::vector<std::string> Tracer::lanes() const {
@@ -138,7 +184,10 @@ void Tracer::write_jsonl(std::ostream& os) const {
     os << "{\"t\":" << json_number(e.time) << ",\"ph\":\""
        << kPhaseLetter[static_cast<std::size_t>(e.kind)] << "\",\"lane\":"
        << json_string(e.lane) << ",\"name\":" << json_string(e.name);
-    if (is_async(e.kind)) os << ",\"id\":" << e.id;
+    if (has_id(e.kind)) os << ",\"id\":" << e.id;
+    if (e.ctx.trace != 0) os << ",\"trace\":" << e.ctx.trace;
+    if (e.ctx.span != 0) os << ",\"span\":" << e.ctx.span;
+    if (e.ctx.parent != 0) os << ",\"parent\":" << e.ctx.parent;
     if (!e.args.empty()) {
       os << ",\"args\":";
       write_args_object(os, e.args);
@@ -174,11 +223,21 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
        << kPhaseLetter[static_cast<std::size_t>(e.kind)]
        << "\",\"ts\":" << json_number(e.time * kTsScale)
        << ",\"pid\":1,\"tid\":" << tid_of(e.lane);
-    if (is_async(e.kind)) os << ",\"id\":" << e.id;
+    if (has_id(e.kind)) os << ",\"id\":" << e.id;
     if (e.kind == EventKind::kInstant) os << ",\"s\":\"t\"";
-    if (!e.args.empty()) {
+    // "f" binds the arrow head to the enclosing slice's end.
+    if (e.kind == EventKind::kFlowEnd) os << ",\"bp\":\"e\"";
+    // Causal ids ride in args so Perfetto's detail pane shows them.
+    std::vector<Arg> args = e.args;
+    if (e.ctx.trace != 0)
+      args.push_back(arg("trace", static_cast<double>(e.ctx.trace)));
+    if (e.ctx.span != 0)
+      args.push_back(arg("span", static_cast<double>(e.ctx.span)));
+    if (e.ctx.parent != 0)
+      args.push_back(arg("parent", static_cast<double>(e.ctx.parent)));
+    if (!args.empty()) {
       os << ",\"args\":";
-      write_args_object(os, e.args);
+      write_args_object(os, args);
     }
     os << '}';
   }

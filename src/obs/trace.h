@@ -2,24 +2,40 @@
 //
 // A Tracer records timestamped events -- spans (begin/end), async spans
 // (begin/end correlated by id, free to overlap and to close out of
-// order), and instants -- each on a named *lane* (a display track:
-// "lb.aggregation", "lb.transfer", "net", ...).  Timestamps are supplied
-// by the caller in sim::Time units, so obs stays below sim in the layer
-// graph and a (seed, scenario) pair always produces the identical trace.
+// order), instants, and flow arrows -- each on a named *lane* (a display
+// track: "lb.aggregation", "lb.transfer", "net", ...).  Timestamps are
+// supplied by the caller in sim::Time units, so obs stays below sim in
+// the layer graph and a (seed, scenario) pair always produces the
+// identical trace.
+//
+// Causality: an event may carry a SpanContext -- (trace, span, parent)
+// ids in the Dapper style.  `trace` groups one causal DAG (one balancing
+// round, one maintenance repair chain), `span` is the event's own
+// identity as a DAG node, and `parent` names the span that caused it.
+// Ids are allocated by the Tracer itself (new_trace_id / new_span_id),
+// monotonically from 1, so a (seed, scenario) pair assigns the identical
+// ids every run and an untraced run allocates none at all.  Producers
+// thread contexts through their message envelopes (see sim::Network);
+// tools/p2plb_trace reconstructs the DAGs and computes critical paths.
 //
 // Two exporters:
 //   * write_jsonl      -- one JSON object per line, stable field order;
-//                         the machine-diffable form golden tests pin.
+//                         the machine-diffable form golden tests pin and
+//                         the form p2plb_trace parses.  Causal ids export
+//                         as top-level "trace"/"span"/"parent" fields.
 //   * write_chrome_trace -- Chrome trace_event JSON ("traceEvents"), one
 //                         thread lane per trace lane, loadable directly
 //                         in Perfetto (ui.perfetto.dev) or
 //                         chrome://tracing.  Sync spans become B/E
-//                         events, async spans b/e events, instants i.
+//                         events, async spans b/e events, instants i,
+//                         flows s/f (rendered as arrows between lanes);
+//                         causal ids are merged into the args object so
+//                         they show in the viewer's detail pane.
 //
 // The null-tracer fast path is a null pointer at the instrumentation
 // site: every producer holds an `obs::Tracer*` that defaults to nullptr
-// and skips all event construction when unset, so an untraced run does
-// no extra work beyond one pointer test per hook.
+// and skips all event construction *and id allocation* when unset, so an
+// untraced run does no extra work beyond one pointer test per hook.
 #pragma once
 
 #include <concepts>
@@ -55,6 +71,18 @@ template <std::integral T>
   return arg(std::move(key), static_cast<double>(value));
 }
 
+/// Causal coordinates of an event (all ids 0 = unset).  `trace` names
+/// the causal DAG the event belongs to, `span` the event's own identity
+/// as a DAG node, `parent` the span that caused it (0 for a DAG root).
+struct SpanContext {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+
+  /// True when the event belongs to some trace.
+  [[nodiscard]] bool in_trace() const noexcept { return trace != 0; }
+};
+
 /// What kind of mark an event is; values match the Chrome trace "ph"
 /// letters they export as.
 enum class EventKind : std::uint8_t {
@@ -63,6 +91,8 @@ enum class EventKind : std::uint8_t {
   kAsyncBegin,  ///< "b" -- async span open, correlated by id
   kAsyncEnd,    ///< "e" -- async span close
   kInstant,     ///< "i" -- point event
+  kFlowStart,   ///< "s" -- flow (arrow) origin, correlated by id
+  kFlowEnd,     ///< "f" -- flow (arrow) target
 };
 
 /// One recorded event.
@@ -71,7 +101,8 @@ struct TraceEvent {
   EventKind kind = EventKind::kInstant;
   std::string lane;
   std::string name;
-  std::uint64_t id = 0;  ///< async span correlation id (0 for sync kinds)
+  std::uint64_t id = 0;  ///< async-span / flow correlation id (else 0)
+  SpanContext ctx;       ///< causal ids (all zero for uncausal events)
   std::vector<Arg> args;
 };
 
@@ -80,14 +111,52 @@ class Tracer {
  public:
   void begin(double t, std::string_view lane, std::string_view name,
              std::vector<Arg> args = {});
+  void begin(double t, std::string_view lane, std::string_view name,
+             const SpanContext& ctx, std::vector<Arg> args = {});
   void end(double t, std::string_view lane, std::string_view name,
            std::vector<Arg> args = {});
+  void end(double t, std::string_view lane, std::string_view name,
+           const SpanContext& ctx, std::vector<Arg> args = {});
   void async_begin(double t, std::string_view lane, std::string_view name,
                    std::uint64_t id, std::vector<Arg> args = {});
+  void async_begin(double t, std::string_view lane, std::string_view name,
+                   std::uint64_t id, const SpanContext& ctx,
+                   std::vector<Arg> args = {});
   void async_end(double t, std::string_view lane, std::string_view name,
                  std::uint64_t id, std::vector<Arg> args = {});
+  void async_end(double t, std::string_view lane, std::string_view name,
+                 std::uint64_t id, const SpanContext& ctx,
+                 std::vector<Arg> args = {});
   void instant(double t, std::string_view lane, std::string_view name,
                std::vector<Arg> args = {});
+  void instant(double t, std::string_view lane, std::string_view name,
+               const SpanContext& ctx, std::vector<Arg> args = {});
+  /// Flow arrow from (t, lane of flow_start) to (t, lane of flow_end),
+  /// correlated by `id` (producers use the message's span id).
+  void flow_start(double t, std::string_view lane, std::string_view name,
+                  std::uint64_t id);
+  void flow_end(double t, std::string_view lane, std::string_view name,
+                std::uint64_t id);
+
+  /// Allocate a fresh trace / span id (monotonic from 1; deterministic).
+  [[nodiscard]] std::uint64_t new_trace_id() noexcept {
+    return ++last_trace_id_;
+  }
+  [[nodiscard]] std::uint64_t new_span_id() noexcept {
+    return ++last_span_id_;
+  }
+  /// A context for a new span caused by `parent`; starts a fresh trace
+  /// when the parent is not in one.
+  [[nodiscard]] SpanContext child_of(const SpanContext& parent) {
+    return SpanContext{
+        parent.trace != 0 ? parent.trace : new_trace_id(), new_span_id(),
+        parent.span};
+  }
+  /// Total ids handed out so far -- the null-tracer tests pin this at
+  /// zero for untraced runs.
+  [[nodiscard]] std::uint64_t ids_allocated() const noexcept {
+    return last_trace_id_ + last_span_id_;
+  }
 
   [[nodiscard]] std::size_t event_count() const noexcept {
     return events_.size();
@@ -95,7 +164,11 @@ class Tracer {
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
     return events_;
   }
-  void clear() noexcept { events_.clear(); }
+  void clear() noexcept {
+    events_.clear();
+    last_trace_id_ = 0;
+    last_span_id_ = 0;
+  }
 
   /// Lanes in order of first appearance (the Chrome exporter's tid
   /// assignment, exposed for tests).
@@ -106,9 +179,12 @@ class Tracer {
 
  private:
   void push(double t, EventKind kind, std::string_view lane,
-            std::string_view name, std::uint64_t id, std::vector<Arg> args);
+            std::string_view name, std::uint64_t id, const SpanContext& ctx,
+            std::vector<Arg> args);
 
   std::vector<TraceEvent> events_;
+  std::uint64_t last_trace_id_ = 0;
+  std::uint64_t last_span_id_ = 0;
 };
 
 /// Write the trace to `path`: JSONL when the name ends in ".jsonl"

@@ -18,6 +18,21 @@
 // delivery time, on the lane named after the tag ("net" for untagged
 // sends).  Both sinks default to detached and cost one pointer test per
 // send when unset.
+//
+// Causal envelopes: when a tracer is attached, every message carries an
+// obs::SpanContext.  The network holds an *ambient* context -- set by
+// ContextScope (protocol roots) and, automatically, around every
+// delivery callback -- and send() stamps each message as a child span of
+// whatever context is ambient when it is scheduled.  Because a handler
+// only runs when its last enabling input arrives, the single parent edge
+// recorded this way is the true critical dependency, and no per-call-site
+// plumbing is needed: any send made from inside a delivery handler
+// parents to the delivering message, across every protocol layer.  The
+// msg.send / msg.deliver instants both carry the message's context (so
+// its span has a start and an end time), plus a flow arrow pair for the
+// Chrome export.  With no tracer attached nothing is allocated -- not
+// even ids -- and the schedule is byte-identical (the delivery wrapper
+// runs inside the same engine event as the payload).
 #pragma once
 
 #include <cstdint>
@@ -63,6 +78,32 @@ class Network {
     P2PLB_REQUIRE(latency_ != nullptr);
   }
 
+  /// RAII guard installing `ctx` as the network's ambient causal context
+  /// (restored on destruction).  Protocol roots use it so their first
+  /// wave of sends parents to the root span; the network itself installs
+  /// one around every delivery callback.
+  class ContextScope {
+   public:
+    ContextScope(Network& net, const obs::SpanContext& ctx) noexcept
+        : net_(net), saved_(net.ambient_) {
+      net_.ambient_ = ctx;
+    }
+    ~ContextScope() { net_.ambient_ = saved_; }
+    ContextScope(const ContextScope&) = delete;
+    ContextScope& operator=(const ContextScope&) = delete;
+
+   private:
+    Network& net_;
+    obs::SpanContext saved_;
+  };
+
+  /// The causal context of the message currently being delivered (or the
+  /// innermost ContextScope); all-zero outside any scope or when no
+  /// tracer is attached.
+  [[nodiscard]] const obs::SpanContext& current_context() const noexcept {
+    return ambient_;
+  }
+
   /// Deliver `on_receive` at the destination after the link latency plus
   /// `processing_delay`.  `bytes` feeds the traffic counters only.  A
   /// non-empty `tag` additionally books the message under that tag's
@@ -93,17 +134,26 @@ class Network {
     }
     if (tracer_ != nullptr) {
       const std::string_view lane = tag.empty() ? std::string_view("net") : tag;
-      tracer_->instant(engine_.now(), lane, "msg.send",
+      // The message's causal envelope: a child span of whatever context
+      // is ambient at scheduling time (the delivering message, or a
+      // protocol root's ContextScope).
+      const obs::SpanContext ctx = tracer_->child_of(ambient_);
+      tracer_->instant(engine_.now(), lane, "msg.send", ctx,
                        {obs::arg("from", from), obs::arg("to", to),
                         obs::arg("bytes", bytes), obs::arg("latency", lat)});
+      tracer_->flow_start(engine_.now(), lane, "msg", ctx.span);
       // Re-check tracer_ at delivery time: the sink may detach while the
       // message is in flight.  The wrapper fires inside the same engine
       // event as the payload, so tracing adds no events to the schedule.
-      on_receive = [this, lane = std::string(lane), from, to,
+      on_receive = [this, lane = std::string(lane), from, to, ctx,
                     inner = std::move(on_receive)]() {
-        if (tracer_ != nullptr)
-          tracer_->instant(engine_.now(), lane, "msg.deliver",
+        if (tracer_ != nullptr) {
+          tracer_->flow_end(engine_.now(), lane, "msg", ctx.span);
+          tracer_->instant(engine_.now(), lane, "msg.deliver", ctx,
                            {obs::arg("from", from), obs::arg("to", to)});
+        }
+        // Everything the handler sends is caused by this delivery.
+        const ContextScope scope(*this, ctx);
         inner();
       };
     }
@@ -223,6 +273,7 @@ class Network {
   std::map<std::string, TrafficCounters, std::less<>> tagged_;
 
   obs::Tracer* tracer_ = nullptr;
+  obs::SpanContext ambient_;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   TagHandles totals_handles_;

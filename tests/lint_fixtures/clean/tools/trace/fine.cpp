@@ -1,0 +1,8 @@
+// Fixture: a well-behaved tool module -- sibling headers and declared
+// lower layers only.
+#include "trace_analysis.h"
+
+#include "common/error.h"
+#include "obs/trace.h"
+
+int fixture_tool_clean() { return 0; }

@@ -1,0 +1,6 @@
+// Fixture: tools/trace may depend on common and obs only; reaching into
+// src/lb must trip the layering rule just like an src module would.
+#include "common/error.h"
+#include "lb/balancer.h"
+
+int fixture_tool_layer_violation() { return 0; }

@@ -283,5 +283,49 @@ TEST(ProtocolRound, TimedControllerMatchesSyncController) {
   }
 }
 
+// Regression: timed and sync controllers used to drift apart from round 2
+// (5178 vs 5180 messages at 128 nodes, seed 9) because the timed path
+// applied transfers in delivery order, Ring::transfer_virtual_server
+// appended to Node::servers, and the next round's aggregate_lbi sampled a
+// reporter from that order-dependent vector.  Node::servers is sorted now
+// (see chord/ring.h); this pins every decision column over three rounds
+// of the exact scenario that exposed the drift.
+TEST(ProtocolRound, TimedControllerNeverDriftsFromSyncAcrossRounds) {
+  chord::Ring sync_ring = make_ring(128, 9);
+  chord::Ring timed_ring = make_ring(128, 9);
+  lb::ControllerConfig config;
+  config.max_rounds = 3;
+
+  Rng sync_rng(11);
+  const lb::ControllerResult sync =
+      lb::balance_until_stable(sync_ring, config, sync_rng);
+
+  sim::Engine engine;
+  sim::Network net(engine, unit_latency());
+  Rng timed_rng(11);
+  const lb::ControllerResult timed =
+      lb::balance_until_stable(net, timed_ring, config, timed_rng);
+
+  EXPECT_EQ(sync.converged, timed.converged);
+  ASSERT_EQ(sync.rounds.size(), timed.rounds.size());
+  ASSERT_GE(sync.rounds.size(), 2u) << "scenario must exercise round 2+";
+  for (std::size_t r = 0; r < sync.rounds.size(); ++r) {
+    SCOPED_TRACE("round " + std::to_string(r + 1));
+    EXPECT_EQ(sync.rounds[r].heavy_before, timed.rounds[r].heavy_before);
+    EXPECT_EQ(sync.rounds[r].heavy_after, timed.rounds[r].heavy_after);
+    EXPECT_EQ(sync.rounds[r].transfers, timed.rounds[r].transfers);
+    EXPECT_DOUBLE_EQ(sync.rounds[r].moved_load, timed.rounds[r].moved_load);
+    EXPECT_EQ(sync.rounds[r].unassigned, timed.rounds[r].unassigned);
+    EXPECT_EQ(sync.rounds[r].messages, timed.rounds[r].messages);
+  }
+  // The rings themselves must agree server-by-server afterwards.
+  ASSERT_EQ(sync_ring.node_count(), timed_ring.node_count());
+  for (chord::NodeIndex n = 0; n < sync_ring.node_count(); ++n) {
+    const auto& a = sync_ring.node(n).servers;
+    const auto& b = timed_ring.node(n).servers;
+    EXPECT_EQ(a, b) << "node " << n;
+  }
+}
+
 }  // namespace
 }  // namespace p2plb

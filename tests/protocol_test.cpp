@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <set>
 
 #include "chord/ring.h"
 #include "common/rng.h"
 #include "ktree/protocol.h"
 #include "ktree/tree.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 
 namespace p2plb::ktree {
@@ -134,6 +137,86 @@ TEST(Maintenance, SelfRepairsAfterCrash) {
   EXPECT_TRUE(protocol.converged())
       << "instances " << protocol.instance_count() << " target "
       << target.size();
+}
+
+TEST(Maintenance, CausalRepairChainIsConnectedAndQuietWhenIdle) {
+  auto ring = make_ring(16, 3, 406);
+  sim::Engine engine;
+  MaintenanceProtocol protocol(engine, ring, 2, 1.0, unit_latency(ring));
+  obs::Tracer tracer;
+  protocol.attach_tracer(&tracer);
+  protocol.start();
+  engine.run_until(40.0);
+  ASSERT_TRUE(protocol.converged());
+
+  // Every lifecycle event is a span on the maintenance lane, and each
+  // non-root event's parent is a span recorded before it -- the growth
+  // of the tree reads as one connected DAG from the bootstrap.
+  ASSERT_GT(tracer.event_count(), 0u);
+  std::set<std::uint64_t> seen_spans;
+  std::size_t roots = 0;
+  for (const obs::TraceEvent& e : tracer.events()) {
+    EXPECT_EQ(e.lane, "ktree.maintenance");
+    EXPECT_NE(e.ctx.trace, 0u);
+    ASSERT_NE(e.ctx.span, 0u);
+    if (e.ctx.parent == 0) {
+      ++roots;
+    } else {
+      EXPECT_TRUE(seen_spans.contains(e.ctx.parent)) << e.name;
+    }
+    seen_spans.insert(e.ctx.span);
+  }
+  EXPECT_EQ(roots, 1u);  // the bootstrap create; no reseeds happened
+
+  // A converged steady state emits nothing: checks that act are the
+  // only events, so idle periods add zero cost.
+  const std::size_t converged_count = tracer.event_count();
+  engine.run_until(engine.now() + 50.0);
+  EXPECT_EQ(tracer.event_count(), converged_count);
+
+  // A crash starts new causal chains, all of them parented to spans the
+  // tracer has already recorded (or fresh reseed roots).
+  const KTree before(ring, 2);
+  const chord::NodeIndex root_host =
+      ring.server(before.node(before.root()).host_vs).owner;
+  protocol.crash_node(root_host);
+  engine.run_until(engine.now() + 40.0);
+  ASSERT_TRUE(protocol.converged());
+  EXPECT_GT(tracer.event_count(), converged_count);
+  seen_spans.clear();
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (e.ctx.parent != 0) {
+      EXPECT_TRUE(seen_spans.contains(e.ctx.parent)) << e.name;
+    }
+    seen_spans.insert(e.ctx.span);
+  }
+}
+
+TEST(Maintenance, DetachedTracerAllocatesNothing) {
+  auto ring = make_ring(16, 3, 406);
+  std::uint64_t untraced_events = 0;
+  {
+    sim::Engine engine;
+    MaintenanceProtocol protocol(engine, ring, 2, 1.0, unit_latency(ring));
+    protocol.start();
+    engine.run_until(40.0);
+    ASSERT_TRUE(protocol.converged());
+    untraced_events = engine.events_executed();
+  }
+  // Attaching then detaching leaves the tracer untouched end to end --
+  // no events, no ids -- and the engine schedule is identical.
+  auto ring2 = make_ring(16, 3, 406);
+  sim::Engine engine;
+  MaintenanceProtocol protocol(engine, ring2, 2, 1.0, unit_latency(ring2));
+  obs::Tracer tracer;
+  protocol.attach_tracer(&tracer);
+  protocol.attach_tracer(nullptr);
+  protocol.start();
+  engine.run_until(40.0);
+  ASSERT_TRUE(protocol.converged());
+  EXPECT_EQ(engine.events_executed(), untraced_events);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.ids_allocated(), 0u);
 }
 
 TEST(Maintenance, RootCrashIsRecovered) {

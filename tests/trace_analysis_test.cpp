@@ -1,0 +1,207 @@
+// Tests for the causal-trace analyzer (tools/trace).
+//
+// The golden half pins the full analysis of the deterministic 2-node
+// round also pinned by obs_test: exact critical path, exact per-phase
+// hop-depth histograms, perfect connectivity.  The property half runs
+// timed rounds over seeded random rings and checks the invariants the
+// analyzer is supposed to certify: the reconstructed critical path ends
+// exactly BalanceReport::completion_time after the round begins, and
+// every span connects to the round root.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "lb/protocol_round.h"
+#include "obs/trace.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "trace_analysis.h"
+#include "workload/capacity.h"
+#include "workload/scenario.h"
+
+namespace p2plb {
+namespace {
+
+/// The obs_test golden scenario: node A (capacity 1) overloaded by a
+/// 2.0-load server, node B (capacity 10) with room for exactly it.
+chord::Ring golden_ring() {
+  chord::Ring ring;
+  const auto a = ring.add_node(1.0);
+  const auto b = ring.add_node(10.0);
+  ring.add_virtual_server(a, 0x40000000u);
+  ring.add_virtual_server(a, 0x80000000u);
+  ring.add_virtual_server(b, 0xC0000000u);
+  ring.set_load(0x40000000u, 2.0);
+  ring.set_load(0x80000000u, 0.4);
+  ring.set_load(0xC0000000u, 0.5);
+  return ring;
+}
+
+/// Run one traced timed round over `ring`; returns the analyzer's view
+/// of the JSONL the tracer wrote, plus the round's own report.
+struct TracedRound {
+  tracetool::TraceAnalysis analysis;
+  lb::BalanceReport report;
+};
+
+TracedRound run_traced_round(chord::Ring& ring, std::uint64_t rng_seed) {
+  sim::Engine engine;
+  sim::Network net(engine, [](sim::Endpoint x, sim::Endpoint y) {
+    return x == y ? 0.0 : 1.0;
+  });
+  obs::Tracer tracer;
+  net.attach_tracer(&tracer);
+  Rng rng(rng_seed);
+  lb::ProtocolRound round(net, ring, {}, rng);
+  round.start();
+  engine.run();
+  EXPECT_TRUE(round.done());
+  std::stringstream jsonl;
+  tracer.write_jsonl(jsonl);
+  return TracedRound{tracetool::analyze(tracetool::parse_jsonl(jsonl)),
+                     round.report()};
+}
+
+chord::Ring make_ring(std::size_t nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  auto ring = workload::build_ring(
+      nodes, 5, workload::CapacityProfile::gnutella_like(), rng);
+  const auto model = workload::scaled_load_model(
+      ring, workload::LoadDistribution::kGaussian, 0.25, 1.0);
+  workload::assign_loads(ring, model, rng);
+  return ring;
+}
+
+// ---------------------------------------------------------------------------
+// Golden: the 2-node round, fully pinned.
+// ---------------------------------------------------------------------------
+
+TEST(TraceAnalysisGolden, CriticalPathIsPinned) {
+  auto ring = golden_ring();
+  const TracedRound run = run_traced_round(ring, 7);
+  ASSERT_EQ(run.analysis.rounds.size(), 1u);
+  const tracetool::RoundAnalysis& round = run.analysis.rounds[0];
+
+  EXPECT_EQ(round.trace, 1u);
+  EXPECT_EQ(round.start, 0.0);
+  EXPECT_EQ(round.end, 7.0);
+  EXPECT_EQ(round.completion_time, 7.0);
+  EXPECT_EQ(round.critical_path_end, 7.0);
+  EXPECT_EQ(round.span_count, 32u);
+  EXPECT_EQ(round.message_count, 25u);
+  EXPECT_EQ(round.connectivity(), 1.0);
+
+  // Root -> LBI fold -> dissemination -> VSA records -> rendezvous match
+  // -> notify -> transfer -> payload: one connected chain, and the span
+  // ids pin the exact allocation (parent id < child id throughout).
+  EXPECT_EQ(round.critical_path,
+            (std::vector<std::uint64_t>{1, 5, 7, 8, 11, 14, 16, 19, 23, 26,
+                                        27, 28, 31, 32}));
+  for (std::size_t i = 1; i < round.critical_path.size(); ++i)
+    EXPECT_LT(round.critical_path[i - 1], round.critical_path[i]);
+
+  // Every critical-path span has zero slack; the round root does too.
+  for (const std::uint64_t id : round.critical_path)
+    EXPECT_EQ(run.analysis.spans.at(id).slack, 0.0);
+}
+
+TEST(TraceAnalysisGolden, HopDepthAndFanOutHistogramsArePinned) {
+  auto ring = golden_ring();
+  const TracedRound run = run_traced_round(ring, 7);
+  ASSERT_EQ(run.analysis.rounds.size(), 1u);
+  const tracetool::RoundAnalysis& round = run.analysis.rounds[0];
+
+  using H = tracetool::Histogram;
+  ASSERT_EQ(round.hop_depth_by_lane.size(), 4u);
+  EXPECT_EQ(round.hop_depth_by_lane.at("lb.aggregation"),
+            (H{{1, 4}, {2, 1}, {3, 1}}));
+  EXPECT_EQ(round.hop_depth_by_lane.at("lb.dissemination"),
+            (H{{4, 2}, {5, 3}, {6, 2}}));
+  EXPECT_EQ(round.hop_depth_by_lane.at("lb.vsa"),
+            (H{{7, 3}, {8, 3}, {9, 3}, {10, 2}}));
+  EXPECT_EQ(round.hop_depth_by_lane.at("lb.transfer"), (H{{11, 1}}));
+
+  EXPECT_EQ(round.fan_out_by_lane.at("lb.round"), (H{{4, 1}}));
+  EXPECT_EQ(round.fan_out_by_lane.at("lb.aggregation"), (H{{1, 2}, {2, 1}}));
+  EXPECT_EQ(round.fan_out_by_lane.at("lb.vsa"), (H{{2, 1}, {3, 2}}));
+}
+
+TEST(TraceAnalysisGolden, ReportsAreWellFormed) {
+  auto ring = golden_ring();
+  const TracedRound run = run_traced_round(ring, 7);
+  EXPECT_TRUE(tracetool::validate(run.analysis).empty());
+
+  std::ostringstream md;
+  tracetool::write_markdown(run.analysis, md);
+  EXPECT_NE(md.str().find("## Round 1 (trace 1)"), std::string::npos);
+  EXPECT_NE(md.str().find("| completion_time | 7 |"), std::string::npos);
+
+  std::ostringstream csv;
+  tracetool::write_csv(run.analysis, csv);
+  std::size_t lines = 0;
+  for (const char c : csv.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1u + run.analysis.rounds[0].span_count);
+  EXPECT_EQ(csv.str().substr(0, 6), "round,");
+}
+
+// ---------------------------------------------------------------------------
+// Properties over sampled seeds.
+// ---------------------------------------------------------------------------
+
+class TraceAnalysisSeeds : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceAnalysisSeeds, CriticalPathMatchesReportedCompletion) {
+  auto ring = make_ring(48, GetParam());
+  const TracedRound run = run_traced_round(ring, GetParam() + 2);
+  ASSERT_EQ(run.analysis.rounds.size(), 1u);
+  const tracetool::RoundAnalysis& round = run.analysis.rounds[0];
+
+  // The DAG's longest chain can never outlast the round, and for a
+  // healthy trace it ends exactly when the round said it completed.
+  EXPECT_LE(round.critical_path_end - round.start,
+            run.report.completion_time + 1e-9);
+  EXPECT_DOUBLE_EQ(round.critical_path_end - round.start,
+                   run.report.completion_time);
+  EXPECT_GE(round.connectivity(), 0.99);
+  EXPECT_TRUE(tracetool::validate(run.analysis).empty())
+      << tracetool::validate(run.analysis).front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceAnalysisSeeds,
+                         testing::Values(1u, 2u, 7u, 21u, 42u));
+
+// ---------------------------------------------------------------------------
+// Parser behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(TraceJsonlParser, SkipsBlankLinesAndUnknownFields) {
+  std::stringstream is(
+      "{\"t\":1,\"ph\":\"i\",\"lane\":\"l\",\"name\":\"n\",\"future\":"
+      "[1,{\"x\":true}],\"trace\":3,\"span\":4,\"parent\":2}\n"
+      "\n"
+      "{\"t\":2.5,\"ph\":\"s\",\"lane\":\"l\",\"name\":\"msg\",\"id\":9}\n");
+  const std::vector<tracetool::RawEvent> events = tracetool::parse_jsonl(is);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace, 3u);
+  EXPECT_EQ(events[0].span, 4u);
+  EXPECT_EQ(events[0].parent, 2u);
+  EXPECT_EQ(events[1].t, 2.5);
+  EXPECT_EQ(events[1].ph, 's');
+  EXPECT_EQ(events[1].id, 9u);
+}
+
+TEST(TraceJsonlParser, RejectsMalformedLinesWithLineNumbers) {
+  std::stringstream is("{\"t\":1,\"ph\":\"i\"}\n{\"t\":nope}\n");
+  try {
+    (void)tracetool::parse_jsonl(is);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace p2plb

@@ -32,7 +32,17 @@ constexpr std::initializer_list<LayerRule> kLayerDag = {
     {"workload", {"common", "chord", "sim"}},
     {"ktree", {"common", "chord", "obs", "sim"}},
     {"lb", {"common", "hilbert", "topo", "obs", "sim", "chord", "ktree"}},
+    // Tool subdirectories are modules too (the top-level tools/*.cpp
+    // binaries stay ungoverned -- they compose every layer by design).
+    {"tools/lint", {}},
+    {"tools/trace", {"common", "obs"}},
 };
+
+/// How a module is named in findings: src modules as "src/<name>", tool
+/// modules by their path as-is.
+std::string module_label(const std::string& module) {
+  return module.find('/') == std::string::npos ? "src/" + module : module;
+}
 
 // Wall-clock *types*: their mere presence in src/ is a finding (they
 // only exist to be read).
@@ -465,7 +475,7 @@ void rule_layering(const SourceFile& f, Emit findings) {
     if (f.module == r.module) self = &r;
   if (self == nullptr) {
     emit(findings, f, 1, kRuleLayering,
-         "module 'src/" + f.module +
+         "module '" + module_label(f.module) +
              "' is not declared in the layer DAG (tools/lint/lint_core.cpp)");
     return;
   }
@@ -480,8 +490,9 @@ void rule_layering(const SourceFile& f, Emit findings) {
     if (target_module == f.module || contains(self->deps, target_module))
       continue;
     emit(findings, f, inc.line, kRuleLayering,
-         "layer violation: src/" + f.module + " may not include \"" +
-             inc.target + "\" (allowed layers below '" + f.module +
+         "layer violation: " + module_label(f.module) +
+             " may not include \"" + inc.target +
+             "\" (allowed layers below '" + f.module +
              "' only; see the DAG in docs/ARCHITECTURE.md)");
   }
 }
@@ -648,6 +659,12 @@ SourceFile parse_source(const std::filesystem::path& rel_path,
     ++it;
     if (it != rel_path.end() && it->has_extension() == false)
       f.module = it->string();
+  } else if (it != rel_path.end() && *it == "tools") {
+    // tools/<dir>/ is the module "tools/<dir>"; files directly under
+    // tools/ (the experiment binaries) carry no module.
+    ++it;
+    if (it != rel_path.end() && it->has_extension() == false)
+      f.module = "tools/" + it->string();
   }
   StrippedFile stripped = strip(contents);
   collect_includes(stripped.code, f);

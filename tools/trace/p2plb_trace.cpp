@@ -1,0 +1,99 @@
+// p2plb_trace -- explain round latency from a causal JSONL trace.
+//
+// Reads the JSONL a traced run exported (p2plb_sim --trace out.jsonl, or
+// any obs::Tracer::write_jsonl output with a tracer attached to the
+// network), reconstructs each balancing round's causal span DAG, and
+// reports the critical path, per-phase hop-depth / fan-out histograms
+// and per-span slack:
+//
+//   $ p2plb_sim --nodes 64 --seed 7 --timed --trace trace.jsonl
+//   $ p2plb_trace --in trace.jsonl --md report.md --csv spans.csv
+//
+// With no --md the Markdown report goes to stdout.  The analyzer always
+// cross-checks the trace against itself -- every finished round's
+// critical path must end exactly completion_time after the round began,
+// and at least --min-connectivity of each round's spans must connect to
+// the round root -- and exits non-zero on any violation, so CI can gate
+// on a healthy causal DAG.
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "trace_analysis.h"
+
+namespace {
+
+using namespace p2plb;
+
+int run(const Cli& cli) {
+  const std::string in_path = cli.get_string("in");
+  if (in_path.empty()) {
+    std::cerr << "p2plb_trace: --in is required\n";
+    return 1;
+  }
+  std::ifstream is(in_path);
+  if (!is.good()) {
+    std::cerr << "p2plb_trace: cannot open " << in_path << "\n";
+    return 1;
+  }
+  const std::vector<tracetool::RawEvent> events = tracetool::parse_jsonl(is);
+  if (events.empty()) {
+    std::cerr << "p2plb_trace: " << in_path << " holds no events\n";
+    return 1;
+  }
+
+  const tracetool::TraceAnalysis analysis = tracetool::analyze(events);
+
+  std::ostringstream md;
+  tracetool::write_markdown(analysis, md);
+  const std::string md_path = cli.get_string("md");
+  if (md_path.empty()) {
+    std::cout << md.str();
+  } else {
+    std::ofstream os(md_path);
+    P2PLB_REQUIRE_MSG(os.good(), "cannot open " + md_path);
+    os << md.str();
+    std::cout << "p2plb_trace: wrote " << md_path << "\n";
+  }
+
+  const std::string csv_path = cli.get_string("csv");
+  if (!csv_path.empty()) {
+    std::ofstream os(csv_path);
+    P2PLB_REQUIRE_MSG(os.good(), "cannot open " + csv_path);
+    tracetool::write_csv(analysis, os);
+    std::cout << "p2plb_trace: wrote " << csv_path << "\n";
+  }
+
+  const std::vector<std::string> violations = tracetool::validate(
+      analysis, cli.get_double("min-connectivity"));
+  for (const std::string& v : violations)
+    std::cerr << "p2plb_trace: VIOLATION: " << v << "\n";
+  if (analysis.rounds.empty()) {
+    std::cerr << "p2plb_trace: no balancing rounds in " << in_path << "\n";
+    return 1;
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("in", "input causal trace (JSONL, from --trace *.jsonl)", "");
+  cli.add_flag("md", "write the Markdown report here (default: stdout)", "");
+  cli.add_flag("csv", "write the span-level CSV here", "");
+  cli.add_flag("min-connectivity",
+               "fail unless this fraction of each round's spans connects "
+               "to the round root",
+               "0.99");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    return run(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "p2plb_trace: " << e.what() << "\n";
+    return 1;
+  }
+}

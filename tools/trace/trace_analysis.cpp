@@ -1,0 +1,461 @@
+#include "trace_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace p2plb::tracetool {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSONL line parser.  The tracer's output is flat -- one object per line,
+// string and number values, plus one optional single-level "args" object
+// -- but unknown keys and value shapes are skipped, not rejected, so the
+// analyzer keeps working when the format grows new fields.
+// ---------------------------------------------------------------------------
+
+class LineParser {
+ public:
+  LineParser(std::string_view s, std::size_t line_no)
+      : s_(s), line_no_(line_no) {}
+
+  RawEvent parse() {
+    RawEvent e;
+    expect('{');
+    bool first = true;
+    while (!at('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "t") {
+        e.t = parse_number();
+      } else if (key == "ph") {
+        const std::string v = parse_string();
+        if (v.size() != 1) fail("\"ph\" must be a single phase letter");
+        e.ph = v[0];
+      } else if (key == "lane") {
+        e.lane = parse_string();
+      } else if (key == "name") {
+        e.name = parse_string();
+      } else if (key == "id") {
+        e.id = parse_uint();
+      } else if (key == "trace") {
+        e.trace = parse_uint();
+      } else if (key == "span") {
+        e.span = parse_uint();
+      } else if (key == "parent") {
+        e.parent = parse_uint();
+      } else if (key == "args") {
+        parse_args(e);
+      } else {
+        skip_value();
+      }
+    }
+    expect('}');
+    if (pos_ != s_.size()) fail("trailing characters after object");
+    return e;
+  }
+
+ private:
+  [[nodiscard]] bool at(char c) const {
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  void expect(char c) {
+    if (!at(c)) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw PreconditionError("trace line " + std::to_string(line_no_) + ": " +
+                            what);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            // Keep the raw \uXXXX text: no analysis reads escaped names.
+            if (s_.size() - pos_ < 4) fail("truncated \\u escape");
+            out += "\\u";
+            out += s_.substr(pos_, 4);
+            pos_ += 4;
+            continue;
+          default: fail("unknown escape");
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  [[nodiscard]] std::string_view number_token() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a number");
+    return s_.substr(start, pos_ - start);
+  }
+
+  double parse_number() {
+    return std::strtod(std::string(number_token()).c_str(), nullptr);
+  }
+
+  std::uint64_t parse_uint() {
+    return std::strtoull(std::string(number_token()).c_str(), nullptr, 10);
+  }
+
+  void parse_args(RawEvent& e) {
+    expect('{');
+    bool first = true;
+    while (!at('}')) {
+      if (!first) expect(',');
+      first = false;
+      std::string key = parse_string();
+      expect(':');
+      if (at('"')) {
+        (void)parse_string();  // string args carry no analyzed quantity
+      } else {
+        e.num_args.emplace_back(std::move(key), parse_number());
+      }
+    }
+    expect('}');
+  }
+
+  void skip_value() {
+    if (at('"')) {
+      (void)parse_string();
+    } else if (at('{')) {
+      expect('{');
+      bool first = true;
+      while (!at('}')) {
+        if (!first) expect(',');
+        first = false;
+        (void)parse_string();
+        expect(':');
+        skip_value();
+      }
+      expect('}');
+    } else if (at('[')) {
+      expect('[');
+      bool first = true;
+      while (!at(']')) {
+        if (!first) expect(',');
+        first = false;
+        skip_value();
+      }
+      expect(']');
+    } else if (at('t') || at('f') || at('n')) {
+      while (pos_ < s_.size() &&
+             std::isalpha(static_cast<unsigned char>(s_[pos_])) != 0)
+        ++pos_;
+    } else {
+      (void)number_token();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::size_t line_no_;
+};
+
+/// json_number twin (src/obs/trace.cpp): integers print bare, fractions
+/// with up to six decimals, trailing zeros trimmed.
+std::string fmt_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  std::string s = buf;
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+std::string fmt_histogram(const Histogram& h) {
+  std::string out;
+  for (const auto& [value, count] : h) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(value) + ":" + std::to_string(count);
+  }
+  return out.empty() ? "-" : out;
+}
+
+constexpr double kTimeTolerance = 1e-9;
+
+}  // namespace
+
+std::vector<RawEvent> parse_jsonl(std::istream& is) {
+  std::vector<RawEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    events.push_back(LineParser(line, line_no).parse());
+  }
+  return events;
+}
+
+TraceAnalysis analyze(const std::vector<RawEvent>& events) {
+  TraceAnalysis out;
+  out.total_events = events.size();
+
+  // Pass 1: fold events into spans (span ids are globally unique).
+  std::unordered_map<std::uint64_t, double> completion_by_trace;
+  for (const RawEvent& e : events) {
+    if (e.name == "round" && e.ph == 'E') {
+      for (const auto& [key, value] : e.num_args)
+        if (key == "completion_time") completion_by_trace[e.trace] = value;
+    }
+    if (e.trace == 0 || e.span == 0) continue;  // annotation / flow / plain
+    auto [it, inserted] = out.spans.try_emplace(e.span);
+    Span& s = it->second;
+    if (inserted) {
+      s.id = e.span;
+      s.trace = e.trace;
+      s.parent = e.parent;
+      s.lane = e.lane;
+      s.start = e.t;
+      s.end = e.t;
+    } else {
+      P2PLB_REQUIRE_MSG(s.trace == e.trace,
+                        "span " + std::to_string(e.span) +
+                            " appears in two traces");
+      s.start = std::min(s.start, e.t);
+      s.end = std::max(s.end, e.t);
+    }
+    if (e.name.rfind("msg.", 0) == 0) {
+      s.is_message = true;
+      if (s.name.empty()) s.name = "msg";
+    } else {
+      s.name = e.name;
+    }
+  }
+
+  // Pass 2 (ascending span id = causal order): connectivity, children,
+  // message hop depth, fan-out.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> spans_by_trace;
+  for (auto& [id, s] : out.spans) {
+    spans_by_trace[s.trace].push_back(id);
+    if (s.parent == 0) {
+      s.connected = true;
+      s.hop_depth = s.is_message ? 1 : 0;
+      continue;
+    }
+    const auto parent_it = out.spans.find(s.parent);
+    if (parent_it == out.spans.end() ||
+        parent_it->second.trace != s.trace) {
+      continue;  // orphan: counted against connectivity
+    }
+    Span& p = parent_it->second;
+    s.connected = p.connected;
+    s.hop_depth = p.hop_depth + (s.is_message ? 1 : 0);
+    p.children.push_back(id);
+    if (s.is_message) ++p.fan_out;
+  }
+
+  // Pass 3: per-trace analysis.
+  for (const auto& [trace, ids] : spans_by_trace) {
+    const Span* root = nullptr;
+    for (const std::uint64_t id : ids) {
+      const Span& s = out.spans.at(id);
+      if (s.parent == 0 && s.name == "round") {
+        root = &s;
+        break;
+      }
+    }
+    if (root == nullptr) {
+      ++out.other_traces;
+      continue;
+    }
+
+    RoundAnalysis round;
+    round.trace = trace;
+    round.start = root->start;
+    round.span_count = ids.size();
+    const auto completion = completion_by_trace.find(trace);
+    if (completion != completion_by_trace.end())
+      round.completion_time = completion->second;
+
+    // Latest-ending span; ties go to the larger id (causally deeper).
+    const Span* last = root;
+    for (const std::uint64_t id : ids) {
+      const Span& s = out.spans.at(id);
+      round.end = std::max(round.end, s.end);
+      if (s.end > last->end || (s.end == last->end && s.id > last->id))
+        last = &s;
+      if (s.is_message) ++round.message_count;
+      if (s.connected) ++round.connected_count;
+      if (s.is_message) ++round.hop_depth_by_lane[s.lane][s.hop_depth];
+      if (s.fan_out > 0) ++round.fan_out_by_lane[s.lane][s.fan_out];
+    }
+
+    // Critical path: parent links back from the latest finisher.
+    round.critical_path_end = last->end;
+    for (const Span* s = last;;) {
+      round.critical_path.push_back(s->id);
+      if (s->parent == 0) break;
+      const auto it = out.spans.find(s->parent);
+      if (it == out.spans.end()) break;  // orphaned chain; validate() flags it
+      s = &it->second;
+    }
+    std::reverse(round.critical_path.begin(), round.critical_path.end());
+    for (const std::uint64_t id : round.critical_path)
+      out.spans.at(id).on_critical_path = true;
+
+    // Slack, leaves first: a parent's id is always smaller than its
+    // children's, so descending id order is reverse-topological.
+    std::unordered_map<std::uint64_t, double> down;
+    for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+      Span& s = out.spans.at(*it);
+      double latest = s.end;
+      for (const std::uint64_t child : s.children)
+        latest = std::max(latest, down.at(child));
+      down[*it] = latest;
+      s.slack = round.end - latest;
+    }
+
+    out.rounds.push_back(std::move(round));
+  }
+
+  std::sort(out.rounds.begin(), out.rounds.end(),
+            [](const RoundAnalysis& a, const RoundAnalysis& b) {
+              return a.start != b.start ? a.start < b.start
+                                        : a.trace < b.trace;
+            });
+  return out;
+}
+
+std::vector<std::string> validate(const TraceAnalysis& analysis,
+                                  double min_connectivity) {
+  std::vector<std::string> violations;
+  for (std::size_t i = 0; i < analysis.rounds.size(); ++i) {
+    const RoundAnalysis& r = analysis.rounds[i];
+    const std::string label =
+        "round " + std::to_string(i + 1) + " (trace " +
+        std::to_string(r.trace) + ")";
+    if (r.completion_time >= 0.0 &&
+        std::abs((r.critical_path_end - r.start) - r.completion_time) >
+            kTimeTolerance) {
+      violations.push_back(
+          label + ": critical path ends at +" +
+          fmt_num(r.critical_path_end - r.start) +
+          " but the round reported completion_time " +
+          fmt_num(r.completion_time));
+    }
+    if (r.connectivity() < min_connectivity) {
+      violations.push_back(label + ": only " +
+                           fmt_num(100.0 * r.connectivity()) +
+                           "% of spans connect to the round root");
+    }
+  }
+  return violations;
+}
+
+void write_markdown(const TraceAnalysis& analysis, std::ostream& os) {
+  os << "# Causal trace analysis\n\n";
+  os << "- events: " << analysis.total_events << "\n";
+  os << "- spans: " << analysis.spans.size() << "\n";
+  os << "- rounds: " << analysis.rounds.size() << "\n";
+  os << "- other traces: " << analysis.other_traces << "\n";
+
+  for (std::size_t i = 0; i < analysis.rounds.size(); ++i) {
+    const RoundAnalysis& r = analysis.rounds[i];
+    os << "\n## Round " << (i + 1) << " (trace " << r.trace << ")\n\n";
+    os << "| metric | value |\n|---|---|\n";
+    os << "| interval | " << fmt_num(r.start) << " .. " << fmt_num(r.end)
+       << " |\n";
+    os << "| completion_time | "
+       << (r.completion_time < 0.0 ? std::string("(unfinished)")
+                                   : fmt_num(r.completion_time))
+       << " |\n";
+    os << "| critical path end | +" << fmt_num(r.critical_path_end - r.start)
+       << " |\n";
+    os << "| spans | " << r.span_count << " |\n";
+    os << "| connected | " << fmt_num(100.0 * r.connectivity()) << "% |\n";
+    os << "| messages | " << r.message_count << " |\n";
+
+    os << "\n### Critical path\n\n";
+    os << "| # | lane | name | span | start | end | wait |\n";
+    os << "|---|---|---|---|---|---|---|\n";
+    double prev_end = r.start;
+    for (std::size_t k = 0; k < r.critical_path.size(); ++k) {
+      const Span& s = analysis.spans.at(r.critical_path[k]);
+      os << "| " << (k + 1) << " | " << s.lane << " | " << s.name << " | "
+         << s.id << " | " << fmt_num(s.start) << " | " << fmt_num(s.end)
+         << " | ";
+      // The root span encloses the whole round; what it contributes to
+      // the path is its start, so its row shows no wait and the per-hop
+      // waits below it sum exactly to the critical path length.
+      if (k == 0 && s.parent == 0) {
+        os << "-";
+        prev_end = s.start;
+      } else {
+        os << "+" << fmt_num(s.end - prev_end);
+        prev_end = s.end;
+      }
+      os << " |\n";
+    }
+
+    os << "\n### Hop depth by phase (messages, depth:count)\n\n";
+    os << "| lane | histogram | max |\n|---|---|---|\n";
+    for (const auto& [lane, hist] : r.hop_depth_by_lane)
+      os << "| " << lane << " | " << fmt_histogram(hist) << " | "
+         << hist.rbegin()->first << " |\n";
+
+    os << "\n### Fan-out by phase (senders, fan-out:count)\n\n";
+    os << "| lane | histogram | max |\n|---|---|---|\n";
+    for (const auto& [lane, hist] : r.fan_out_by_lane)
+      os << "| " << lane << " | " << fmt_histogram(hist) << " | "
+         << hist.rbegin()->first << " |\n";
+  }
+}
+
+void write_csv(const TraceAnalysis& analysis, std::ostream& os) {
+  os << "round,trace,span,parent,lane,name,start,end,slack,hop_depth,"
+        "fan_out,critical\n";
+  for (std::size_t i = 0; i < analysis.rounds.size(); ++i) {
+    const RoundAnalysis& r = analysis.rounds[i];
+    for (const auto& [id, s] : analysis.spans) {
+      if (s.trace != r.trace) continue;
+      os << (i + 1) << ',' << r.trace << ',' << s.id << ',' << s.parent
+         << ',' << s.lane << ',' << s.name << ',' << fmt_num(s.start) << ','
+         << fmt_num(s.end) << ',' << fmt_num(s.slack) << ',' << s.hop_depth
+         << ',' << s.fan_out << ',' << (s.on_critical_path ? 1 : 0) << '\n';
+    }
+  }
+}
+
+}  // namespace p2plb::tracetool

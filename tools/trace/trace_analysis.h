@@ -1,0 +1,130 @@
+// Causal trace analysis: reconstruct per-round span DAGs from a JSONL
+// trace and explain where the round's latency came from.
+//
+// Input is the flat JSONL emitted by obs::Tracer::write_jsonl with a
+// tracer attached to the network (see src/sim/network.h "Causal
+// envelopes"): every span-carrying event holds top-level "trace", "span"
+// and "parent" fields, where the parent edge records the one input whose
+// arrival actually enabled the work.  That makes each trace a DAG (in
+// fact a tree over spans) whose longest root-to-leaf chain *is* the
+// round's critical path:
+//
+//   * critical path -- walk parent links back from the latest-ending
+//     span; its end time minus the round start must equal the round's
+//     reported BalanceReport::completion_time (validate() checks this).
+//   * slack -- for every span, how much later it could have finished
+//     without delaying the round: trace_end - down(s), where down(s) is
+//     the latest finish among the span and its descendants.  Spans on
+//     the critical path have zero slack by construction.
+//   * hop depth -- for message spans, the number of network messages on
+//     the causal chain from the root (1 = first wave).  The per-lane
+//     histogram exposes each phase's sequential depth, the quantity the
+//     paper bounds by O(log_K N).
+//   * fan-out -- per span, how many messages its handler scheduled; the
+//     per-lane histogram exposes each phase's parallel width.
+//
+// Span ids are allocated in causal order (a parent's id is always
+// smaller than its children's), so the slack recursion runs as a single
+// reverse pass over span ids -- no explicit topological sort.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace p2plb::tracetool {
+
+/// One parsed JSONL trace line.  Only the numeric args survive parsing
+/// (string args exist in the format but no analysis needs them).
+struct RawEvent {
+  double t = 0.0;
+  char ph = '?';  ///< B E b e i s f -- see obs::EventKind
+  std::string lane;
+  std::string name;
+  std::uint64_t id = 0;      ///< async/flow correlation id
+  std::uint64_t trace = 0;   ///< causal context (0 = none)
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::vector<std::pair<std::string, double>> num_args;
+};
+
+/// Parse a whole JSONL stream; throws PreconditionError (with the line
+/// number) on malformed input.  Lines are independent, order preserved.
+[[nodiscard]] std::vector<RawEvent> parse_jsonl(std::istream& is);
+
+/// One reconstructed span: every event sharing a (trace, span) pair.
+/// For a message this is its send and its delivery, so [start, end] is
+/// the message's time in flight.
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< parent span id (0 = root)
+  std::uint64_t trace = 0;
+  std::string lane;
+  std::string name;       ///< "msg" for messages, else the span's name
+  double start = 0.0;
+  double end = 0.0;
+  bool is_message = false;
+  bool connected = false;  ///< parent chain reaches a root span
+  bool on_critical_path = false;
+  std::size_t hop_depth = 0;  ///< message ancestors incl. self (0 = none)
+  std::size_t fan_out = 0;    ///< direct message children
+  double slack = 0.0;         ///< trace_end - latest finish reachable below
+  std::vector<std::uint64_t> children;  ///< span ids, ascending
+};
+
+/// Compact histogram: value -> count (ordered, so output is stable).
+using Histogram = std::map<std::size_t, std::size_t>;
+
+/// Analysis of one balancing round (a trace rooted in a "round" span).
+struct RoundAnalysis {
+  std::uint64_t trace = 0;
+  double start = 0.0;  ///< round span begin
+  double end = 0.0;    ///< latest event in the trace
+  /// The round's self-reported completion_time arg (< 0 when the round
+  /// never ended, i.e. the trace was cut off mid-round).
+  double completion_time = -1.0;
+  std::vector<std::uint64_t> critical_path;  ///< span ids, root first
+  double critical_path_end = 0.0;
+  std::size_t span_count = 0;
+  std::size_t message_count = 0;
+  std::size_t connected_count = 0;
+  std::map<std::string, Histogram> hop_depth_by_lane;  ///< messages only
+  std::map<std::string, Histogram> fan_out_by_lane;    ///< spans with >=1
+  [[nodiscard]] double connectivity() const noexcept {
+    return span_count == 0 ? 1.0
+                           : static_cast<double>(connected_count) /
+                                 static_cast<double>(span_count);
+  }
+};
+
+/// The whole file: rounds plus everything else (e.g. maintenance traces).
+struct TraceAnalysis {
+  std::vector<RoundAnalysis> rounds;  ///< in round-start order
+  std::map<std::uint64_t, Span> spans;  ///< all spans by id (ids are global)
+  std::size_t total_events = 0;
+  std::size_t other_traces = 0;  ///< traces not rooted in a "round" span
+};
+
+/// Build spans, connectivity, critical paths, slack and histograms.
+[[nodiscard]] TraceAnalysis analyze(const std::vector<RawEvent>& events);
+
+/// Consistency checks; returns human-readable violations (empty = ok):
+///   * each finished round's critical path ends exactly completion_time
+///     after the round began;
+///   * each round's causal DAG connects at least `min_connectivity` of
+///     its spans.
+[[nodiscard]] std::vector<std::string> validate(
+    const TraceAnalysis& analysis, double min_connectivity = 0.99);
+
+/// Markdown report: per-round summary, critical path table, per-phase
+/// hop-depth and fan-out histograms.
+void write_markdown(const TraceAnalysis& analysis, std::ostream& os);
+
+/// Span-level CSV (one row per span of every round trace):
+/// round,trace,span,parent,lane,name,start,end,slack,hop_depth,fan_out,
+/// critical.
+void write_csv(const TraceAnalysis& analysis, std::ostream& os);
+
+}  // namespace p2plb::tracetool
