@@ -9,6 +9,8 @@
 #include "hilbert/hilbert.h"
 #include "ktree/tree.h"
 #include "lb/balancer.h"
+#include "sim/engine.h"
+#include "topo/distance_oracle.h"
 #include "topo/graph.h"
 #include "topo/transit_stub.h"
 #include "workload/capacity.h"
@@ -46,6 +48,26 @@ void BM_HilbertRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HilbertRoundTrip);
+
+void BM_HilbertEncodeBatch(benchmark::State& state) {
+  const hilbert::CurveSpec spec{15, 2};
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::vector<std::uint32_t>> cols(
+      spec.dims, std::vector<std::uint32_t>(count));
+  for (auto& col : cols)
+    for (auto& c : col)
+      c = static_cast<std::uint32_t>(rng.below(1ull << spec.bits));
+  hilbert::BatchEncoder encoder(spec);
+  std::vector<hilbert::Index> out;
+  for (auto _ : state) {
+    encoder.encode(cols, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_HilbertEncodeBatch)->Arg(1024)->Arg(16384);
 
 chord::Ring make_ring(std::size_t nodes, std::size_t servers) {
   Rng rng(2);
@@ -110,6 +132,78 @@ void BM_BalanceRound(benchmark::State& state) {
 }
 BENCHMARK(BM_BalanceRound)->Arg(512)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
+
+void BM_VsaSweep(benchmark::State& state) {
+  // The pairing sweep alone: entries are rebuilt outside the timed loop,
+  // run_vsa (classification -> rendezvous -> leftover forwarding) inside.
+  Rng rng(10);
+  auto ring = workload::build_ring(
+      static_cast<std::size_t>(state.range(0)), 5,
+      workload::CapacityProfile::gnutella_like(), rng);
+  const auto model = workload::scaled_load_model(
+      ring, workload::LoadDistribution::kGaussian, 0.25, 1.0);
+  workload::assign_loads(ring, model, rng);
+  const ktree::KTree tree(ring, 2);
+  Rng arng(11);
+  const auto agg = lb::aggregate_lbi(tree, arng);
+  const auto before = lb::classify_all(ring, agg.system, 0.0);
+  const auto entries =
+      lb::build_entries_ignorant(tree, before, agg.reporter_vs);
+  lb::VsaParams params;
+  params.min_load = agg.system.min_load;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb::run_vsa(tree, entries, params));
+  }
+}
+BENCHMARK(BM_VsaSweep)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_OracleLookup(benchmark::State& state) {
+  // Cached source-row lookups (the per-send latency path): pre-warm every
+  // source so the timed loop never runs a Dijkstra.
+  Rng rng(12);
+  const auto topo = topo::generate_transit_stub(
+      topo::TransitStubParams::ts5k_small(), rng, "bench");
+  topo::DistanceOracle oracle(topo.graph, topo.graph.vertex_count());
+  const auto stubs = topo.stub_vertices();
+  std::vector<std::pair<topo::Vertex, topo::Vertex>> pairs(4096);
+  Rng pick(13);
+  for (auto& [a, b] : pairs) {
+    a = stubs[pick.below(stubs.size())];
+    b = stubs[pick.below(stubs.size())];
+  }
+  for (const auto& [a, b] : pairs) benchmark::DoNotOptimize(oracle.distance(a, b));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i];
+    benchmark::DoNotOptimize(oracle.distance(a, b));
+    i = (i + 1) & (pairs.size() - 1);
+  }
+}
+BENCHMARK(BM_OracleLookup);
+
+void BM_EngineThroughput(benchmark::State& state) {
+  // Raw event-loop throughput, wheel vs binary heap: schedule a batch of
+  // events at random small-latency offsets, drain, repeat.
+  const auto kind = state.range(0) == 0 ? sim::QueueKind::kTimerWheel
+                                        : sim::QueueKind::kBinaryHeap;
+  constexpr int kBatch = 65536;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine(kind);
+    Rng rng(14);
+    for (int i = 0; i < kBatch; ++i)
+      engine.schedule_at(static_cast<double>(rng.below(512)) + 0.25,
+                         [&fired] { ++fired; });
+    state.ResumeTiming();
+    engine.run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+  state.SetLabel(kind == sim::QueueKind::kTimerWheel ? "wheel" : "heap");
+}
+BENCHMARK(BM_EngineThroughput)->Arg(0)->Arg(1);
 
 void BM_TransitStubGenerate(benchmark::State& state) {
   for (auto _ : state) {

@@ -12,6 +12,8 @@
 //   * one full event-driven balancing round (lb::ProtocolRound) on a
 //     transit-stub topology with shortest-path latencies: per-phase
 //     message/byte/timing breakdown and end-to-end completion time.
+#include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "bench_util.h"
@@ -27,6 +29,91 @@
 namespace {
 
 using namespace p2plb;
+
+/// One end-to-end timed round's measurements (simulated and wall-clock).
+struct TimedRoundResult {
+  std::size_t nodes = 0;
+  std::string engine;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t messages = 0;
+  double completion_time = 0.0;
+  std::size_t transfers_applied = 0;
+};
+
+/// Build the deployment and run one event-driven balancing round over
+/// ts5k-small latencies, timing the wall clock around the event loop.
+TimedRoundResult run_timed_round(std::size_t nodes, std::size_t servers,
+                                 std::uint64_t seed, sim::QueueKind kind,
+                                 obs::Tracer* tracer,
+                                 const std::string& metrics_path,
+                                 lb::BalanceReport* report_out,
+                                 double* mean_latency_out) {
+  TimedRoundResult r;
+  r.nodes = nodes;
+  r.engine = kind == sim::QueueKind::kTimerWheel ? "wheel" : "heap";
+  bench::ExperimentParams params;
+  params.nodes = nodes;
+  params.servers_per_node = servers;
+  params.seed = seed;
+  Rng round_rng(seed + 17);
+  bench::Deployment d = bench::build_deployment(
+      params, topo::TransitStubParams::ts5k_small(), "ts5k-small", round_rng);
+  // Distinct sources are bounded by the topology's vertex count, so the
+  // row cache never needs more entries than that even at N = 1M.
+  topo::DistanceOracle oracle(
+      d.topology.graph,
+      std::min<std::size_t>(std::max<std::size_t>(nodes, 64),
+                            d.topology.graph.vertex_count()));
+  sim::Engine engine(kind);
+  sim::Network net(engine, oracle.latency());
+  if (tracer != nullptr) net.attach_tracer(tracer);
+  lb::ProtocolRound round(net, d.ring, {}, round_rng);
+  const auto t0 = std::chrono::steady_clock::now();
+  round.start();
+  engine.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const lb::BalanceReport& report = round.report();
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.events = engine.events_executed();
+  r.events_per_sec =
+      r.wall_seconds > 0.0 ? static_cast<double>(r.events) / r.wall_seconds
+                           : 0.0;
+  r.messages = net.totals().messages;
+  r.completion_time = report.completion_time;
+  r.transfers_applied = report.transfers_applied;
+  if (!metrics_path.empty()) {
+    obs::write_metrics_file(net.metrics(), metrics_path);
+    std::cerr << "metrics written to " << metrics_path << "\n";
+  }
+  if (report_out != nullptr) *report_out = report;
+  if (mean_latency_out != nullptr)
+    *mean_latency_out = net.totals().mean_latency();
+  return r;
+}
+
+/// Write the timed-round results as the machine-readable bench JSON the
+/// delta gate (tools/bench_delta.py) consumes.
+void write_bench_json(const std::string& path,
+                      const std::vector<TimedRoundResult>& rounds) {
+  std::ofstream out(path);
+  P2PLB_REQUIRE_MSG(out.good(), "cannot open bench JSON output file");
+  out << "{\n  \"schema\": \"p2plb-bench-1\",\n  \"timed_rounds\": [\n";
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const TimedRoundResult& r = rounds[i];
+    out << "    {\"nodes\": " << r.nodes << ", \"engine\": \"" << r.engine
+        << "\", \"wall_seconds\": " << r.wall_seconds
+        << ", \"events\": " << r.events
+        << ", \"events_per_sec\": " << r.events_per_sec
+        << ", \"messages\": " << r.messages
+        << ", \"completion_time\": " << r.completion_time
+        << ", \"transfers_applied\": " << r.transfers_applied << "}"
+        << (i + 1 < rounds.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "bench JSON written to " << path << "\n";
+}
 
 /// Binary-search the reconvergence instant to one check period.
 sim::Time measure_recovery(sim::Engine& engine,
@@ -51,6 +138,14 @@ int main(int argc, char** argv) {
   cli.add_flag("crash-fraction", "fraction of nodes to crash", "0.1");
   cli.add_flag("timed-nodes",
                "ring size for the end-to-end timed balancing round", "512");
+  cli.add_flag("timed-sizes",
+               "comma-separated ring sizes for timed rounds (overrides "
+               "--timed-nodes)",
+               "");
+  cli.add_flag("engine", "event queue for timed rounds: wheel or heap",
+               "wheel");
+  cli.add_flag("bench-json",
+               "write timed-round measurements to this JSON file", "");
   cli.add_flag("trace", p2plb::obs::kTraceFlagHelp, "");
   cli.add_flag("metrics", p2plb::obs::kMetricsFlagHelp, "");
   cli.add_flag("csv", "emit CSV instead of aligned tables", "false");
@@ -114,61 +209,70 @@ int main(int argc, char** argv) {
   std::cout << "\n(All time columns must grow logarithmically with N and "
                "shrink as K grows.)\n";
 
-  // --- end-to-end balancing round on a physical topology ---------------
+  // --- end-to-end balancing rounds on a physical topology --------------
   // The whole four-phase protocol as events over ts5k-small shortest-path
-  // latencies: where the simulated time of one round actually goes.
-  const auto timed_nodes =
-      static_cast<std::size_t>(cli.get_int("timed-nodes"));
-  bench::ExperimentParams params;
-  params.nodes = timed_nodes;
-  params.servers_per_node = servers;
-  params.seed = seed;
-  Rng round_rng(seed + 17);
-  bench::Deployment d = bench::build_deployment(
-      params, topo::TransitStubParams::ts5k_small(), "ts5k-small",
-      round_rng);
-  topo::DistanceOracle oracle(d.topology.graph,
-                              std::max<std::size_t>(timed_nodes, 64));
-  sim::Engine engine;
-  sim::Network net(engine, topo::oracle_latency(oracle));
+  // latencies: where the simulated time of one round actually goes, and
+  // how fast the engine chews through it (wall clock, events/sec).
+  const std::string engine_name = cli.get_string("engine");
+  P2PLB_REQUIRE_MSG(engine_name == "wheel" || engine_name == "heap",
+                    "--engine must be wheel or heap");
+  const sim::QueueKind kind = engine_name == "wheel"
+                                  ? sim::QueueKind::kTimerWheel
+                                  : sim::QueueKind::kBinaryHeap;
+  std::vector<std::size_t> timed_sizes;
+  for (const auto n : cli.get_int_list("timed-sizes"))
+    timed_sizes.push_back(static_cast<std::size_t>(n));
+  if (timed_sizes.empty())
+    timed_sizes.push_back(static_cast<std::size_t>(cli.get_int("timed-nodes")));
+
   obs::Tracer tracer;
   const std::string trace_path = cli.get_string("trace");
   const std::string metrics_path = cli.get_string("metrics");
-  if (!trace_path.empty()) net.attach_tracer(&tracer);
-  lb::ProtocolRound round(net, d.ring, {}, round_rng);
-  round.start();
-  engine.run();
-  const lb::BalanceReport& report = round.report();
+  std::vector<TimedRoundResult> results;
+  for (std::size_t i = 0; i < timed_sizes.size(); ++i) {
+    // Trace and metrics capture the first size only; the rest are timing
+    // sweeps.
+    const bool capture = i == 0;
+    lb::BalanceReport report;
+    double mean_latency = 0.0;
+    results.push_back(run_timed_round(
+        timed_sizes[i], servers, seed, kind,
+        capture && !trace_path.empty() ? &tracer : nullptr,
+        capture ? metrics_path : std::string(), &report, &mean_latency));
+    const TimedRoundResult& r = results.back();
+
+    print_heading(std::cout,
+                  "one event-driven balancing round, ts5k-small, N = " +
+                      std::to_string(r.nodes) + " (" + r.engine +
+                      " engine)");
+    Table phases({"phase", "messages", "bytes", "start", "end", "duration"});
+    for (std::size_t p = 0; p < lb::kPhaseCount; ++p) {
+      const lb::PhaseMetrics& m = report.phases[p];
+      phases.add_row({std::to_string(p + 1) + " " +
+                          lb::phase_name(static_cast<lb::Phase>(p)),
+                      m.messages, Table::num(m.bytes, 0),
+                      Table::num(m.start, 1), Table::num(m.end, 1),
+                      Table::num(m.duration(), 1)});
+    }
+    bench::emit(phases, csv);
+    std::cout << "\nround completion time: "
+              << Table::num(report.completion_time, 1)
+              << " latency units  (heavy " << report.before.heavy_count
+              << " -> " << report.after.heavy_count << ", "
+              << report.transfers_applied << " transfers, mean hop latency "
+              << Table::num(mean_latency, 2) << ")\n"
+              << "wall clock: " << Table::num(r.wall_seconds, 3) << " s for "
+              << r.events << " events ("
+              << Table::num(r.events_per_sec / 1e6, 2) << " M events/s)\n"
+              << "(phase 4 starts before phase 3 ends: transfers overlap "
+                 "the sweep)\n";
+  }
   if (!trace_path.empty()) {
     obs::write_trace_file(tracer, trace_path);
     std::cerr << "trace written to " << trace_path << " ("
               << tracer.event_count() << " events)\n";
   }
-  if (!metrics_path.empty()) {
-    obs::write_metrics_file(net.metrics(), metrics_path);
-    std::cerr << "metrics written to " << metrics_path << "\n";
-  }
-
-  print_heading(std::cout,
-                "one event-driven balancing round, ts5k-small, N = " +
-                    std::to_string(timed_nodes));
-  Table phases({"phase", "messages", "bytes", "start", "end", "duration"});
-  for (std::size_t p = 0; p < lb::kPhaseCount; ++p) {
-    const lb::PhaseMetrics& m = report.phases[p];
-    phases.add_row({std::to_string(p + 1) + " " +
-                        lb::phase_name(static_cast<lb::Phase>(p)),
-                    m.messages, Table::num(m.bytes, 0),
-                    Table::num(m.start, 1), Table::num(m.end, 1),
-                    Table::num(m.duration(), 1)});
-  }
-  bench::emit(phases, csv);
-  std::cout << "\nround completion time: "
-            << Table::num(report.completion_time, 1)
-            << " latency units  (heavy " << report.before.heavy_count
-            << " -> " << report.after.heavy_count << ", "
-            << report.transfers_applied << " transfers, mean hop latency "
-            << Table::num(net.totals().mean_latency(), 2) << ")\n"
-            << "(phase 4 starts before phase 3 ends: transfers overlap "
-               "the sweep)\n";
+  const std::string bench_json = cli.get_string("bench-json");
+  if (!bench_json.empty()) write_bench_json(bench_json, results);
   return 0;
 }

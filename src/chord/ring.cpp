@@ -25,15 +25,33 @@ Node& Ring::mutable_node(NodeIndex i) {
 void Ring::add_virtual_server(NodeIndex owner, Key id) {
   Node& n = mutable_node(owner);
   P2PLB_REQUIRE_MSG(n.alive, "cannot add a virtual server to a dead node");
-  P2PLB_REQUIRE_MSG(!servers_.contains(id), "virtual server id collision");
-  servers_.emplace(id, VirtualServer{id, owner, 0.0});
-  n.servers.insert(std::lower_bound(n.servers.begin(), n.servers.end(), id), id);
+  P2PLB_REQUIRE_MSG(!vs_slot_.contains(id), "virtual server id collision");
+  std::uint32_t slot;
+  if (!vs_free_.empty()) {
+    slot = vs_free_.back();
+    vs_free_.pop_back();
+    vs_id_[slot] = id;
+    vs_owner_[slot] = owner;
+    vs_load_[slot] = 0.0;
+    vs_live_[slot] = 1;
+  } else {
+    slot = static_cast<std::uint32_t>(vs_id_.size());
+    vs_id_.push_back(id);
+    vs_owner_.push_back(owner);
+    vs_load_.push_back(0.0);
+    vs_live_.push_back(1);
+  }
+  vs_slot_.emplace(id, slot);
+  ++vs_count_;
+  order_dirty_ = true;
+  n.servers.insert(std::lower_bound(n.servers.begin(), n.servers.end(), id),
+                   id);
 }
 
 Key Ring::add_random_virtual_server(NodeIndex owner, Rng& rng) {
   for (;;) {
     const Key id = static_cast<Key>(rng() >> 32);
-    if (!servers_.contains(id)) {
+    if (!vs_slot_.contains(id)) {
       add_virtual_server(owner, id);
       return id;
     }
@@ -41,51 +59,87 @@ Key Ring::add_random_virtual_server(NodeIndex owner, Rng& rng) {
 }
 
 void Ring::remove_virtual_server(Key id) {
-  const auto it = servers_.find(id);
-  P2PLB_REQUIRE_MSG(it != servers_.end(), "no such virtual server");
-  Node& n = mutable_node(it->second.owner);
+  const std::uint32_t slot = slot_checked(id);
+  Node& n = mutable_node(vs_owner_[slot]);
   std::erase(n.servers, id);
-  servers_.erase(it);
+  vs_live_[slot] = 0;
+  vs_free_.push_back(slot);
+  vs_slot_.erase(id);
+  --vs_count_;
+  order_dirty_ = true;
 }
 
 void Ring::remove_node(NodeIndex node) {
   Node& n = mutable_node(node);
   P2PLB_REQUIRE_MSG(n.alive, "node already removed");
-  for (const Key id : n.servers) servers_.erase(id);
+  for (const Key id : n.servers) {
+    const std::uint32_t slot = vs_slot_.at(id);
+    vs_live_[slot] = 0;
+    vs_free_.push_back(slot);
+    vs_slot_.erase(id);
+    --vs_count_;
+  }
+  if (!n.servers.empty()) order_dirty_ = true;
   n.servers.clear();
   n.alive = false;
   --live_nodes_;
 }
 
 void Ring::transfer_virtual_server(Key id, NodeIndex new_owner) {
-  const auto it = servers_.find(id);
-  P2PLB_REQUIRE_MSG(it != servers_.end(), "no such virtual server");
+  const std::uint32_t slot = slot_checked(id);
   Node& dst = mutable_node(new_owner);
   P2PLB_REQUIRE_MSG(dst.alive, "cannot transfer to a dead node");
-  if (it->second.owner == new_owner) return;
-  Node& src = mutable_node(it->second.owner);
+  if (vs_owner_[slot] == new_owner) return;
+  Node& src = mutable_node(vs_owner_[slot]);
   std::erase(src.servers, id);
-  dst.servers.insert(std::lower_bound(dst.servers.begin(), dst.servers.end(), id), id);
-  it->second.owner = new_owner;
+  dst.servers.insert(
+      std::lower_bound(dst.servers.begin(), dst.servers.end(), id), id);
+  vs_owner_[slot] = new_owner;  // ring order untouched: ids are unchanged
 }
 
-const VirtualServer& Ring::server(Key id) const {
-  const auto it = servers_.find(id);
-  P2PLB_REQUIRE_MSG(it != servers_.end(), "no such virtual server");
-  return it->second;
+void Ring::ensure_order() const {
+  if (!order_dirty_) return;
+  order_.clear();
+  order_.reserve(vs_count_);
+  for (std::uint32_t slot = 0; slot < vs_id_.size(); ++slot)
+    if (vs_live_[slot] != 0) order_.push_back(slot);
+  std::sort(order_.begin(), order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return vs_id_[a] < vs_id_[b];
+            });
+  order_dirty_ = false;
 }
 
-const VirtualServer& Ring::successor(Key k) const {
-  P2PLB_REQUIRE_MSG(!servers_.empty(), "successor() on an empty ring");
-  const auto it = servers_.lower_bound(k);
-  return it != servers_.end() ? it->second : servers_.begin()->second;
+std::size_t Ring::order_pos(Key id) const {
+  ensure_order();
+  const auto it = std::lower_bound(
+      order_.begin(), order_.end(), id,
+      [this](std::uint32_t slot, Key k) { return vs_id_[slot] < k; });
+  P2PLB_ASSERT(it != order_.end() && vs_id_[*it] == id);
+  return static_cast<std::size_t>(it - order_.begin());
+}
+
+VirtualServer Ring::server(Key id) const {
+  const std::uint32_t slot = slot_checked(id);
+  return VirtualServer{vs_id_[slot], vs_owner_[slot], vs_load_[slot]};
+}
+
+VirtualServer Ring::successor(Key k) const {
+  P2PLB_REQUIRE_MSG(vs_count_ > 0, "successor() on an empty ring");
+  ensure_order();
+  const auto it = std::lower_bound(
+      order_.begin(), order_.end(), k,
+      [this](std::uint32_t slot, Key key) { return vs_id_[slot] < key; });
+  const std::uint32_t slot = it != order_.end() ? *it : order_.front();
+  return VirtualServer{vs_id_[slot], vs_owner_[slot], vs_load_[slot]};
 }
 
 Key Ring::predecessor_key(Key id) const {
-  const auto it = servers_.find(id);
-  P2PLB_REQUIRE_MSG(it != servers_.end(), "no such virtual server");
-  if (it == servers_.begin()) return servers_.rbegin()->first;
-  return std::prev(it)->first;
+  // "no such virtual server" must surface before any order walk.
+  static_cast<void>(slot_checked(id));
+  const std::size_t pos = order_pos(id);
+  const std::uint32_t slot = pos == 0 ? order_.back() : order_[pos - 1];
+  return vs_id_[slot];
 }
 
 std::uint64_t Ring::arc_size(Key id) const {
@@ -110,9 +164,10 @@ bool Ring::arc_contains_region(Key holder, Key lo, std::uint64_t len) const {
 }
 
 std::vector<Key> Ring::server_ids() const {
+  ensure_order();
   std::vector<Key> out;
-  out.reserve(servers_.size());
-  for (const auto& [id, vs] : servers_) out.push_back(id);
+  out.reserve(order_.size());
+  for (const std::uint32_t slot : order_) out.push_back(vs_id_[slot]);
   return out;
 }
 
@@ -126,15 +181,13 @@ std::vector<NodeIndex> Ring::live_nodes() const {
 
 void Ring::set_load(Key id, double load) {
   P2PLB_REQUIRE(load >= 0.0);
-  const auto it = servers_.find(id);
-  P2PLB_REQUIRE_MSG(it != servers_.end(), "no such virtual server");
-  it->second.load = load;
+  vs_load_[slot_checked(id)] = load;
 }
 
 double Ring::node_load(NodeIndex i) const {
   const Node& n = node(i);
   double total = 0.0;
-  for (const Key id : n.servers) total += server(id).load;
+  for (const Key id : n.servers) total += vs_load_[vs_slot_.at(id)];
   return total;
 }
 
@@ -142,13 +195,17 @@ std::optional<double> Ring::node_min_server_load(NodeIndex i) const {
   const Node& n = node(i);
   if (n.servers.empty()) return std::nullopt;
   double best = std::numeric_limits<double>::infinity();
-  for (const Key id : n.servers) best = std::min(best, server(id).load);
+  for (const Key id : n.servers)
+    best = std::min(best, vs_load_[vs_slot_.at(id)]);
   return best;
 }
 
 double Ring::total_load() const {
+  // Ring order, not slot order: float addition is order-sensitive and
+  // this sum is compared against protocol-side aggregates in tests.
+  ensure_order();
   double total = 0.0;
-  for (const auto& [id, vs] : servers_) total += vs.load;
+  for (const std::uint32_t slot : order_) total += vs_load_[slot];
   return total;
 }
 
@@ -161,8 +218,9 @@ double Ring::total_capacity() const {
 
 double Ring::min_server_load() const {
   double best = std::numeric_limits<double>::infinity();
-  for (const auto& [id, vs] : servers_) best = std::min(best, vs.load);
-  return servers_.empty() ? 0.0 : best;
+  for (std::uint32_t slot = 0; slot < vs_id_.size(); ++slot)
+    if (vs_live_[slot] != 0) best = std::min(best, vs_load_[slot]);
+  return vs_count_ == 0 ? 0.0 : best;
 }
 
 }  // namespace p2plb::chord

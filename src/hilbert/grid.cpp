@@ -27,6 +27,21 @@ std::vector<std::uint32_t> GridQuantizer::quantize(
   return coords;
 }
 
+void GridQuantizer::quantize_column(std::span<const double> values,
+                                    std::vector<std::uint32_t>& out) const {
+  const std::uint32_t cells = 1u << spec_.bits;
+  bool finite = true;
+  for (const double v : values) finite &= std::isfinite(v);
+  P2PLB_REQUIRE_MSG(finite, "landmark distance must be finite");
+  out.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double clamped = std::clamp(values[i], 0.0, max_value_);
+    auto cell = static_cast<std::uint32_t>(clamped / max_value_ *
+                                           static_cast<double>(cells));
+    out[i] = std::min(cell, cells - 1);  // clamp the value==max case
+  }
+}
+
 Index GridQuantizer::hilbert_number(std::span<const double> vec) const {
   const auto coords = quantize(vec);
   return encode(spec_, coords);

@@ -32,6 +32,12 @@ class GridQuantizer {
   [[nodiscard]] std::vector<std::uint32_t> quantize(
       std::span<const double> vec) const;
 
+  /// Quantize one dimension for many points at once: `values[p]` is this
+  /// dimension's value for point p.  Same per-element math as quantize();
+  /// `out` is resized to the point count.
+  void quantize_column(std::span<const double> values,
+                       std::vector<std::uint32_t>& out) const;
+
   /// Hilbert number of the grid containing `vec`.
   [[nodiscard]] Index hilbert_number(std::span<const double> vec) const;
 

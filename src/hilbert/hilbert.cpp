@@ -118,6 +118,84 @@ std::vector<std::uint32_t> decode(const CurveSpec& spec, Index index) {
   return x;
 }
 
+BatchEncoder::BatchEncoder(const CurveSpec& spec) : spec_(spec) {
+  spec_.validate();
+  x_.resize(spec_.dims);
+}
+
+void BatchEncoder::encode(std::span<const std::vector<std::uint32_t>> columns,
+                          std::vector<Index>& out) {
+  P2PLB_REQUIRE_MSG(columns.size() == spec_.dims,
+                    "column count must equal curve dimensions");
+  const std::size_t count = columns[0].size();
+  for (const auto& col : columns)
+    P2PLB_REQUIRE_MSG(col.size() == count, "ragged coordinate columns");
+  if (spec_.bits < 32) {
+    const std::uint32_t limit = 1u << spec_.bits;
+    bool in_range = true;
+    for (const auto& col : columns)
+      for (const std::uint32_t c : col) in_range &= c < limit;
+    P2PLB_REQUIRE_MSG(in_range, "coordinate out of range for curve resolution");
+  }
+  const std::uint32_t n = spec_.dims;
+  for (std::uint32_t i = 0; i < n; ++i) x_[i].assign(columns[i].begin(), columns[i].end());
+
+  // Same bit operations as axes_to_transpose, but with the two branch
+  // arms folded into mask arithmetic so the per-point inner loops have
+  // no data-dependent control flow:
+  //   bit set:   x0 ^= p                 (t is forced to 0)
+  //   bit clear: t = (x0 ^ xi) & p; x0 ^= t; xi ^= t
+  for (std::uint32_t s = spec_.bits; s-- > 1;) {
+    const std::uint32_t p = (1u << s) - 1;
+    {
+      std::uint32_t* x0 = x_[0].data();
+      for (std::size_t k = 0; k < count; ++k)
+        x0[k] ^= p & (0u - ((x0[k] >> s) & 1u));
+    }
+    for (std::uint32_t i = 1; i < n; ++i) {
+      std::uint32_t* x0 = x_[0].data();
+      std::uint32_t* xi = x_[i].data();
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::uint32_t m = 0u - ((xi[k] >> s) & 1u);
+        const std::uint32_t t = ((x0[k] ^ xi[k]) & p) & ~m;
+        x0[k] ^= (p & m) | t;
+        xi[k] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const std::uint32_t* prev = x_[i - 1].data();
+    std::uint32_t* xi = x_[i].data();
+    for (std::size_t k = 0; k < count; ++k) xi[k] ^= prev[k];
+  }
+  t_.assign(count, 0u);
+  {
+    const std::uint32_t* last = x_[n - 1].data();
+    for (std::uint32_t s = spec_.bits; s-- > 1;) {
+      const std::uint32_t p = (1u << s) - 1;
+      for (std::size_t k = 0; k < count; ++k)
+        t_[k] ^= p & (0u - ((last[k] >> s) & 1u));
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t* xi = x_[i].data();
+    for (std::size_t k = 0; k < count; ++k) xi[k] ^= t_[k];
+  }
+  // Pack each point's transposed form into its linear index.
+  out.resize(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    Index v = 0;
+    for (std::uint32_t q = spec_.bits; q-- > 0;) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        v <<= 1;
+        v |= static_cast<Index>((x_[i][k] >> q) & 1u);
+      }
+    }
+    out[k] = v;
+  }
+}
+
 std::uint64_t l1_distance(std::span<const std::uint32_t> a,
                           std::span<const std::uint32_t> b) {
   P2PLB_REQUIRE(a.size() == b.size());

@@ -55,4 +55,31 @@ struct CurveSpec {
 [[nodiscard]] std::uint64_t l1_distance(std::span<const std::uint32_t> a,
                                         std::span<const std::uint32_t> b);
 
+/// Encodes many points at once over dimension-major (column) storage.
+///
+/// encode() is bit-exact but pays per call: spec validation, a scratch
+/// allocation, and a branchy transform.  The batch encoder validates the
+/// spec once, keeps the working set as one column per dimension (the
+/// MathGeoLib SoA idiom), and runs Skilling's transform in lockstep over
+/// all points with branchless mask arithmetic -- the inner loops stride
+/// unit distance over a column, so they vectorize.  Scratch is reused
+/// across calls.  Results are identical to encode() point by point.
+class BatchEncoder {
+ public:
+  explicit BatchEncoder(const CurveSpec& spec);
+
+  [[nodiscard]] const CurveSpec& spec() const noexcept { return spec_; }
+
+  /// Encode every point of a dimension-major batch: columns[d][p] is
+  /// coordinate d of point p (all columns the same length, every value
+  /// < 2^bits).  `out` is resized to the point count.
+  void encode(std::span<const std::vector<std::uint32_t>> columns,
+              std::vector<Index>& out);
+
+ private:
+  CurveSpec spec_;
+  std::vector<std::vector<std::uint32_t>> x_;  // scratch columns
+  std::vector<std::uint32_t> t_;               // per-point Gray correction
+};
+
 }  // namespace p2plb::hilbert

@@ -11,14 +11,14 @@ VsLatencyFn unit_latency(const chord::Ring& ring, sim::Time unit) {
   return [&ring, unit](chord::Key from_vs, chord::Key to_vs) -> sim::Time {
     if (from_vs == to_vs) return 0.0;
     if (!ring.has_server(from_vs) || !ring.has_server(to_vs)) return unit;
-    return ring.server(from_vs).owner == ring.server(to_vs).owner ? 0.0
+    return ring.server_owner(from_vs) == ring.server_owner(to_vs) ? 0.0
                                                                   : unit;
   };
 }
 
 VsEndpointFn owner_endpoint(const chord::Ring& ring) {
   return [&ring](chord::Key vs) -> sim::Endpoint {
-    const chord::NodeIndex owner = ring.server(vs).owner;
+    const chord::NodeIndex owner = ring.server_owner(vs);
     const std::uint32_t attachment = ring.node(owner).attachment;
     return attachment != chord::Node::kNoAttachment ? attachment : owner;
   };

@@ -39,13 +39,13 @@ CfsShedResult run_cfs_shedding(chord::Ring& ring, double epsilon,
       std::vector<chord::Key> servers = ring.node(a.node).servers;
       std::sort(servers.begin(), servers.end(),
                 [&](chord::Key x, chord::Key y) {
-                  return ring.server(x).load < ring.server(y).load;
+                  return ring.server_load(x) < ring.server_load(y);
                 });
       double load = ring.node_load(a.node);
       for (const chord::Key vs : servers) {
         if (load <= a.target) break;
         if (ring.node(a.node).servers.size() <= 1) break;
-        const double shed_load = ring.server(vs).load;
+        const double shed_load = ring.server_load(vs);
         ring.remove_virtual_server(vs);
         // The arc joins the ring successor of the deleted id, and so
         // does the load it carried.
@@ -104,7 +104,7 @@ OneToOneResult run_one_to_one(chord::Ring& ring, double epsilon, Rng& rng,
         chord::Key best = 0;
         double best_load = -1.0;
         for (const chord::Key vs : ring.node(owner).servers) {
-          const double l = ring.server(vs).load;
+          const double l = ring.server_load(vs);
           if (l <= spare && l > best_load) {
             best = vs;
             best_load = l;
@@ -161,10 +161,10 @@ OneToManyResult run_one_to_many(chord::Ring& ring, double epsilon, Rng& rng,
       auto shed = select_servers_to_shed(ring, a.node, excess);
       std::sort(shed.begin(), shed.end(),
                 [&](chord::Key x, chord::Key y) {
-                  return ring.server(x).load > ring.server(y).load;
+                  return ring.server_load(x) > ring.server_load(y);
                 });
       for (const chord::Key vs : shed) {
-        const double load = ring.server(vs).load;
+        const double load = ring.server_load(vs);
         const auto it = directory.lower_bound(load);
         if (it == directory.end()) continue;
         const chord::NodeIndex dest = it->second;

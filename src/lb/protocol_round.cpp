@@ -11,6 +11,15 @@ sim::Endpoint node_endpoint(const chord::Ring& ring, chord::NodeIndex node) {
   return attachment != chord::Node::kNoAttachment ? attachment : node;
 }
 
+sim::Endpoint ProtocolRound::host_endpoint_of(chord::Key vs) const {
+  const auto it = std::lower_bound(
+      host_by_vs_.begin(), host_by_vs_.end(), vs,
+      [](const auto& entry, chord::Key k) { return entry.first < k; });
+  P2PLB_ASSERT_MSG(it != host_by_vs_.end() && it->first == vs,
+                   "virtual server is not a tree host");
+  return it->second;
+}
+
 ProtocolRound::ProtocolRound(sim::Network& net, chord::Ring& ring,
                              const ProtocolRoundConfig& config, Rng& rng,
                              std::span<const chord::Key> node_keys)
@@ -43,13 +52,27 @@ ProtocolRound::ProtocolRound(sim::Network& net, chord::Ring& ring,
 
   // Endpoint snapshots: decisions survive churn during the round.
   host_ep_.resize(tree_.size());
+  host_by_vs_.reserve(tree_.size());
   for (ktree::KtIndex i = 0; i < tree_.size(); ++i) {
     const chord::Key vs = tree_.node(i).host_vs;
-    host_ep_[i] = node_endpoint(ring_, ring_.server(vs).owner);
-    host_by_vs_.emplace(vs, host_ep_[i]);
+    host_ep_[i] = node_endpoint(ring_, ring_.server_owner(vs));
+    host_by_vs_.emplace_back(vs, host_ep_[i]);
   }
+  // A VS hosting several tree nodes appears once; every duplicate carries
+  // the same endpoint, so keeping the first is lossless.
+  std::sort(host_by_vs_.begin(), host_by_vs_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  host_by_vs_.erase(
+      std::unique(host_by_vs_.begin(), host_by_vs_.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first == b.first;
+                  }),
+      host_by_vs_.end());
+  node_ep_.resize(ring_.node_count(), 0);
+  lbi_waits_.resize(tree_.size(), 0);
+  vsa_waits_.resize(tree_.size(), 0);
   for (const chord::NodeIndex i : ring_.live_nodes()) {
-    node_ep_.emplace(i, node_endpoint(ring_, i));
+    node_ep_[i] = node_endpoint(ring_, i);
     // Reporting plan mirrors aggregate_lbi's leaf choice per node.
     const chord::Key key = report_.aggregation.reporter_vs.at(i);
     const ktree::KtIndex leaf = ring_.node(i).servers.empty()
@@ -148,7 +171,7 @@ void ProtocolRound::start(
 void ProtocolRound::start_aggregation() {
   release_leaf_ = ktree::begin_aggregation(
       net_, tree_,
-      [this](chord::Key vs) { return host_by_vs_.at(vs); },
+      [this](chord::Key vs) { return host_endpoint_of(vs); },
       {std::string(kTagAggregation), config_.wire.lbi},
       [this](const ktree::SweepResult&) {
         end_phase(Phase::kAggregation);
@@ -160,13 +183,13 @@ void ProtocolRound::start_aggregation() {
   // delivered its triple; reporter-less leaves fold immediately.
   for (const auto& [leaf, node] : report_plan_) ++lbi_waits_[leaf];
   for (ktree::KtIndex i = 0; i < tree_.size(); ++i)
-    if (tree_.node(i).is_leaf() && !lbi_waits_.contains(i)) release_leaf_(i);
+    if (tree_.node(i).is_leaf() && lbi_waits_[i] == 0) release_leaf_(i);
   for (const auto& [leaf, node] : report_plan_) {
     net_.send(
-        node_ep_.at(node), host_ep_[leaf],
+        node_ep_[node], host_ep_[leaf],
         [this, leaf = leaf] {
-          P2PLB_ASSERT(lbi_waits_.at(leaf) > 0);
-          if (--lbi_waits_.at(leaf) == 0) release_leaf_(leaf);
+          P2PLB_ASSERT(lbi_waits_[leaf] > 0);
+          if (--lbi_waits_[leaf] == 0) release_leaf_(leaf);
         },
         config_.wire.lbi, 0.0, kTagAggregation);
   }
@@ -176,7 +199,7 @@ void ProtocolRound::start_dissemination() {
   handoffs_left_ = tree_.leaf_count();
   ktree::begin_dissemination(
       net_, tree_,
-      [this](chord::Key vs) { return host_by_vs_.at(vs); },
+      [this](chord::Key vs) { return host_endpoint_of(vs); },
       {std::string(kTagDissemination), config_.wire.lbi},
       [this](ktree::KtIndex leaf) {
         // Leaf -> hosting-node handoff (zero distance, still a message).
@@ -208,11 +231,11 @@ void ProtocolRound::start_vsa() {
 
   for (const auto& [leaf, records] : entries_.heavy)
     for (const ShedCandidate& r : records)
-      vsa_send(node_ep_.at(r.from), host_ep_[leaf], config_.wire.record,
+      vsa_send(node_ep_[r.from], host_ep_[leaf], config_.wire.record,
                [this, leaf = leaf] { vsa_record_arrival(leaf); });
   for (const auto& [leaf, records] : entries_.light)
     for (const SpareCapacity& r : records)
-      vsa_send(node_ep_.at(r.node), host_ep_[leaf], config_.wire.record,
+      vsa_send(node_ep_[r.node], host_ep_[leaf], config_.wire.record,
                [this, leaf = leaf] { vsa_record_arrival(leaf); });
 
   if (vsa_outstanding_ == 0) finish_vsa();  // no records at all
@@ -234,8 +257,8 @@ void ProtocolRound::vsa_send(sim::Endpoint from, sim::Endpoint to,
 }
 
 void ProtocolRound::vsa_record_arrival(ktree::KtIndex node) {
-  P2PLB_ASSERT(vsa_waits_.at(node) > 0);
-  if (--vsa_waits_.at(node) == 0) vsa_process(node);
+  P2PLB_ASSERT(vsa_waits_[node] > 0);
+  if (--vsa_waits_[node] == 0) vsa_process(node);
 }
 
 void ProtocolRound::vsa_process(ktree::KtIndex node) {
@@ -261,9 +284,9 @@ void ProtocolRound::vsa_process(ktree::KtIndex node) {
                      obs::arg("depth", a.rendezvous_depth)});
       }
       const sim::Network::ContextScope scope(net_, match_ctx);
-      vsa_send(host_ep_[node], node_ep_.at(a.from), config_.wire.notify,
+      vsa_send(host_ep_[node], node_ep_[a.from], config_.wire.notify,
                [this, idx] { begin_transfer(idx); });
-      vsa_send(host_ep_[node], node_ep_.at(a.to), config_.wire.notify,
+      vsa_send(host_ep_[node], node_ep_[a.to], config_.wire.notify,
                nullptr);
     }
   }
@@ -298,8 +321,8 @@ void ProtocolRound::begin_transfer(std::size_t assignment_index) {
   }
   const Assignment& a = report_.vsa.assignments[assignment_index];
   ++transfers_outstanding_;
-  const double distance = net_.latency_between(node_ep_.at(a.from),
-                                               node_ep_.at(a.to));
+  const double distance = net_.latency_between(node_ep_[a.from],
+                                               node_ep_[a.to]);
   registry_
       ->histogram("lb.transfer_distance", {0, 1, 2, 4, 8, 16, 32, 64, 128})
       .observe(distance, a.load);
@@ -315,7 +338,7 @@ void ProtocolRound::begin_transfer(std::size_t assignment_index) {
   // unused -- when untraced).
   const sim::Network::ContextScope scope(net_, transfer_ctx_[assignment_index]);
   net_.send(
-      node_ep_.at(a.from), node_ep_.at(a.to),
+      node_ep_[a.from], node_ep_[a.to],
       [this, assignment_index] {
         // Applied at delivery time against the *live* ring: a server that
         // vanished or a destination that died is skipped (lazy protocol).

@@ -42,7 +42,6 @@
 #include <functional>
 #include <span>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -78,7 +77,8 @@ struct ProtocolRoundConfig {
 
 /// A node's network endpoint: its topology attachment when it has one,
 /// else its node index.  Latency functions driving the round must speak
-/// this convention (topo::oracle_latency speaks attachment vertices).
+/// this convention (topo::DistanceOracle::latency speaks attachment
+/// vertices).
 [[nodiscard]] sim::Endpoint node_endpoint(const chord::Ring& ring,
                                           chord::NodeIndex node);
 
@@ -141,13 +141,21 @@ class ProtocolRound {
   ProtocolRoundConfig config_;
   ktree::KTree tree_;
 
-  // Decisions and snapshots, fixed at construction.
+  /// Endpoint of the node hosting virtual server `vs` (snapshot; binary
+  /// search over host_by_vs_).
+  [[nodiscard]] sim::Endpoint host_endpoint_of(chord::Key vs) const;
+
+  // Decisions and snapshots, fixed at construction.  Lookups here sit on
+  // the per-message hot path of a timed round, so they are dense arrays
+  // indexed by NodeIndex/KtIndex (or a sorted flat map), not hash maps.
   BalanceReport report_;
   VsaEntries entries_;
   VsaTrace trace_;
   std::vector<sim::Endpoint> host_ep_;  // per KT node: its host's endpoint
-  std::unordered_map<chord::Key, sim::Endpoint> host_by_vs_;
-  std::unordered_map<chord::NodeIndex, sim::Endpoint> node_ep_;
+  /// (vs key, host endpoint), sorted by key; deduplicated (a VS hosting
+  /// several tree nodes maps to one endpoint).
+  std::vector<std::pair<chord::Key, sim::Endpoint>> host_by_vs_;
+  std::vector<sim::Endpoint> node_ep_;  // per NodeIndex; live nodes only
   /// (entry leaf, reporting node) in live-node order.
   std::vector<std::pair<ktree::KtIndex, chord::NodeIndex>> report_plan_;
 
@@ -172,10 +180,10 @@ class ProtocolRound {
   double t0_ = 0.0;
   std::array<sim::TrafficCounters, kPhaseCount> phase_base_{};
   std::array<std::pair<double, double>, kPhaseCount> phase_reg_base_{};
-  std::unordered_map<ktree::KtIndex, std::size_t> lbi_waits_;
+  std::vector<std::size_t> lbi_waits_;  // per KT node (leaves only used)
   std::function<void(ktree::KtIndex)> release_leaf_;
   std::size_t handoffs_left_ = 0;
-  std::unordered_map<ktree::KtIndex, std::size_t> vsa_waits_;
+  std::vector<std::size_t> vsa_waits_;  // per KT node
   std::uint64_t vsa_outstanding_ = 0;
   bool vsa_done_ = false;
   std::size_t transfers_outstanding_ = 0;

@@ -25,20 +25,49 @@ ProximityMap build_proximity_map(const chord::Ring& ring,
   map.node_keys.resize(ring.node_count(), 0);
   map.hilbert_numbers.resize(ring.node_count(), 0);
   const double recenter = vectors.max_distance() / 2.0;
+
+  // Batch path: gather live nodes' vectors into dimension-major columns,
+  // then quantize and Hilbert-encode whole columns at once.  Per-point
+  // arithmetic (centering order, clamp/scale, curve transform) matches the
+  // scalar quantizer/encoder exactly.
+  std::vector<chord::NodeIndex> live;
+  live.reserve(ring.node_count());
   for (std::size_t i = 0; i < ring.node_count(); ++i) {
     const chord::Node& n = ring.node(static_cast<chord::NodeIndex>(i));
     if (!n.alive) continue;
     P2PLB_REQUIRE_MSG(n.attachment != chord::Node::kNoAttachment,
                       "proximity mapping needs topology attachments");
-    auto vec = vectors.vector_of(n.attachment);
-    if (config.center_vectors) {
-      double mean = 0.0;
-      for (const double d : vec) mean += d;
-      mean /= static_cast<double>(vec.size());
-      for (double& d : vec) d += recenter - mean;
-    }
-    map.hilbert_numbers[i] = quantizer.hilbert_number(vec);
-    map.node_keys[i] = quantizer.scale_to_key(map.hilbert_numbers[i]);
+    P2PLB_REQUIRE(n.attachment < vectors.vertex_count());
+    live.push_back(static_cast<chord::NodeIndex>(i));
+  }
+  const std::size_t dims = vectors.dimension();
+  const std::size_t count = live.size();
+  std::vector<std::vector<double>> cols(dims, std::vector<double>(count));
+  for (std::size_t d = 0; d < dims; ++d) {
+    const std::span<const double> row = vectors.row(d);
+    for (std::size_t p = 0; p < count; ++p)
+      cols[d][p] = row[ring.node(live[p]).attachment];
+  }
+  if (config.center_vectors) {
+    // mean over dimensions (ascending d, like the scalar loop), then the
+    // same `value + (recenter - mean)` shift per element.
+    std::vector<double> adj(count, 0.0);
+    for (std::size_t d = 0; d < dims; ++d)
+      for (std::size_t p = 0; p < count; ++p) adj[p] += cols[d][p];
+    for (std::size_t p = 0; p < count; ++p)
+      adj[p] = recenter - adj[p] / static_cast<double>(dims);
+    for (std::size_t d = 0; d < dims; ++d)
+      for (std::size_t p = 0; p < count; ++p) cols[d][p] += adj[p];
+  }
+  std::vector<std::vector<std::uint32_t>> grid(dims);
+  for (std::size_t d = 0; d < dims; ++d)
+    quantizer.quantize_column(cols[d], grid[d]);
+  hilbert::BatchEncoder encoder(spec);
+  std::vector<hilbert::Index> numbers;
+  encoder.encode(grid, numbers);
+  for (std::size_t p = 0; p < count; ++p) {
+    map.hilbert_numbers[live[p]] = numbers[p];
+    map.node_keys[live[p]] = quantizer.scale_to_key(numbers[p]);
   }
   return map;
 }

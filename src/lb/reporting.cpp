@@ -26,7 +26,7 @@ VsaEntries build_entries(const ktree::KTree& tree,
       for (const chord::Key vs :
            select_servers_to_shed(ring, a.node, excess, policy)) {
         entries.heavy[leaf].push_back(
-            {ring.server(vs).load, vs, a.node, origin_key});
+            {ring.server_load(vs), vs, a.node, origin_key});
       }
     } else {
       entries.light[leaf].push_back({a.delta, a.node, origin_key});

@@ -85,7 +85,7 @@ std::vector<chord::Key> select_servers_to_shed(const chord::Ring& ring,
   std::vector<Item> items;
   items.reserve(n.servers.size());
   for (const chord::Key id : n.servers)
-    items.push_back({id, ring.server(id).load});
+    items.push_back({id, ring.server_load(id)});
 
   if (policy == SelectionPolicy::kExact && items.size() <= kExactLimit)
     return exact_select(items, excess);
@@ -95,7 +95,7 @@ std::vector<chord::Key> select_servers_to_shed(const chord::Ring& ring,
 double total_load_of(const chord::Ring& ring,
                      const std::vector<chord::Key>& servers) {
   double total = 0.0;
-  for (const chord::Key id : servers) total += ring.server(id).load;
+  for (const chord::Key id : servers) total += ring.server_load(id);
   return total;
 }
 

@@ -1,0 +1,138 @@
+#include "sim/core/timer_wheel.h"
+
+#include <bit>
+#include <cstring>
+
+namespace p2plb::sim::core {
+
+TimerWheel::TimerWheel(EventArena& arena) : arena_(arena) {
+  for (int level = 0; level < kLevels; ++level) {
+    for (std::uint32_t s = 0; s < kSlotsPerLevel; ++s)
+      head_[level][s] = kNilSlot;
+    std::memset(bitmap_[level], 0, sizeof(bitmap_[level]));
+  }
+}
+
+void TimerWheel::insert(std::uint32_t slot, std::uint64_t tick) {
+  P2PLB_ASSERT_MSG(tick >= cur_, "insert below the wheel horizon");
+  ++size_;
+  place(slot, tick);
+}
+
+void TimerWheel::place(std::uint32_t slot, std::uint64_t tick) {
+  // Lowest level whose window around the horizon contains the tick: the
+  // highest differing 8-bit digit decides, so compare shifted prefixes.
+  if ((tick >> 8) == (cur_ >> 8)) {
+    push(0, digit(tick, 0), slot);
+  } else if ((tick >> 16) == (cur_ >> 16)) {
+    push(1, digit(tick, 1), slot);
+  } else if ((tick >> 24) == (cur_ >> 24)) {
+    push(2, digit(tick, 2), slot);
+  } else if ((tick >> 32) == (cur_ >> 32)) {
+    push(3, digit(tick, 3), slot);
+  } else {
+    far_.push_back(slot);
+  }
+}
+
+void TimerWheel::push(int level, std::uint32_t slot_index,
+                      std::uint32_t arena_slot) {
+  arena_.node(arena_slot).next = head_[level][slot_index];
+  head_[level][slot_index] = arena_slot;
+  bitmap_[level][slot_index >> 6] |= std::uint64_t{1} << (slot_index & 63u);
+}
+
+std::uint32_t TimerWheel::detach(int level, std::uint32_t slot_index) {
+  const std::uint32_t chain = head_[level][slot_index];
+  head_[level][slot_index] = kNilSlot;
+  bitmap_[level][slot_index >> 6] &= ~(std::uint64_t{1} << (slot_index & 63u));
+  return chain;
+}
+
+void TimerWheel::cascade(std::uint32_t chain) {
+  while (chain != kNilSlot) {
+    const std::uint32_t next = arena_.node(chain).next;
+    place(chain, to_tick(arena_.node(chain).time));
+    chain = next;
+  }
+}
+
+int TimerWheel::find_from(int level, std::uint32_t from) const {
+  if (from >= kSlotsPerLevel) return -1;
+  std::uint32_t word = from >> 6;
+  std::uint64_t bits = bitmap_[level][word] & (~std::uint64_t{0} << (from & 63u));
+  while (true) {
+    if (bits != 0)
+      return static_cast<int>((word << 6) +
+                              static_cast<std::uint32_t>(std::countr_zero(bits)));
+    if (++word == kWordsPerLevel) return -1;
+    bits = bitmap_[level][word];
+  }
+}
+
+void TimerWheel::pull_far() {
+  // Rare (ticks >= 2^32 ahead): find the earliest far tick, advance the
+  // horizon to its level-3 window, and re-bucket everything now inside.
+  std::uint64_t min_tick = ~std::uint64_t{0};
+  for (const std::uint32_t slot : far_) {
+    const std::uint64_t t = to_tick(arena_.node(slot).time);
+    if (t < min_tick) min_tick = t;
+  }
+  cur_ = min_tick & ~std::uint64_t{0xFFFFFFFF};
+  std::vector<std::uint32_t> keep;
+  keep.reserve(far_.size());
+  for (const std::uint32_t slot : far_) {
+    const std::uint64_t t = to_tick(arena_.node(slot).time);
+    if ((t >> 32) == (cur_ >> 32))
+      place(slot, t);
+    else
+      keep.push_back(slot);
+  }
+  far_ = std::move(keep);
+}
+
+bool TimerWheel::pop_min(std::uint64_t* tick_out,
+                        std::vector<std::uint32_t>& out) {
+  if (size_ == 0) return false;
+  while (true) {
+    // Level 0: every in-window tick is at a digit >= the horizon's, so
+    // the first occupied slot forward is the global minimum.
+    const int s0 = find_from(0, digit(cur_, 0));
+    if (s0 >= 0) {
+      const std::uint64_t tick =
+          (cur_ & ~std::uint64_t{0xFF}) + static_cast<std::uint64_t>(s0);
+      cur_ = tick;
+      std::uint32_t chain = detach(0, static_cast<std::uint32_t>(s0));
+      std::size_t n = 0;
+      while (chain != kNilSlot) {
+        out.push_back(chain);
+        chain = arena_.node(chain).next;
+        ++n;
+      }
+      size_ -= n;
+      *tick_out = tick;
+      return true;
+    }
+    // Higher levels hold only digits strictly beyond the horizon's (an
+    // equal digit would mean the lower window, i.e. a lower level), so
+    // scan from digit+1; advancing the horizon to the found slot's
+    // window base keeps every remaining event at or above it.
+    bool cascaded = false;
+    for (int level = 1; level < kLevels; ++level) {
+      const int d = find_from(level, digit(cur_, level) + 1);
+      if (d < 0) continue;
+      const int shift = 8 * (level + 1);
+      const std::uint64_t window_mask = (std::uint64_t{1} << shift) - 1;
+      cur_ = (cur_ & ~window_mask) |
+             (static_cast<std::uint64_t>(d) << (8 * level));
+      cascade(detach(level, static_cast<std::uint32_t>(d)));
+      cascaded = true;
+      break;
+    }
+    if (cascaded) continue;
+    P2PLB_ASSERT(!far_.empty());
+    pull_far();
+  }
+}
+
+}  // namespace p2plb::sim::core

@@ -1,0 +1,92 @@
+// Hierarchical timer wheel over arena slots.
+//
+// The transit-stub latency oracle produces small discrete delays (one
+// intradomain hop = 1), so pending firing times cluster in a narrow
+// integer-tick band just ahead of the clock.  A 4-level x 256-slot wheel
+// exploits that: insertion and extraction are O(1) bitmap operations for
+// the overwhelmingly common near-future case, versus O(log n) heap
+// surgery -- and extraction yields a whole same-tick *chain* at once,
+// which is what lets the engine batch same-timestamp deliveries.
+//
+// Window invariants (cur_ = the wheel horizon, a tick; W_L = the
+// 256^(L+1)-tick aligned window containing cur_ at level L):
+//   - level 0 holds events with tick in W_0; slot = tick & 255.  Every
+//     occupied slot therefore holds exactly one tick, at index >= the
+//     horizon's digit -- so a forward bitmap scan finds the minimum.
+//   - level L>0 holds events in W_L but not W_{L-1}; slot = digit L of
+//     tick.  Such events always sit at a digit strictly greater than the
+//     horizon's digit L.
+//   - far_ holds everything beyond W_3 (2^32 ticks ~ 4 simulated years
+//     at hop granularity; empty in practice).
+// pop_min() cascades: it finds the lowest occupied level, advances the
+// horizon to that slot's window base, and re-inserts the chain, which
+// redistributes it to lower levels; at most 3 cascades reach level 0.
+//
+// The horizon only moves forward, and only to the window base of a
+// pending event -- so a peek that advances it can strand later inserts
+// *behind* it (schedule after run_until() parked the clock short of the
+// next event).  The wheel rejects those; the engine routes them to a
+// small side heap instead (see Engine::early_).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/core/event_arena.h"
+#include "sim/core/types.h"
+
+namespace p2plb::sim::core {
+
+/// Four-level hashed timer wheel; orders arena slots by integer tick.
+class TimerWheel {
+ public:
+  explicit TimerWheel(EventArena& arena);
+
+  /// Insert a slot firing at `tick`.  Requires tick >= horizon().
+  void insert(std::uint32_t slot, std::uint64_t tick);
+
+  /// Detach the minimum-tick chain: appends every slot bucketed at that
+  /// tick to `out` (unsorted -- the engine sorts by (time, seq)) and
+  /// stores the tick in `*tick_out`.  Returns false when empty.  The
+  /// popped slots are no longer referenced by the wheel; the caller
+  /// owns releasing them.
+  bool pop_min(std::uint64_t* tick_out, std::vector<std::uint32_t>& out);
+
+  /// Number of slots currently bucketed (live and cancelled alike).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// The wheel's current tick horizon: no bucketed event is below it,
+  /// and insert() requires ticks at or above it.
+  [[nodiscard]] std::uint64_t horizon() const noexcept { return cur_; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr std::uint32_t kSlotsPerLevel = 256;
+  static constexpr std::uint32_t kWordsPerLevel = kSlotsPerLevel / 64;
+
+  [[nodiscard]] std::uint32_t digit(std::uint64_t tick, int level) const {
+    return static_cast<std::uint32_t>(tick >> (8 * level)) & 0xFFu;
+  }
+
+  /// First occupied slot index >= `from` at `level`, or -1.
+  [[nodiscard]] int find_from(int level, std::uint32_t from) const;
+
+  void push(int level, std::uint32_t slot_index, std::uint32_t arena_slot);
+  /// Detach and return the chain head at (level, slot_index).
+  std::uint32_t detach(int level, std::uint32_t slot_index);
+  /// Re-bucket a detached chain under the current horizon.
+  void cascade(std::uint32_t chain);
+  /// insert() minus the size_ accounting (used by cascade / far pulls).
+  void place(std::uint32_t slot, std::uint64_t tick);
+  /// Refill levels from far_ when every level is empty.
+  void pull_far();
+
+  EventArena& arena_;
+  std::uint64_t cur_ = 0;
+  std::size_t size_ = 0;
+  std::uint32_t head_[kLevels][kSlotsPerLevel];
+  std::uint64_t bitmap_[kLevels][kWordsPerLevel];
+  std::vector<std::uint32_t> far_;
+};
+
+}  // namespace p2plb::sim::core

@@ -1,0 +1,41 @@
+// Shared primitive types of the simulation core.
+//
+// `sim/core` is the allocation and ordering machinery under the public
+// `sim::Engine` facade: the event arena (pooled storage, generation-
+// tagged handles) and the hierarchical timer wheel (tick-bucketed
+// ordering).  It depends only on `common` -- the layer DAG forbids it
+// from seeing the engine, the network, or anything above -- so the
+// aliases the whole `sim` module shares live here and `sim/engine.h`
+// re-exports them under `p2plb::sim`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace p2plb::sim::core {
+
+/// Simulated time, in abstract latency units (one intradomain hop = 1).
+using Time = double;
+
+/// Handle for cancelling a scheduled event.  For arena-backed events the
+/// low 32 bits are the arena slot and the high bits a 31-bit generation
+/// tag (never zero), so a handle outlives the slot it names: reusing the
+/// slot bumps the generation and stale handles stop matching.  Bit 63 is
+/// reserved for periodic-chain ids, which are not arena handles.
+using EventId = std::uint64_t;
+
+/// Callback invoked when an event fires.
+using EventFn = std::function<void()>;
+
+/// Sentinel for "no arena slot" in intrusive free lists and slot chains.
+inline constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+/// Timer-wheel bucket of a firing time.  The wheel orders events by
+/// integer tick (granularity 1.0, one intradomain hop); fractional
+/// firing times within one tick are ordered by the engine's same-tick
+/// batch sort, not by the wheel.
+[[nodiscard]] inline std::uint64_t to_tick(Time t) noexcept {
+  return static_cast<std::uint64_t>(t);
+}
+
+}  // namespace p2plb::sim::core

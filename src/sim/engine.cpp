@@ -1,64 +1,182 @@
 #include "sim/engine.h"
 
-#include <memory>
+#include <algorithm>
 #include <utility>
 
 namespace p2plb::sim {
 
+Engine::Engine(QueueKind kind) : kind_(kind), wheel_(arena_) {}
+
+EventId Engine::insert(Time t, EventFn fn) {
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t slot = arena_.acquire(t, seq, std::move(fn));
+  const EventId id = arena_.id_of(slot);
+  if (kind_ == QueueKind::kBinaryHeap) {
+    heap_.push(HeapEntry{t, seq, slot, arena_.node(slot).gen});
+    return id;
+  }
+  const std::uint64_t tick = core::to_tick(t);
+  if (batch_pos_ < batch_.size() && tick == batch_tick_) {
+    // Scheduling into the tick being drained: splice into the sorted
+    // remainder.  seq is the largest yet, so this lands after every
+    // already-batched event with the same time -- FIFO preserved.
+    const auto it = std::upper_bound(
+        batch_.begin() + static_cast<std::ptrdiff_t>(batch_pos_),
+        batch_.end(), std::pair<Time, std::uint64_t>(t, seq),
+        [this](const std::pair<Time, std::uint64_t>& v, std::uint32_t s) {
+          const core::EventArena::Event& n = arena_.node(s);
+          return v.first != n.time ? v.first < n.time : v.second < n.seq;
+        });
+    batch_.insert(it, slot);
+  } else if (tick < wheel_.horizon()) {
+    // Behind the wheel horizon (see TimerWheel file comment): a peek can
+    // park the horizon beyond a run_until() clock stop.  Cold path.
+    early_.push(HeapEntry{t, seq, slot, arena_.node(slot).gen});
+  } else {
+    wheel_.insert(slot, tick);
+  }
+  return id;
+}
+
 EventId Engine::schedule_at(Time t, EventFn fn) {
   P2PLB_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
   P2PLB_REQUIRE(fn != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(QueueEntry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  return insert(t, std::move(fn));
 }
 
 EventId Engine::schedule_after(Time delay, EventFn fn) {
   P2PLB_REQUIRE(delay >= 0.0);
-  return schedule_at(now_ + delay, std::move(fn));
+  P2PLB_REQUIRE(fn != nullptr);
+  return insert(now_ + delay, std::move(fn));
 }
 
-bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool Engine::cancel(EventId id) {
+  if ((id & kPeriodicBit) != 0) {
+    const auto it = periodics_.find(id);
+    if (it == periodics_.end()) return false;  // fired out, stopped, or firing
+    const EventId armed = it->second.armed;
+    arena_.cancel(core::EventArena::slot_of(armed),
+                  core::EventArena::gen_of(armed));
+    periodics_.erase(it);
+    return true;
+  }
+  return arena_.cancel(core::EventArena::slot_of(id),
+                       core::EventArena::gen_of(id));
+}
 
 EventId Engine::every(Time period, std::function<bool()> fn) {
   P2PLB_REQUIRE(period > 0.0);
   P2PLB_REQUIRE(fn != nullptr);
-  // Every occurrence is registered under one id so cancel(id) kills the
-  // chain; stopping from inside the callback stays cooperative.
-  const EventId id = next_id_++;
-  arm_periodic(id, period,
-               std::make_shared<std::function<bool()>>(std::move(fn)));
-  return id;
+  // Every occurrence is registered under one chain id so cancel(id) kills
+  // the chain; stopping from inside the callback stays cooperative.
+  const EventId chain_id = kPeriodicBit | next_chain_++;
+  Periodic chain{period, std::move(fn), 0};
+  chain.armed =
+      insert(now_ + period, [this, chain_id] { fire_periodic(chain_id); });
+  periodics_.emplace(chain_id, std::move(chain));
+  return chain_id;
 }
 
-void Engine::arm_periodic(EventId id, Time period,
-                          std::shared_ptr<std::function<bool()>> callback) {
-  queue_.push(QueueEntry{now_ + period, next_seq_++, id});
-  // The stored event owns `callback` only until it fires or is cancelled;
-  // re-arming hands ownership to the next occurrence, so a stopped chain
-  // frees its closure (no self-referential cycle).
-  callbacks_.emplace(id, [this, id, period, cb = std::move(callback)] {
-    if (!(*cb)()) return;
-    arm_periodic(id, period, cb);
-  });
+void Engine::fire_periodic(EventId chain_id) {
+  const auto it = periodics_.find(chain_id);
+  P2PLB_ASSERT(it != periodics_.end());
+  Periodic chain = std::move(it->second);
+  // Removed while firing: a cancel() from inside the callback finds no
+  // entry and reports false, and a `return true` re-arms cleanly.
+  periodics_.erase(it);
+  if (!chain.fn()) return;
+  chain.armed =
+      insert(now_ + chain.period, [this, chain_id] { fire_periodic(chain_id); });
+  periodics_.emplace(chain_id, std::move(chain));
+}
+
+void Engine::clean_heap_top(Heap& heap) {
+  while (!heap.empty()) {
+    const HeapEntry& e = heap.top();
+    if (!arena_.holds_gen(e.slot, e.gen)) {
+      heap.pop();  // slot already released (and possibly reused)
+    } else if (!arena_.is_live(e.slot)) {
+      arena_.release(e.slot);
+      heap.pop();
+    } else {
+      return;
+    }
+  }
+}
+
+void Engine::refill_batch() {
+  batch_.clear();
+  batch_pos_ = 0;
+  if (!wheel_.pop_min(&batch_tick_, batch_)) return;
+  std::sort(batch_.begin(), batch_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              const core::EventArena::Event& na = arena_.node(a);
+              const core::EventArena::Event& nb = arena_.node(b);
+              return na.time != nb.time ? na.time < nb.time : na.seq < nb.seq;
+            });
+}
+
+bool Engine::find_front(Front& front) {
+  if (kind_ == QueueKind::kBinaryHeap) {
+    clean_heap_top(heap_);
+    if (heap_.empty()) return false;
+    const HeapEntry& e = heap_.top();
+    front = Front{e.time, e.seq, e.slot, Front::Where::kHeap};
+    return true;
+  }
+  clean_heap_top(early_);
+  while (true) {
+    while (batch_pos_ < batch_.size() && !arena_.is_live(batch_[batch_pos_])) {
+      arena_.release(batch_[batch_pos_]);
+      ++batch_pos_;
+    }
+    if (batch_pos_ < batch_.size() || wheel_.size() == 0) break;
+    refill_batch();
+  }
+  const bool have_batch = batch_pos_ < batch_.size();
+  if (!early_.empty()) {
+    const HeapEntry& e = early_.top();
+    // Early events precede the batch by construction (their ticks are
+    // below the horizon; the batch tick is at or above it).
+    if (!have_batch || e.time < arena_.node(batch_[batch_pos_]).time ||
+        (e.time == arena_.node(batch_[batch_pos_]).time &&
+         e.seq < arena_.node(batch_[batch_pos_]).seq)) {
+      front = Front{e.time, e.seq, e.slot, Front::Where::kEarly};
+      return true;
+    }
+  }
+  if (!have_batch) return false;
+  const std::uint32_t slot = batch_[batch_pos_];
+  const core::EventArena::Event& n = arena_.node(slot);
+  front = Front{n.time, n.seq, slot, Front::Where::kBatch};
+  return true;
+}
+
+void Engine::pop_front(const Front& front) {
+  switch (front.where) {
+    case Front::Where::kEarly:
+      early_.pop();
+      break;
+    case Front::Where::kBatch:
+      ++batch_pos_;
+      break;
+    case Front::Where::kHeap:
+      heap_.pop();
+      break;
+  }
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    const auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    P2PLB_ASSERT(entry.time >= now_);
-    now_ = entry.time;
-    EventFn fn = std::move(it->second);
-    callbacks_.erase(it);
-    ++executed_;
-    fn();
-    return true;
-  }
-  return false;
+  Front front;
+  if (!find_front(front)) return false;
+  pop_front(front);
+  P2PLB_ASSERT(front.time >= now_);
+  EventFn fn = arena_.take_fn(front.slot);
+  arena_.release(front.slot);
+  now_ = front.time;
+  ++executed_;
+  fn();
+  return true;
 }
 
 std::uint64_t Engine::run(std::uint64_t max_events) {
@@ -70,14 +188,8 @@ std::uint64_t Engine::run(std::uint64_t max_events) {
 std::uint64_t Engine::run_until(Time t_end) {
   P2PLB_REQUIRE(t_end >= now_);
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    // Skip over cancelled entries without advancing time.
-    const QueueEntry entry = queue_.top();
-    if (!callbacks_.contains(entry.id)) {
-      queue_.pop();
-      continue;
-    }
-    if (entry.time > t_end) break;
+  Front front;
+  while (find_front(front) && front.time <= t_end) {
     step();
     ++n;
   }

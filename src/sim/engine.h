@@ -5,34 +5,55 @@
 // pair always replays identically.  The engine knows nothing about the
 // network or the DHT; higher layers (sim::Network, the K-nary tree
 // protocols) build on `schedule_*`.
+//
+// Internally (see src/sim/core/) events live in a slab arena with
+// generation-tagged handles, and ordering comes from one of two
+// interchangeable queues selected at construction:
+//   - kTimerWheel (default): a 4-level hierarchical timer wheel keyed on
+//     integer ticks, draining one tick's events as a sorted batch.  O(1)
+//     insert/extract for the near-future delays the latency oracle
+//     produces, and same-timestamp deliveries share one extraction.
+//   - kBinaryHeap: the classic priority-queue ordering, kept as the
+//     differential-testing reference (tests/engine_equivalence_test.cpp
+//     pins byte-identical traces between the two).
+// Both orders are the same total order (time, then schedule seq), so the
+// choice is invisible to everything above step().
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "common/error.h"
+#include "sim/core/event_arena.h"
+#include "sim/core/timer_wheel.h"
+#include "sim/core/types.h"
 
 namespace p2plb::sim {
 
 /// Simulated time, in abstract latency units (one intradomain hop = 1).
-using Time = double;
+using Time = core::Time;
 
 /// Handle for cancelling a scheduled event.
-using EventId = std::uint64_t;
+using EventId = core::EventId;
 
 /// Callback invoked when an event fires.
-using EventFn = std::function<void()>;
+using EventFn = core::EventFn;
+
+/// Which ordering structure backs the engine (see file comment).
+enum class QueueKind { kTimerWheel, kBinaryHeap };
 
 /// Deterministic discrete-event scheduler.
 class Engine {
  public:
-  Engine() = default;
+  explicit Engine(QueueKind kind = QueueKind::kTimerWheel);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// The ordering structure this engine was constructed with.
+  [[nodiscard]] QueueKind queue_kind() const noexcept { return kind_; }
 
   /// Current simulated time.  Starts at 0 and only moves forward.
   [[nodiscard]] Time now() const noexcept { return now_; }
@@ -43,7 +64,9 @@ class Engine {
   }
 
   /// Number of events currently pending (cancelled events excluded).
-  [[nodiscard]] std::size_t pending() const noexcept { return callbacks_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return arena_.live_count();
+  }
 
   /// Schedule `fn` at absolute time `t` (must be >= now()).
   EventId schedule_at(Time t, EventFn fn);
@@ -76,26 +99,70 @@ class Engine {
   std::uint64_t run_until(Time t_end);
 
  private:
-  void arm_periodic(EventId id, Time period,
-                    std::shared_ptr<std::function<bool()>> callback);
-
-  struct QueueEntry {
+  /// Heap entry for the binary-heap queue and the wheel's early side
+  /// heap; `gen` detects entries whose slot has been released since.
+  struct HeapEntry {
     Time time;
-    std::uint64_t seq;  // tie-break: schedule order
-    EventId id;
-    bool operator>(const QueueEntry& o) const noexcept {
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    bool operator>(const HeapEntry& o) const noexcept {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
     }
   };
+  using Heap =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
 
+  /// One armed periodic chain.  Keyed in periodics_ by the public chain
+  /// id (bit 63 set); removed while the callback runs, which is what
+  /// makes cancel-from-inside-the-callback a documented no-op.
+  struct Periodic {
+    Time period;
+    std::function<bool()> fn;
+    EventId armed;  ///< Arena handle of the next occurrence.
+  };
+
+  /// The next live event, located but not yet popped.
+  struct Front {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    enum class Where { kEarly, kBatch, kHeap } where;
+  };
+
+  static constexpr EventId kPeriodicBit = EventId{1} << 63;
+
+  EventId insert(Time t, EventFn fn);
+  /// Drop dead heap entries from the top, releasing undrained slots.
+  void clean_heap_top(Heap& heap);
+  /// Locate the next live event across early heap / batch / wheel (or
+  /// the binary heap), releasing dead slots met on the way.
+  bool find_front(Front& front);
+  void pop_front(const Front& front);
+  void refill_batch();
+  void fire_periodic(EventId chain_id);
+
+  QueueKind kind_;
   Time now_ = 0.0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      queue_;
-  std::unordered_map<EventId, EventFn> callbacks_;
+  std::uint64_t next_chain_ = 1;
+
+  core::EventArena arena_;
+  core::TimerWheel wheel_;
+  /// Slots of the tick being drained, sorted by (time, seq); same-tick
+  /// schedules during the drain splice in at their sorted position.
+  std::vector<std::uint32_t> batch_;
+  std::size_t batch_pos_ = 0;
+  std::uint64_t batch_tick_ = 0;
+  /// Events scheduled below the wheel horizon (possible only after a
+  /// peek advanced the horizon past a run_until() clock stop); rare.
+  Heap early_;
+  /// kBinaryHeap mode's whole queue.
+  Heap heap_;
+  // Armed periodic chains; lookup/erase only, never iterated.
+  std::unordered_map<EventId, Periodic> periodics_;
 };
 
 }  // namespace p2plb::sim

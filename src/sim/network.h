@@ -56,6 +56,22 @@ using Endpoint = std::uint32_t;
 /// units as sim::Time.  Must be non-negative and need not be symmetric.
 using LatencyFn = std::function<Time(Endpoint from, Endpoint to)>;
 
+/// Flat latency callable: one context pointer plus a plain function
+/// pointer, so the per-send lookup is a direct indirect call -- no
+/// std::function type erasure, no potential closure allocation.  This is
+/// what Network uses internally; latency providers (the distance oracle,
+/// constant-latency tests) expose one of these, and a LatencyFn can
+/// still be passed where convenience beats the last branch (the Network
+/// wraps it behind a Latency pointing at the stored function).
+struct Latency {
+  void* ctx = nullptr;
+  Time (*fn)(void* ctx, Endpoint from, Endpoint to) = nullptr;
+
+  [[nodiscard]] Time operator()(Endpoint from, Endpoint to) const {
+    return fn(ctx, from, to);
+  }
+};
+
 /// One counter set: totals over some class of messages.
 struct TrafficCounters {
   std::uint64_t messages = 0;
@@ -72,11 +88,26 @@ struct TrafficCounters {
 /// Message-delivery layer with per-message latency and traffic accounting.
 class Network {
  public:
-  /// `latency` must remain valid for the lifetime of the Network.
-  Network(Engine& engine, LatencyFn latency)
-      : engine_(engine), latency_(std::move(latency)) {
-    P2PLB_REQUIRE(latency_ != nullptr);
+  /// `latency.ctx` must remain valid for the lifetime of the Network.
+  Network(Engine& engine, Latency latency)
+      : engine_(engine), latency_(latency) {
+    P2PLB_REQUIRE(latency.fn != nullptr);
   }
+
+  /// Convenience overload wrapping an owning std::function (unit tests,
+  /// ad-hoc lambdas).  The hot path still goes through the flat callable;
+  /// only the type-erased call inside remains.
+  Network(Engine& engine, LatencyFn latency)
+      : engine_(engine), owned_latency_(std::move(latency)) {
+    P2PLB_REQUIRE(owned_latency_ != nullptr);
+    latency_ = Latency{&owned_latency_, [](void* ctx, Endpoint from,
+                                           Endpoint to) -> Time {
+      return (*static_cast<LatencyFn*>(ctx))(from, to);
+    }};
+  }
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   /// RAII guard installing `ctx` as the network's ambient causal context
   /// (restored on destruction).  Protocol roots use it so their first
@@ -116,17 +147,28 @@ class Network {
     P2PLB_ASSERT_MSG(lat >= 0.0, "latency function returned negative delay");
     account(totals_, lat, bytes);
     if (!tag.empty()) {
-      auto it = tagged_.find(tag);
-      if (it == tagged_.end())
-        it = tagged_.emplace(std::string(tag), TrafficCounters{}).first;
-      account(it->second, lat, bytes);
+      // Sends come in long same-tag bursts (one protocol phase at a
+      // time), so memoize the last tag's map entries and skip both map
+      // walks on a hit.
+      if (tag != last_tag_) {
+        auto it = tagged_.find(tag);
+        if (it == tagged_.end())
+          it = tagged_.emplace(std::string(tag), TrafficCounters{}).first;
+        last_tag_ = it->first;  // stable: map nodes never move
+        last_counters_ = &it->second;
+        last_handles_ = metrics_ != nullptr ? &tag_metric_handles(tag)
+                                            : nullptr;
+      }
+      account(*last_counters_, lat, bytes);
     }
     if (metrics_ != nullptr) {
       totals_handles_.messages->increment();
       totals_handles_.bytes->add(bytes);
       totals_handles_.latency->add(lat);
       if (!tag.empty()) {
-        const TagHandles& h = tag_metric_handles(tag);
+        if (last_handles_ == nullptr)  // registry attached after the memo
+          last_handles_ = &tag_metric_handles(tag);
+        const TagHandles& h = *last_handles_;
         h.messages->increment();
         h.bytes->add(bytes);
         h.latency->add(lat);
@@ -184,6 +226,7 @@ class Network {
                                  &metrics_->counter("net.latency_sum")};
     seed(totals_handles_, totals_);
     tag_handles_.clear();
+    last_handles_ = nullptr;  // pointed into the cleared map
     for (const auto& [tag, counters] : tagged_)
       seed(tag_metric_handles(tag), counters);
   }
@@ -228,6 +271,9 @@ class Network {
   void reset_counters() noexcept {
     totals_ = TrafficCounters{};
     tagged_.clear();
+    last_tag_ = {};  // the memo pointed into the cleared map
+    last_counters_ = nullptr;
+    last_handles_ = nullptr;
   }
 
  private:
@@ -266,11 +312,17 @@ class Network {
   }
 
   Engine& engine_;
-  LatencyFn latency_;
+  LatencyFn owned_latency_;  ///< Backing store for the wrapping ctor only.
+  Latency latency_;
   TrafficCounters totals_;
   // Ordered so iteration (and therefore any derived output) is
   // deterministic; std::less<> enables string_view lookups.
   std::map<std::string, TrafficCounters, std::less<>> tagged_;
+  // One-entry memo over tagged_ / tag_handles_ (sends burst per tag).
+  // last_tag_ views the map node's key, which is stable until clear().
+  std::string_view last_tag_;
+  TrafficCounters* last_counters_ = nullptr;
+  const TagHandles* last_handles_ = nullptr;
 
   obs::Tracer* tracer_ = nullptr;
   obs::SpanContext ambient_;

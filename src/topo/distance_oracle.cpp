@@ -9,9 +9,22 @@ DistanceOracle::DistanceOracle(const Graph& graph,
                                std::size_t max_cached_sources)
     : graph_(graph), capacity_(max_cached_sources) {
   P2PLB_REQUIRE(capacity_ >= 1);
+  // When every row fits there is nothing to evict: switch to a dense
+  // per-vertex table and skip the hash lookup and LRU splice per query
+  // (this lookup sits on the per-send latency path of timed rounds).
+  if (capacity_ >= graph_.vertex_count())
+    dense_.resize(graph_.vertex_count());
 }
 
 const std::vector<double>& DistanceOracle::row(Vertex source) {
+  if (!dense_.empty()) {
+    std::vector<double>& r = dense_[source];
+    if (r.empty()) {
+      ++runs_;
+      r = shortest_paths(graph_, source);
+    }
+    return r;
+  }
   if (const auto it = index_.find(source); it != index_.end()) {
     rows_.splice(rows_.begin(), rows_, it->second);  // refresh LRU position
     return rows_.front().second;
@@ -57,14 +70,16 @@ std::vector<double> DistanceOracle::distances(
   return out;
 }
 
-sim::LatencyFn oracle_latency(DistanceOracle& oracle, double unreachable) {
+sim::Latency DistanceOracle::latency(double unreachable) {
   P2PLB_REQUIRE(unreachable >= 0.0);
-  return [&oracle, unreachable](sim::Endpoint from,
-                                sim::Endpoint to) -> sim::Time {
+  unreachable_latency_ = unreachable;
+  return sim::Latency{this, [](void* ctx, sim::Endpoint from,
+                               sim::Endpoint to) -> sim::Time {
     if (from == to) return 0.0;
+    auto& oracle = *static_cast<DistanceOracle*>(ctx);
     const double d = oracle.distance(from, to);
-    return d == kUnreachable ? unreachable : d;
-  };
+    return d == kUnreachable ? oracle.unreachable_latency_ : d;
+  }};
 }
 
 }  // namespace p2plb::topo

@@ -38,24 +38,29 @@ class DistanceOracle {
   /// Number of Dijkstra runs performed so far (for perf assertions).
   [[nodiscard]] std::uint64_t dijkstra_runs() const noexcept { return runs_; }
 
+  /// Adapt the oracle into the network's flat latency callable: endpoints
+  /// are attachment vertices (the node_endpoint convention for
+  /// topology-attached rings) and a hop's latency is the weighted
+  /// shortest-path distance.  Same endpoint costs 0 without a query; a
+  /// disconnected pair costs `unreachable` instead of infinity so the
+  /// simulation stays finite.  The oracle must outlive the returned
+  /// callable (whose ctx is the oracle itself -- no allocation, no type
+  /// erasure on the per-send path).
+  [[nodiscard]] sim::Latency latency(double unreachable = 1e6);
+
  private:
   const std::vector<double>& row(Vertex source);
 
   const Graph& graph_;
   std::size_t capacity_;
   std::uint64_t runs_ = 0;
+  double unreachable_latency_ = 1e6;
+  // Dense mode (capacity >= vertex count): one lazily filled row per
+  // vertex, no eviction, no per-query hashing.  Empty row = not computed.
+  std::vector<std::vector<double>> dense_;
   // LRU: most recently used at the front.
   std::list<std::pair<Vertex, std::vector<double>>> rows_;
   std::unordered_map<Vertex, decltype(rows_)::iterator> index_;
 };
-
-/// Adapt the oracle into a sim::LatencyFn: endpoints are attachment
-/// vertices (the node_endpoint convention for topology-attached rings)
-/// and a hop's latency is the weighted shortest-path distance.  Same
-/// endpoint costs 0 without a query; a disconnected pair costs
-/// `unreachable` instead of infinity so the simulation stays finite.
-/// The oracle must outlive the returned function.
-[[nodiscard]] sim::LatencyFn oracle_latency(DistanceOracle& oracle,
-                                            double unreachable = 1e6);
 
 }  // namespace p2plb::topo

@@ -57,26 +57,37 @@ std::vector<Vertex> select_landmarks(const TransitStubTopology& topo,
 
 LandmarkVectors::LandmarkVectors(const Graph& graph,
                                  std::vector<Vertex> landmarks)
-    : landmarks_(std::move(landmarks)) {
+    : landmarks_(std::move(landmarks)),
+      vertex_count_(graph.vertex_count()) {
   P2PLB_REQUIRE(!landmarks_.empty());
-  distances_.reserve(landmarks_.size());
+  flat_.reserve(landmarks_.size() * vertex_count_);
   for (Vertex lm : landmarks_) {
-    distances_.push_back(shortest_paths(graph, lm));
-    for (double d : distances_.back())
+    const std::vector<double> dist = shortest_paths(graph, lm);
+    for (double d : dist)
       if (d != kUnreachable) max_distance_ = std::max(max_distance_, d);
+    flat_.insert(flat_.end(), dist.begin(), dist.end());
   }
 }
 
+std::span<const double> LandmarkVectors::row(
+    std::size_t landmark_index) const {
+  P2PLB_REQUIRE(landmark_index < landmarks_.size());
+  return std::span<const double>(flat_)
+      .subspan(landmark_index * vertex_count_, vertex_count_);
+}
+
 std::vector<double> LandmarkVectors::vector_of(Vertex v) const {
+  P2PLB_REQUIRE(v < vertex_count_);
   std::vector<double> out(landmarks_.size());
   for (std::size_t i = 0; i < landmarks_.size(); ++i)
-    out[i] = distances_[i].at(v);
+    out[i] = flat_[i * vertex_count_ + v];
   return out;
 }
 
 double LandmarkVectors::distance(std::size_t landmark_index, Vertex v) const {
   P2PLB_REQUIRE(landmark_index < landmarks_.size());
-  return distances_[landmark_index].at(v);
+  P2PLB_REQUIRE(v < vertex_count_);
+  return flat_[landmark_index * vertex_count_ + v];
 }
 
 }  // namespace p2plb::topo

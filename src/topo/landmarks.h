@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -50,13 +51,25 @@ class LandmarkVectors {
   /// Distance from landmark i to vertex v.
   [[nodiscard]] double distance(std::size_t landmark_index, Vertex v) const;
 
+  /// All distances from landmark i, one entry per vertex, contiguous.
+  /// The batch proximity path gathers per-node columns straight out of
+  /// these rows instead of materializing a vector per node.
+  [[nodiscard]] std::span<const double> row(std::size_t landmark_index) const;
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return vertex_count_;
+  }
+
   /// Largest finite distance observed across all landmarks (used to scale
   /// vectors into a quantization grid).
   [[nodiscard]] double max_distance() const noexcept { return max_distance_; }
 
  private:
   std::vector<Vertex> landmarks_;
-  std::vector<std::vector<double>> distances_;  // [landmark][vertex]
+  std::size_t vertex_count_ = 0;
+  /// Row-major [landmark][vertex] distance matrix in one allocation:
+  /// per-landmark rows stay contiguous for the gather loops.
+  std::vector<double> flat_;
   double max_distance_ = 0.0;
 };
 

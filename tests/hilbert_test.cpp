@@ -107,6 +107,45 @@ TEST(Hilbert, RandomRoundTripHighDimensions) {
   }
 }
 
+TEST(Hilbert, BatchEncoderMatchesScalarEncode) {
+  Rng rng(80);
+  for (const CurveSpec spec : {CurveSpec{2, 8}, CurveSpec{15, 2},
+                               CurveSpec{15, 4}, CurveSpec{4, 32}}) {
+    BatchEncoder encoder(spec);
+    // Odd batch sizes, including empty and single-point.
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{7}, std::size_t{300}}) {
+      std::vector<std::vector<std::uint32_t>> cols(
+          spec.dims, std::vector<std::uint32_t>(count));
+      for (auto& col : cols)
+        for (auto& c : col)
+          c = static_cast<std::uint32_t>(
+              rng() & ((std::uint64_t{1} << spec.bits) - 1));
+      std::vector<Index> batch;
+      encoder.encode(cols, batch);
+      ASSERT_EQ(batch.size(), count);
+      std::vector<std::uint32_t> point(spec.dims);
+      for (std::size_t p = 0; p < count; ++p) {
+        for (std::uint32_t d = 0; d < spec.dims; ++d) point[d] = cols[d][p];
+        EXPECT_EQ(batch[p], encode(spec, point));
+      }
+    }
+  }
+}
+
+TEST(Hilbert, BatchEncoderRejectsBadInput) {
+  BatchEncoder encoder(CurveSpec{3, 4});
+  std::vector<Index> out;
+  std::vector<std::vector<std::uint32_t>> two_cols(2,
+                                                   std::vector<std::uint32_t>{0});
+  EXPECT_THROW(encoder.encode(two_cols, out), PreconditionError);
+  std::vector<std::vector<std::uint32_t>> ragged{{0, 1}, {0}, {0, 1}};
+  EXPECT_THROW(encoder.encode(ragged, out), PreconditionError);
+  std::vector<std::vector<std::uint32_t>> oob(3, std::vector<std::uint32_t>{0});
+  oob[1][0] = 16;  // == 2^bits
+  EXPECT_THROW(encoder.encode(oob, out), PreconditionError);
+}
+
 TEST(Hilbert, AdjacentIndicesStayAdjacentInHighDimensions) {
   Rng rng(78);
   const CurveSpec spec{15, 2};
@@ -194,6 +233,21 @@ TEST(GridQuantizer, RejectsBadInput) {
   EXPECT_THROW((void)q.quantize(nan_vec), PreconditionError);
   const std::vector<double> wrong{1.0, 2.0, 3.0};
   EXPECT_THROW((void)q.quantize(wrong), PreconditionError);
+  std::vector<std::uint32_t> out;
+  EXPECT_THROW(q.quantize_column(nan_vec, out), PreconditionError);
+}
+
+TEST(GridQuantizer, QuantizeColumnMatchesScalar) {
+  const CurveSpec spec{1, 3};
+  const GridQuantizer q(spec, 10.0);
+  const std::vector<double> values{-1.0, 0.0, 1.25, 5.0, 9.999, 10.0, 42.0};
+  std::vector<std::uint32_t> col;
+  q.quantize_column(values, col);
+  ASSERT_EQ(col.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::vector<double> one{values[i]};
+    EXPECT_EQ(col[i], q.quantize(one)[0]) << "value " << values[i];
+  }
 }
 
 }  // namespace

@@ -1,0 +1,15 @@
+// Clean fixture for the nested sim/core module: siblings and common are
+// the only layers below it, and both edges must stay silent.
+#pragma once
+
+#include "common/error.h"
+#include "sim/core/types.h"
+
+namespace p2plb::sim::core {
+
+inline int slab_capacity(int n) {
+  P2PLB_REQUIRE(n >= 0);
+  return n * 2;
+}
+
+}  // namespace p2plb::sim::core

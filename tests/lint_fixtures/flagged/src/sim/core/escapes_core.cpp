@@ -1,0 +1,12 @@
+// The queue internals are below obs in the DAG: reaching up into the
+// observer layer from sim/core must be flagged even though plain sim may
+// include obs freely.
+#include "common/error.h"
+#include "obs/trace.h"
+#include "sim/core/types.h"
+
+namespace p2plb::sim::core {
+
+int traced_insert(int tick) { return tick + 1; }
+
+}  // namespace p2plb::sim::core

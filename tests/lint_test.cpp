@@ -34,6 +34,9 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereExpected) {
   EXPECT_EQ(count(findings, "layer_violation.cpp", kRuleLayering), 1u);
   EXPECT_EQ(count(findings, "rogue_module.cpp", kRuleLayering), 1u);
   EXPECT_EQ(count(findings, "escapes_layers.cpp", kRuleLayering), 1u);
+  EXPECT_EQ(count(findings, "escapes_core.cpp", kRuleLayering), 1u);
+  EXPECT_EQ(count(findings, "includes_engine_internals.cpp", kRuleLayering),
+            1u);
   EXPECT_EQ(count(findings, "uses_rand.cpp", kRuleStdRand), 2u);
   EXPECT_EQ(count(findings, "uses_random_device.cpp", kRuleRandomDevice), 1u);
   EXPECT_EQ(count(findings, "wall_clock.cpp", kRuleWallClock), 2u);
@@ -48,7 +51,7 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereExpected) {
         << f.to_string();
 
   // Exact total: any extra finding is a false positive regression.
-  EXPECT_EQ(findings.size(), 13u);
+  EXPECT_EQ(findings.size(), 15u);
 
   // Findings carry file:line locations inside the fixture tree.
   for (const Finding& f : findings) {
@@ -122,6 +125,29 @@ TEST(LintLayering, AllowedEdgeAndViolationEdge) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, kRuleLayering);
   EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(LintLayering, NestedSimCoreModuleEdges) {
+  // sim/core is its own layer: only common (and siblings) below it.
+  EXPECT_TRUE(lint_snippet("src/sim/core/wheel.cpp",
+                           "#include \"common/error.h\"\n"
+                           "#include \"sim/core/types.h\"\n")
+                  .empty());
+  // The parent module may include its nested module's headers.
+  EXPECT_TRUE(lint_snippet("src/sim/engine.cpp",
+                           "#include \"sim/core/timer_wheel.h\"\n")
+                  .empty());
+  // sim/core reaching up to obs is a violation even though sim -> obs
+  // is a legal edge.
+  const std::vector<Finding> up = lint_snippet(
+      "src/sim/core/wheel.cpp", "#include \"obs/trace.h\"\n");
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].rule, kRuleLayering);
+  // Other modules that may use sim still may not use its internals.
+  const std::vector<Finding> in = lint_snippet(
+      "src/chord/x.cpp", "#include \"sim/core/event_arena.h\"\n");
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0].rule, kRuleLayering);
 }
 
 TEST(LintUnordered, AliasDeclaredElsewhereIsTracked) {

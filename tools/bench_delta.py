@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Merge and compare bench JSON outputs against BENCH_baseline.json.
+
+Two inputs exist:
+  * time_protocol --bench-json  -> {"schema": "p2plb-bench-1",
+                                    "timed_rounds": [...]}
+  * micro_kernels --benchmark_format=json (google-benchmark's format)
+
+`merge` normalizes any mix of them into one document; `compare` prints a
+markdown delta table of a current document against a baseline.  Compare
+is report-only by default (CI runners and the baseline machine differ);
+--max-regress N fails the run if any metric regresses by more than the
+given factor.
+
+Usage:
+  bench_delta.py merge timed.json micro.json -o current.json
+  bench_delta.py compare --baseline BENCH_baseline.json \
+      --current current.json [--max-regress 3.0]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "p2plb-bench-1"
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def normalize(doc):
+    """Return (timed_rounds, micro) from either native or gbench format."""
+    if "timed_rounds" in doc or "micro" in doc:
+        return list(doc.get("timed_rounds", [])), dict(doc.get("micro", {}))
+    if "benchmarks" in doc:  # google-benchmark output
+        micro = {}
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            micro[b["name"]] = {
+                "ns_per_op": b["real_time"]
+                if b.get("time_unit", "ns") == "ns"
+                else b["real_time"] * {"us": 1e3, "ms": 1e6, "s": 1e9}[
+                    b["time_unit"]
+                ],
+            }
+            if "items_per_second" in b:
+                micro[b["name"]]["items_per_second"] = b["items_per_second"]
+        return [], micro
+    raise SystemExit("unrecognized bench JSON document")
+
+
+def merge(paths, out_path):
+    rounds, micro = [], {}
+    for p in paths:
+        r, m = normalize(load(p))
+        rounds.extend(r)
+        micro.update(m)
+    doc = {"schema": SCHEMA, "timed_rounds": rounds, "micro": micro}
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path}: {len(rounds)} timed rounds, "
+          f"{len(micro)} micro kernels")
+
+
+def round_key(r):
+    return (r["nodes"], r.get("engine", "wheel"))
+
+
+def fmt_delta(cur, base):
+    if base == 0:
+        return "n/a"
+    ratio = cur / base
+    return f"{(ratio - 1) * 100:+.1f}%"
+
+
+def compare(baseline_path, current_path, max_regress):
+    base_rounds, base_micro = normalize(load(baseline_path))
+    cur_rounds, cur_micro = normalize(load(current_path))
+    base_by_key = {round_key(r): r for r in base_rounds}
+    worst = 1.0
+    worst_name = ""
+
+    print("## Timed rounds (wall seconds; lower is better)\n")
+    print("| nodes | engine | baseline | current | delta | events/sec |")
+    print("|---|---|---|---|---|---|")
+    for r in cur_rounds:
+        key = round_key(r)
+        b = base_by_key.get(key)
+        if b is None:
+            print(f"| {key[0]} | {key[1]} | (new) | "
+                  f"{r['wall_seconds']:.3f} | | {r['events_per_sec']:.0f} |")
+            continue
+        ratio = (r["wall_seconds"] / b["wall_seconds"]
+                 if b["wall_seconds"] > 0 else 1.0)
+        if ratio > worst:
+            worst, worst_name = ratio, f"timed {key[0]}/{key[1]}"
+        print(f"| {key[0]} | {key[1]} | {b['wall_seconds']:.3f} | "
+              f"{r['wall_seconds']:.3f} | "
+              f"{fmt_delta(r['wall_seconds'], b['wall_seconds'])} | "
+              f"{r['events_per_sec']:.0f} |")
+
+    print("\n## Micro kernels (ns/op; lower is better)\n")
+    print("| kernel | baseline | current | delta |")
+    print("|---|---|---|---|")
+    for name in sorted(cur_micro):
+        cur_ns = cur_micro[name]["ns_per_op"]
+        if name not in base_micro:
+            print(f"| {name} | (new) | {cur_ns:.1f} | |")
+            continue
+        base_ns = base_micro[name]["ns_per_op"]
+        ratio = cur_ns / base_ns if base_ns > 0 else 1.0
+        if ratio > worst:
+            worst, worst_name = ratio, name
+        print(f"| {name} | {base_ns:.1f} | {cur_ns:.1f} | "
+              f"{fmt_delta(cur_ns, base_ns)} |")
+    missing = sorted(set(base_micro) - set(cur_micro))
+    for name in missing:
+        print(f"| {name} | {base_micro[name]['ns_per_op']:.1f} | "
+              f"(not run) | |")
+
+    if max_regress is not None and worst > max_regress:
+        print(f"\nFAIL: {worst_name} regressed {worst:.2f}x "
+              f"(limit {max_regress:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"\nworst ratio: {worst:.2f}x"
+          + (f" ({worst_name})" if worst_name else ""))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    m = sub.add_parser("merge", help="normalize + merge bench JSON files")
+    m.add_argument("inputs", nargs="+")
+    m.add_argument("-o", "--out", required=True)
+    c = sub.add_parser("compare", help="delta a current doc vs a baseline")
+    c.add_argument("--baseline", required=True)
+    c.add_argument("--current", required=True)
+    c.add_argument("--max-regress", type=float, default=None,
+                   help="fail if any metric regresses beyond this factor")
+    args = ap.parse_args()
+    if args.cmd == "merge":
+        merge(args.inputs, args.out)
+        return 0
+    return compare(args.baseline, args.current, args.max_regress)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

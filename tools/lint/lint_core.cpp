@@ -25,7 +25,11 @@ constexpr std::initializer_list<LayerRule> kLayerDag = {
     {"common", {}},
     {"hilbert", {"common"}},
     {"obs", {"common"}},
-    {"sim", {"common", "obs"}},
+    // Nested module: the engine's queue internals (arena + timer wheel)
+    // are pure data structures -- they may not reach back into the
+    // observer layer or the rest of sim.
+    {"sim/core", {"common"}},
+    {"sim", {"common", "obs", "sim/core"}},
     {"chord", {"common", "sim"}},
     {"topo", {"common", "sim"}},
     {"pastry", {"common", "chord"}},
@@ -38,10 +42,16 @@ constexpr std::initializer_list<LayerRule> kLayerDag = {
     {"tools/trace", {"common", "obs"}},
 };
 
-/// How a module is named in findings: src modules as "src/<name>", tool
-/// modules by their path as-is.
+/// True when `name` is declared in the layer DAG (one- or two-component).
+bool declared_module(const std::string& name) {
+  return std::any_of(kLayerDag.begin(), kLayerDag.end(),
+                     [&](const LayerRule& r) { return name == r.module; });
+}
+
+/// How a module is named in findings: src modules (including nested ones
+/// like "sim/core") as "src/<name>", tool modules by their path as-is.
 std::string module_label(const std::string& module) {
-  return module.find('/') == std::string::npos ? "src/" + module : module;
+  return module.rfind("tools/", 0) == 0 ? module : "src/" + module;
 }
 
 // Wall-clock *types*: their mere presence in src/ is a finding (they
@@ -482,11 +492,15 @@ void rule_layering(const SourceFile& f, Emit findings) {
   for (const auto& inc : f.includes) {
     const std::size_t slash = inc.target.find('/');
     if (slash == std::string::npos) continue;  // sibling include, no module
-    const std::string target_module = inc.target.substr(0, slash);
-    const bool known = std::any_of(
-        kLayerDag.begin(), kLayerDag.end(),
-        [&](const LayerRule& r) { return target_module == r.module; });
-    if (!known) continue;  // not a module path (e.g. a generated dir)
+    std::string target_module = inc.target.substr(0, slash);
+    // A declared nested module ("sim/core/types.h" -> "sim/core") is its
+    // own layer; an undeclared subdirectory belongs to its parent.
+    const std::size_t slash2 = inc.target.find('/', slash + 1);
+    if (slash2 != std::string::npos &&
+        declared_module(inc.target.substr(0, slash2)))
+      target_module = inc.target.substr(0, slash2);
+    if (!declared_module(target_module))
+      continue;  // not a module path (e.g. a generated dir)
     if (target_module == f.module || contains(self->deps, target_module))
       continue;
     emit(findings, f, inc.line, kRuleLayering,
@@ -657,8 +671,16 @@ SourceFile parse_source(const std::filesystem::path& rel_path,
   auto it = rel_path.begin();
   if (it != rel_path.end() && *it == "src") {
     ++it;
-    if (it != rel_path.end() && it->has_extension() == false)
+    if (it != rel_path.end() && it->has_extension() == false) {
       f.module = it->string();
+      // src/<a>/<b>/ is the module "<a>/<b>" when that nested name is
+      // declared in the DAG (e.g. sim/core); otherwise the subdirectory
+      // stays part of its parent module.
+      auto nested = std::next(it);
+      if (nested != rel_path.end() && nested->has_extension() == false &&
+          declared_module(f.module + "/" + nested->string()))
+        f.module += "/" + nested->string();
+    }
   } else if (it != rel_path.end() && *it == "tools") {
     // tools/<dir>/ is the module "tools/<dir>"; files directly under
     // tools/ (the experiment binaries) carry no module.

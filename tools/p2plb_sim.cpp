@@ -171,14 +171,15 @@ int run(const Cli& cli) {
     // Event-driven rounds over real message latencies: shortest paths
     // between attachment vertices with a topology, unit latency without.
     sim::Engine engine;
-    sim::LatencyFn latency;
+    sim::Latency latency;
     if (topology) {
       oracle.emplace(topology->graph, std::max<std::size_t>(nodes, 64));
-      latency = topo::oracle_latency(*oracle);
+      latency = oracle->latency();
     } else {
-      latency = [](sim::Endpoint a, sim::Endpoint b) {
+      latency = sim::Latency{nullptr, [](void*, sim::Endpoint a,
+                                         sim::Endpoint b) -> sim::Time {
         return a == b ? 0.0 : 1.0;
-      };
+      }};
     }
     sim::Network net(engine, latency);
     obs::Tracer tracer;
