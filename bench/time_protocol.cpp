@@ -13,13 +13,16 @@
 //     transit-stub topology with shortest-path latencies: per-phase
 //     message/byte/timing breakdown and end-to-end completion time.
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "bench_util.h"
 #include "ktree/protocol.h"
 #include "ktree/tree.h"
 #include "lb/protocol_round.h"
+#include "obs/binary_trace.h"
 #include "obs/format.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -34,25 +37,35 @@ using namespace p2plb;
 struct TimedRoundResult {
   std::size_t nodes = 0;
   std::string engine;
+  /// Observability config of this row: "none" (plain timed round),
+  /// "null" (no tracer, the overhead baseline), "binary"
+  /// (p2plb-btrace-1 streaming sink) or "jsonl" (JSONL streaming sink).
+  std::string sink = "none";
   double wall_seconds = 0.0;
   std::uint64_t events = 0;
   double events_per_sec = 0.0;
   std::uint64_t messages = 0;
   double completion_time = 0.0;
   std::size_t transfers_applied = 0;
+  std::uint64_t trace_bytes = 0;  ///< on-disk trace size (sink rows)
 };
 
 /// Build the deployment and run one event-driven balancing round over
 /// ts5k-small latencies, timing the wall clock around the event loop.
+/// `obs_sink` != "none" attaches a local tracer streaming to a
+/// temporary file (removed afterwards) so the row measures tracing
+/// overhead; "null" runs tracer-free as the overhead baseline.
 TimedRoundResult run_timed_round(std::size_t nodes, std::size_t servers,
                                  std::uint64_t seed, sim::QueueKind kind,
                                  obs::Tracer* tracer,
                                  const std::string& metrics_path,
                                  lb::BalanceReport* report_out,
-                                 double* mean_latency_out) {
+                                 double* mean_latency_out,
+                                 const std::string& obs_sink = "none") {
   TimedRoundResult r;
   r.nodes = nodes;
   r.engine = kind == sim::QueueKind::kTimerWheel ? "wheel" : "heap";
+  r.sink = obs_sink;
   bench::ExperimentParams params;
   params.nodes = nodes;
   params.servers_per_node = servers;
@@ -69,11 +82,31 @@ TimedRoundResult run_timed_round(std::size_t nodes, std::size_t servers,
   sim::Engine engine(kind);
   sim::Network net(engine, oracle.latency());
   if (tracer != nullptr) net.attach_tracer(tracer);
+  obs::Tracer obs_tracer;
+  std::optional<obs::BinaryTraceSink> binary_sink;
+  std::optional<obs::JsonlTraceSink> jsonl_sink;
+  std::string obs_tmp;
+  if (obs_sink == "binary") {
+    obs_tmp = "obs_overhead_tmp.btrace";
+    obs_tracer.set_sink(&binary_sink.emplace(obs_tmp));
+    net.attach_tracer(&obs_tracer);
+  } else if (obs_sink == "jsonl") {
+    obs_tmp = "obs_overhead_tmp.jsonl";
+    obs_tracer.set_sink(&jsonl_sink.emplace(obs_tmp));
+    net.attach_tracer(&obs_tracer);
+  }
   lb::ProtocolRound round(net, d.ring, {}, round_rng);
   const auto t0 = std::chrono::steady_clock::now();
   round.start();
   engine.run();
+  if (obs_tracer.sink() != nullptr) obs_tracer.sink()->flush();
   const auto t1 = std::chrono::steady_clock::now();
+  if (!obs_tmp.empty()) {
+    std::ifstream sz(obs_tmp, std::ios::binary | std::ios::ate);
+    if (sz.good()) r.trace_bytes = static_cast<std::uint64_t>(sz.tellg());
+    sz.close();
+    std::remove(obs_tmp.c_str());
+  }
   const lb::BalanceReport& report = round.report();
   r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   r.events = engine.events_executed();
@@ -103,12 +136,14 @@ void write_bench_json(const std::string& path,
   for (std::size_t i = 0; i < rounds.size(); ++i) {
     const TimedRoundResult& r = rounds[i];
     out << "    {\"nodes\": " << r.nodes << ", \"engine\": \"" << r.engine
+        << "\", \"sink\": \"" << r.sink
         << "\", \"wall_seconds\": " << r.wall_seconds
         << ", \"events\": " << r.events
         << ", \"events_per_sec\": " << r.events_per_sec
         << ", \"messages\": " << r.messages
         << ", \"completion_time\": " << r.completion_time
-        << ", \"transfers_applied\": " << r.transfers_applied << "}"
+        << ", \"transfers_applied\": " << r.transfers_applied
+        << ", \"trace_bytes\": " << r.trace_bytes << "}"
         << (i + 1 < rounds.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -141,6 +176,11 @@ int main(int argc, char** argv) {
   cli.add_flag("timed-sizes",
                "comma-separated ring sizes for timed rounds (overrides "
                "--timed-nodes)",
+               "");
+  cli.add_flag("obs-sizes",
+               "comma-separated ring sizes for the observability-overhead "
+               "sweep (one timed round per sink: null tracer, binary, "
+               "jsonl); given alone it replaces the default timed round",
                "");
   cli.add_flag("engine", "event queue for timed rounds: wheel or heap",
                "wheel");
@@ -222,7 +262,10 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> timed_sizes;
   for (const auto n : cli.get_int_list("timed-sizes"))
     timed_sizes.push_back(static_cast<std::size_t>(n));
-  if (timed_sizes.empty())
+  std::vector<std::size_t> obs_sizes;
+  for (const auto n : cli.get_int_list("obs-sizes"))
+    obs_sizes.push_back(static_cast<std::size_t>(n));
+  if (timed_sizes.empty() && obs_sizes.empty())
     timed_sizes.push_back(static_cast<std::size_t>(cli.get_int("timed-nodes")));
 
   obs::Tracer tracer;
@@ -272,6 +315,40 @@ int main(int argc, char** argv) {
     std::cerr << "trace written to " << trace_path << " ("
               << tracer.event_count() << " events)\n";
   }
+
+  // --- observability overhead -------------------------------------------
+  // The same timed round, three ways: no tracer at all (the baseline),
+  // the streaming binary sink, the streaming JSONL sink.  The wall-clock
+  // deltas are the cost of tracing; the byte columns show the on-disk
+  // ratio between the two formats.
+  if (!obs_sizes.empty()) {
+    print_heading(std::cout,
+                  "observability overhead (one timed round per sink, " +
+                      engine_name + " engine)");
+    Table ot({"N", "sink", "wall s", "events", "M events/s", "trace MB",
+              "overhead %"});
+    for (const std::size_t n : obs_sizes) {
+      double base_wall = 0.0;
+      for (const std::string sink : {"null", "binary", "jsonl"}) {
+        results.push_back(run_timed_round(n, servers, seed, kind, nullptr,
+                                          "", nullptr, nullptr, sink));
+        const TimedRoundResult& r = results.back();
+        if (sink == "null") base_wall = r.wall_seconds;
+        const double overhead =
+            base_wall > 0.0
+                ? 100.0 * (r.wall_seconds - base_wall) / base_wall
+                : 0.0;
+        ot.add_row({std::to_string(n), sink, Table::num(r.wall_seconds, 3),
+                    std::to_string(r.events),
+                    Table::num(r.events_per_sec / 1e6, 2),
+                    Table::num(static_cast<double>(r.trace_bytes) / 1e6, 2),
+                    sink == "null" ? std::string("-")
+                                   : Table::num(overhead, 1)});
+      }
+    }
+    bench::emit(ot, csv);
+  }
+
   const std::string bench_json = cli.get_string("bench-json");
   if (!bench_json.empty()) write_bench_json(bench_json, results);
   return 0;

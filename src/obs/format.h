@@ -23,8 +23,9 @@ namespace p2plb::obs {
 /// binaries that expose the flags describe the one suffix rule
 /// identically instead of each paraphrasing it.
 inline constexpr const char* kTraceFlagHelp =
-    "write the structured trace here (Chrome trace_event JSON, or JSONL "
-    "if the name ends in .jsonl, case-insensitive)";
+    "write the structured trace here (Chrome trace_event JSON; JSONL if "
+    "the name ends in .jsonl, compact binary p2plb-btrace-1 if it ends "
+    "in .btrace, case-insensitive)";
 inline constexpr const char* kMetricsFlagHelp =
     "write the metrics registry here (CSV if the name ends in .csv, "
     "case-insensitive; aligned text otherwise)";

@@ -70,6 +70,13 @@ HistogramMetric& MetricsRegistry::histogram(std::string_view name,
       .first->second;
 }
 
+bool MetricsRegistry::remove(std::string_view name, const Labels& labels) {
+  const std::string key = key_of(name, labels);
+  return counters_.erase(key) + gauges_.erase(key) +
+             histograms_.erase(key) >
+         0;
+}
+
 const Counter* MetricsRegistry::find_counter(std::string_view name,
                                              const Labels& labels) const {
   const auto it = counters_.find(key_of(name, labels));

@@ -126,6 +126,15 @@ class MetricsRegistry {
   [[nodiscard]] const Counter* find_counter(std::string_view name,
                                             const Labels& labels = {}) const;
 
+  /// Remove the metric with this identity (whatever its type).  Returns
+  /// true when something was removed.  Any handle previously returned
+  /// for the removed metric is invalidated -- callers that cache
+  /// handles (sim::Network does) must not remove metrics they still
+  /// hold handles to.  Later snapshots simply omit the key, so a
+  /// diff() across the removal never sees it (diff iterates the newer
+  /// snapshot's keys).
+  bool remove(std::string_view name, const Labels& labels = {});
+
   [[nodiscard]] std::size_t size() const noexcept {
     return counters_.size() + gauges_.size() + histograms_.size();
   }

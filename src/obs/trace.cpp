@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/error.h"
+#include "obs/binary_trace.h"
 #include "obs/format.h"
 
 namespace p2plb::obs {
@@ -22,11 +23,6 @@ bool is_flow(EventKind kind) noexcept {
   return kind == EventKind::kFlowStart || kind == EventKind::kFlowEnd;
 }
 
-/// Async spans and flows correlate by id; other kinds never print one.
-bool has_id(EventKind kind) noexcept {
-  return is_async(kind) || is_flow(kind);
-}
-
 void write_args_object(std::ostream& os, const std::vector<Arg>& args) {
   os << '{';
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -37,6 +33,14 @@ void write_args_object(std::ostream& os, const std::vector<Arg>& args) {
 }
 
 }  // namespace
+
+bool kind_has_id(EventKind kind) noexcept {
+  return is_async(kind) || is_flow(kind);
+}
+
+char kind_phase_letter(EventKind kind) noexcept {
+  return kPhaseLetter[static_cast<std::size_t>(kind)];
+}
 
 std::string json_string(std::string_view s) {
   std::string out = "\"";
@@ -97,8 +101,24 @@ Arg arg(std::string key, double value) {
 void Tracer::push(double t, EventKind kind, std::string_view lane,
                   std::string_view name, std::uint64_t id,
                   const SpanContext& ctx, std::vector<Arg> args) {
-  events_.push_back(TraceEvent{t, kind, std::string(lane), std::string(name),
-                               id, ctx, std::move(args)});
+  if (ctx.trace != 0 && !keeps(ctx.trace)) return;
+  ++recorded_;
+  TraceEvent e{t, kind, std::string(lane), std::string(name),
+               id, ctx, std::move(args)};
+  if (sink_ != nullptr) {
+    sink_->on_event(e);
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+void Tracer::set_trace_sampling(std::uint64_t keep, std::uint64_t of,
+                                std::uint64_t seed) {
+  P2PLB_REQUIRE_MSG(of >= 1 && keep <= of,
+                    "trace sampling rate must satisfy keep <= of, of >= 1");
+  sample_keep_ = keep;
+  sample_of_ = of;
+  sample_seed_ = seed;
 }
 
 void Tracer::begin(double t, std::string_view lane, std::string_view name,
@@ -179,21 +199,23 @@ std::vector<std::string> Tracer::lanes() const {
   return out;
 }
 
-void Tracer::write_jsonl(std::ostream& os) const {
-  for (const TraceEvent& e : events_) {
-    os << "{\"t\":" << json_number(e.time) << ",\"ph\":\""
-       << kPhaseLetter[static_cast<std::size_t>(e.kind)] << "\",\"lane\":"
-       << json_string(e.lane) << ",\"name\":" << json_string(e.name);
-    if (has_id(e.kind)) os << ",\"id\":" << e.id;
-    if (e.ctx.trace != 0) os << ",\"trace\":" << e.ctx.trace;
-    if (e.ctx.span != 0) os << ",\"span\":" << e.ctx.span;
-    if (e.ctx.parent != 0) os << ",\"parent\":" << e.ctx.parent;
-    if (!e.args.empty()) {
-      os << ",\"args\":";
-      write_args_object(os, e.args);
-    }
-    os << "}\n";
+void write_jsonl_event(std::ostream& os, const TraceEvent& e) {
+  os << "{\"t\":" << json_number(e.time) << ",\"ph\":\""
+     << kPhaseLetter[static_cast<std::size_t>(e.kind)] << "\",\"lane\":"
+     << json_string(e.lane) << ",\"name\":" << json_string(e.name);
+  if (kind_has_id(e.kind)) os << ",\"id\":" << e.id;
+  if (e.ctx.trace != 0) os << ",\"trace\":" << e.ctx.trace;
+  if (e.ctx.span != 0) os << ",\"span\":" << e.ctx.span;
+  if (e.ctx.parent != 0) os << ",\"parent\":" << e.ctx.parent;
+  if (!e.args.empty()) {
+    os << ",\"args\":";
+    write_args_object(os, e.args);
   }
+  os << "}\n";
+}
+
+void Tracer::write_jsonl(std::ostream& os) const {
+  for (const TraceEvent& e : events_) write_jsonl_event(os, e);
 }
 
 void Tracer::write_chrome_trace(std::ostream& os) const {
@@ -223,7 +245,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
        << kPhaseLetter[static_cast<std::size_t>(e.kind)]
        << "\",\"ts\":" << json_number(e.time * kTsScale)
        << ",\"pid\":1,\"tid\":" << tid_of(e.lane);
-    if (has_id(e.kind)) os << ",\"id\":" << e.id;
+    if (kind_has_id(e.kind)) os << ",\"id\":" << e.id;
     if (e.kind == EventKind::kInstant) os << ",\"s\":\"t\"";
     // "f" binds the arrow head to the enclosing slice's end.
     if (e.kind == EventKind::kFlowEnd) os << ",\"bp\":\"e\"";
@@ -245,6 +267,12 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
 }
 
 void write_trace_file(const Tracer& tracer, const std::string& path) {
+  if (path_has_extension(path, kBinaryTraceExtension)) {
+    BinaryTraceSink sink(path);
+    for (const TraceEvent& e : tracer.events()) sink.on_event(e);
+    sink.flush();
+    return;
+  }
   std::ofstream os(path);
   P2PLB_REQUIRE_MSG(os.good(), "cannot open trace file: " + path);
   if (path_has_extension(path, ".jsonl")) {

@@ -106,6 +106,29 @@ struct TraceEvent {
   std::vector<Arg> args;
 };
 
+/// True when `kind` correlates by id (async spans and flows); exactly
+/// these kinds export an "id" field.
+[[nodiscard]] bool kind_has_id(EventKind kind) noexcept;
+
+/// The JSONL / Chrome "ph" letter for `kind` (B E b e i s f).
+[[nodiscard]] char kind_phase_letter(EventKind kind) noexcept;
+
+/// Write one event as a single JSONL line (trailing newline included).
+/// Tracer::write_jsonl, the streaming JSONL sink and the binary-trace
+/// decoder all share this writer, so every JSONL producer is
+/// byte-identical by construction.
+void write_jsonl_event(std::ostream& os, const TraceEvent& e);
+
+/// Streaming consumer of trace events.  When a sink is attached to a
+/// Tracer, events are forwarded as they happen instead of being
+/// buffered, so trace memory stays O(1) in run length.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& e) = 0;
+  virtual void flush() {}
+};
+
 /// Event recorder.  Not thread-safe (the simulator is single-threaded).
 class Tracer {
  public:
@@ -158,14 +181,45 @@ class Tracer {
     return last_trace_id_ + last_span_id_;
   }
 
+  /// Forward events to `sink` as they happen instead of buffering them
+  /// (nullptr restores buffering).  Already-buffered events stay put;
+  /// events() sees nothing that arrives while a sink is attached.
+  void set_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] TraceSink* sink() const noexcept { return sink_; }
+
+  /// Keep `keep` of every `of` traces, chosen by a seeded hash of the
+  /// trace id -- a pure function, so the decision is identical at every
+  /// call site and across runs (same seed -> same kept set).  Id
+  /// allocation is unaffected: sampling suppresses emission only, so
+  /// the schedule contract (and MetricsRegistry accounting, which never
+  /// passes through the tracer) stays exact.  keep == of disables.
+  void set_trace_sampling(std::uint64_t keep, std::uint64_t of,
+                          std::uint64_t seed);
+  /// True when events of `trace` are kept under the current sampling
+  /// policy.  Uncausal events (trace 0) are always kept.
+  [[nodiscard]] bool keeps(std::uint64_t trace) const noexcept {
+    if (sample_of_ <= 1 || trace == 0) return true;
+    // splitmix64 finalizer over (trace ^ seed): well-mixed, branchless,
+    // and independent of everything but the two inputs.
+    std::uint64_t h = trace ^ sample_seed_;
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h % sample_of_ < sample_keep_;
+  }
+
+  /// Events recorded (buffered or forwarded) since the last clear(),
+  /// after sampling.  Equals events().size() while no sink is attached.
   [[nodiscard]] std::size_t event_count() const noexcept {
-    return events_.size();
+    return recorded_;
   }
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
     return events_;
   }
   void clear() noexcept {
     events_.clear();
+    recorded_ = 0;
     last_trace_id_ = 0;
     last_span_id_ = 0;
   }
@@ -183,13 +237,20 @@ class Tracer {
             std::vector<Arg> args);
 
   std::vector<TraceEvent> events_;
+  TraceSink* sink_ = nullptr;
+  std::size_t recorded_ = 0;
   std::uint64_t last_trace_id_ = 0;
   std::uint64_t last_span_id_ = 0;
+  std::uint64_t sample_keep_ = 1;
+  std::uint64_t sample_of_ = 1;
+  std::uint64_t sample_seed_ = 0;
 };
 
-/// Write the trace to `path`: JSONL when the name ends in ".jsonl"
-/// (case-insensitive, see obs::path_has_extension), Chrome trace_event
-/// JSON otherwise.  Throws PreconditionError on an unwritable path.
+/// Write the trace to `path`: JSONL when the name ends in ".jsonl",
+/// compact binary (p2plb-btrace-1, see obs/binary_trace.h) when it ends
+/// in ".btrace" (both case-insensitive, see obs::path_has_extension),
+/// Chrome trace_event JSON otherwise.  Throws PreconditionError on an
+/// unwritable path.
 void write_trace_file(const Tracer& tracer, const std::string& path);
 
 }  // namespace p2plb::obs

@@ -56,6 +56,7 @@ class EventArena {
     e.next = kNilSlot;
     e.live = true;
     ++live_count_;
+    if (live_count_ > high_water_) high_water_ = live_count_;
     return slot;
   }
 
@@ -109,6 +110,13 @@ class EventArena {
   /// Pending events: scheduled, not yet fired, not cancelled.
   [[nodiscard]] std::size_t live_count() const noexcept { return live_count_; }
 
+  /// Most live events ever pending at once -- the arena's working-set
+  /// peak, for capacity planning at scale.
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
+  /// Slots ever allocated (the slab never shrinks).
+  [[nodiscard]] std::size_t capacity() const noexcept { return nodes_.size(); }
+
   /// Public handle for a slot's current occupant.
   [[nodiscard]] EventId id_of(std::uint32_t slot) const {
     return (static_cast<EventId>(nodes_[slot].gen) << 32) | slot;
@@ -124,6 +132,7 @@ class EventArena {
   std::deque<Event> nodes_;          // deque: stable refs, no big reallocs
   std::vector<std::uint32_t> free_;  // LIFO keeps hot slots cache-resident
   std::size_t live_count_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace p2plb::sim::core

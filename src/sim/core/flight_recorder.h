@@ -1,0 +1,130 @@
+// Fixed-size ring of recent engine activity, for post-mortem debugging.
+//
+// Tracing answers "what happened over the whole run" at a cost; the
+// flight recorder answers "what happened *just now*" for free enough to
+// stay always-on: a preallocated ring of small fixed-size records (no
+// allocation, no formatting on the hot path) that the engine and the
+// network stamp as events execute and messages are sent.  When a run
+// dies -- an invariant throws, or the stall detector sees one callback
+// hog the wall clock -- the last N records are dumped for inspection
+// without any tracing having been enabled.
+//
+// Layering: this is a pure data structure in sim/core (common only, no
+// obs).  The engine owns turning its contents plus the queue
+// introspection counters into sim.* metrics (see Engine::export_metrics
+// -- sim may depend on obs; sim/core may not).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/core/types.h"
+
+namespace p2plb::sim::core {
+
+/// Ring buffer of recent event records with interned tag names.
+/// Not thread-safe (the simulator is single-threaded).
+class FlightRecorder {
+ public:
+  /// What a record describes.
+  enum Kind : std::uint8_t {
+    kExecute = 0,  ///< the engine fired an event
+    kSend = 1,     ///< the network sent a message
+  };
+
+  /// One recorded moment; `tag` indexes the interned tag table
+  /// (intern("") == 0, pre-seeded, for tagless records).
+  struct Record {
+    double time = 0.0;        ///< sim time at the record
+    std::uint64_t seq = 0;    ///< engine schedule seq (execute records)
+    std::uint64_t trace = 0;  ///< causal trace id, 0 when untraced
+    std::uint32_t src = 0;    ///< sender node (send records)
+    std::uint32_t dst = 0;    ///< receiver node (send records)
+    std::uint16_t tag = 0;    ///< interned message tag index
+    std::uint8_t kind = kExecute;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 4096)
+      : ring_(capacity) {
+    P2PLB_REQUIRE_MSG(capacity > 0, "flight recorder capacity must be > 0");
+    (void)intern("");  // index 0 = no tag
+  }
+
+  /// Map a tag string to its stable record index, creating on first use.
+  std::uint16_t intern(std::string_view tag) {
+    const auto it = index_.find(tag);
+    if (it != index_.end()) return it->second;
+    P2PLB_REQUIRE_MSG(names_.size() < 0xFFFF,
+                      "flight recorder tag table overflow");
+    const auto index = static_cast<std::uint16_t>(names_.size());
+    names_.emplace_back(tag);
+    index_.emplace(std::string(tag), index);
+    return index;
+  }
+
+  void record(const Record& r) noexcept {
+    ring_[next_] = r;
+    next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+    ++total_;
+  }
+
+  /// Records ever written (>= size(): the ring keeps only the newest).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                 : ring_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+  [[nodiscard]] const std::string& tag_name(std::uint16_t index) const {
+    return names_.at(index);
+  }
+
+  /// The retained records, oldest first.
+  [[nodiscard]] std::vector<Record> recent() const {
+    std::vector<Record> out;
+    out.reserve(size());
+    const std::size_t n = size();
+    std::size_t at = total_ < ring_.size() ? 0 : next_;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(ring_[at]);
+      at = at + 1 == ring_.size() ? 0 : at + 1;
+    }
+    return out;
+  }
+
+  /// Human-readable dump, oldest record first.
+  void dump(std::ostream& os) const {
+    os << "records_total " << total_ << "\n"
+       << "records_kept " << size() << "\n"
+       << "seq kind time src dst tag trace\n";
+    for (const Record& r : recent()) {
+      os << r.seq << ' ' << (r.kind == kSend ? "send" : "exec") << ' '
+         << r.time;
+      if (r.kind == kSend)
+        os << ' ' << r.src << ' ' << r.dst << ' '
+           << (r.tag == 0 ? "-" : tag_name(r.tag).c_str());
+      else
+        os << " - - -";
+      os << ' ' << r.trace << "\n";
+    }
+  }
+
+ private:
+  std::vector<Record> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<std::string> names_;
+  // Lookup/insert only, never iterated; ordered map for transparent
+  // string_view lookup.
+  std::map<std::string, std::uint16_t, std::less<>> index_;
+};
+
+}  // namespace p2plb::sim::core

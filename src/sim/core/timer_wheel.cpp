@@ -32,6 +32,7 @@ void TimerWheel::place(std::uint32_t slot, std::uint64_t tick) {
     push(3, digit(tick, 3), slot);
   } else {
     far_.push_back(slot);
+    ++far_inserts_;
   }
 }
 
@@ -40,12 +41,17 @@ void TimerWheel::push(int level, std::uint32_t slot_index,
   arena_.node(arena_slot).next = head_[level][slot_index];
   head_[level][slot_index] = arena_slot;
   bitmap_[level][slot_index >> 6] |= std::uint64_t{1} << (slot_index & 63u);
+  ++occupancy_[level];
 }
 
 std::uint32_t TimerWheel::detach(int level, std::uint32_t slot_index) {
   const std::uint32_t chain = head_[level][slot_index];
   head_[level][slot_index] = kNilSlot;
   bitmap_[level][slot_index >> 6] &= ~(std::uint64_t{1} << (slot_index & 63u));
+  // Walk the chain for the occupancy count; the caller is about to walk
+  // it anyway, so the nodes are warm.
+  for (std::uint32_t s = chain; s != kNilSlot; s = arena_.node(s).next)
+    --occupancy_[level];
   return chain;
 }
 

@@ -59,8 +59,23 @@ class TimerWheel {
   /// and insert() requires ticks at or above it.
   [[nodiscard]] std::uint64_t horizon() const noexcept { return cur_; }
 
+  /// Introspection for the flight recorder / sim.* metrics.
+  static constexpr int kLevelCount = 4;
+  /// Slots currently bucketed at `level` (0 <= level < kLevelCount).
+  [[nodiscard]] std::size_t level_occupancy(int level) const noexcept {
+    return occupancy_[level];
+  }
+  /// Slots currently parked beyond the level-3 window.
+  [[nodiscard]] std::size_t far_pending() const noexcept {
+    return far_.size();
+  }
+  /// Total placements that overflowed to the far list (cumulative).
+  [[nodiscard]] std::uint64_t far_inserts() const noexcept {
+    return far_inserts_;
+  }
+
  private:
-  static constexpr int kLevels = 4;
+  static constexpr int kLevels = kLevelCount;
   static constexpr std::uint32_t kSlotsPerLevel = 256;
   static constexpr std::uint32_t kWordsPerLevel = kSlotsPerLevel / 64;
 
@@ -87,6 +102,8 @@ class TimerWheel {
   std::uint32_t head_[kLevels][kSlotsPerLevel];
   std::uint64_t bitmap_[kLevels][kWordsPerLevel];
   std::vector<std::uint32_t> far_;
+  std::size_t occupancy_[kLevels] = {};
+  std::uint64_t far_inserts_ = 0;
 };
 
 }  // namespace p2plb::sim::core

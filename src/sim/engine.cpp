@@ -1,9 +1,27 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <ostream>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace p2plb::sim {
+
+namespace {
+
+/// Wall-clock milliseconds since an arbitrary epoch.  Used ONLY by the
+/// opt-in stall detector, which observes real time to diagnose a hung
+/// callback but never feeds it back into the schedule.
+double wall_now_ms() {
+  using Clock = std::chrono::steady_clock;  // p2plb-lint: allow(no-wall-clock)
+  return std::chrono::duration<double, std::milli>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Engine::Engine(QueueKind kind) : kind_(kind), wheel_(arena_) {}
 
@@ -13,6 +31,7 @@ EventId Engine::insert(Time t, EventFn fn) {
   const EventId id = arena_.id_of(slot);
   if (kind_ == QueueKind::kBinaryHeap) {
     heap_.push(HeapEntry{t, seq, slot, arena_.node(slot).gen});
+    ++heap_inserts_;
     return id;
   }
   const std::uint64_t tick = core::to_tick(t);
@@ -28,12 +47,15 @@ EventId Engine::insert(Time t, EventFn fn) {
           return v.first != n.time ? v.first < n.time : v.second < n.seq;
         });
     batch_.insert(it, slot);
+    ++batch_splices_;
   } else if (tick < wheel_.horizon()) {
     // Behind the wheel horizon (see TimerWheel file comment): a peek can
     // park the horizon beyond a run_until() clock stop.  Cold path.
     early_.push(HeapEntry{t, seq, slot, arena_.node(slot).gen});
+    ++early_inserts_;
   } else {
     wheel_.insert(slot, tick);
+    ++wheel_inserts_;
   }
   return id;
 }
@@ -108,6 +130,7 @@ void Engine::refill_batch() {
   batch_.clear();
   batch_pos_ = 0;
   if (!wheel_.pop_min(&batch_tick_, batch_)) return;
+  ++batch_refills_;
   std::sort(batch_.begin(), batch_.end(),
             [this](std::uint32_t a, std::uint32_t b) {
               const core::EventArena::Event& na = arena_.node(a);
@@ -175,8 +198,110 @@ bool Engine::step() {
   arena_.release(front.slot);
   now_ = front.time;
   ++executed_;
+  if (recorder_ != nullptr) {
+    core::FlightRecorder::Record r;
+    r.time = front.time;
+    r.seq = front.seq;
+    r.kind = core::FlightRecorder::kExecute;
+    recorder_->record(r);
+  }
+  if (stall_wall_ms_ > 0.0 || anomaly_hook_) {
+    fire_instrumented(fn);
+    return true;
+  }
   fn();
   return true;
+}
+
+void Engine::fire_instrumented(EventFn& fn) {
+  const double start_ms = stall_wall_ms_ > 0.0 ? wall_now_ms() : 0.0;
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    notify_anomaly(std::string("exception escaped an event callback: ") +
+                   e.what());
+    throw;
+  } catch (...) {
+    notify_anomaly("non-std exception escaped an event callback");
+    throw;
+  }
+  if (stall_wall_ms_ > 0.0) {
+    const double elapsed_ms = wall_now_ms() - start_ms;
+    if (elapsed_ms > stall_wall_ms_)
+      notify_anomaly("stall: one event callback held the engine for " +
+                     std::to_string(elapsed_ms) + " wall-ms (limit " +
+                     std::to_string(stall_wall_ms_) + ")");
+  }
+}
+
+void Engine::notify_anomaly(const std::string& what) {
+  if (anomaly_hook_) anomaly_hook_(what);
+}
+
+EngineIntrospection Engine::introspection() const {
+  EngineIntrospection out;
+  out.executed = executed_;
+  out.pending = arena_.live_count();
+  out.wheel_inserts = wheel_inserts_;
+  out.batch_splices = batch_splices_;
+  out.early_inserts = early_inserts_;
+  out.heap_inserts = heap_inserts_;
+  out.batch_refills = batch_refills_;
+  for (int level = 0; level < core::TimerWheel::kLevelCount; ++level)
+    out.wheel_occupancy[level] = wheel_.level_occupancy(level);
+  out.far_pending = wheel_.far_pending();
+  out.far_inserts = wheel_.far_inserts();
+  out.arena_high_water = arena_.high_water();
+  out.arena_capacity = arena_.capacity();
+  return out;
+}
+
+void Engine::export_metrics(obs::MetricsRegistry& registry) const {
+  const EngineIntrospection i = introspection();
+  const auto set = [&registry](std::string_view name, double v,
+                               const obs::Labels& labels = {}) {
+    registry.gauge(name, labels).set(v);
+  };
+  set("sim.engine.executed", static_cast<double>(i.executed));
+  set("sim.engine.pending", static_cast<double>(i.pending));
+  set("sim.engine.wheel_inserts", static_cast<double>(i.wheel_inserts));
+  set("sim.engine.batch_splices", static_cast<double>(i.batch_splices));
+  set("sim.engine.early_inserts", static_cast<double>(i.early_inserts));
+  set("sim.engine.heap_inserts", static_cast<double>(i.heap_inserts));
+  set("sim.engine.batch_refills", static_cast<double>(i.batch_refills));
+  for (int level = 0; level < core::TimerWheel::kLevelCount; ++level)
+    set("sim.wheel.occupancy", static_cast<double>(i.wheel_occupancy[level]),
+        {{"level", std::to_string(level)}});
+  set("sim.wheel.far_pending", static_cast<double>(i.far_pending));
+  set("sim.wheel.far_inserts", static_cast<double>(i.far_inserts));
+  set("sim.arena.high_water", static_cast<double>(i.arena_high_water));
+  set("sim.arena.capacity", static_cast<double>(i.arena_capacity));
+}
+
+void Engine::write_flight_dump(std::ostream& os) const {
+  const EngineIntrospection i = introspection();
+  os << "# p2plb engine flight dump\n"
+     << "now " << now_ << "\n"
+     << "executed " << i.executed << "\n"
+     << "pending " << i.pending << "\n"
+     << "wheel_inserts " << i.wheel_inserts << "\n"
+     << "batch_splices " << i.batch_splices << "\n"
+     << "early_inserts " << i.early_inserts << "\n"
+     << "heap_inserts " << i.heap_inserts << "\n"
+     << "batch_refills " << i.batch_refills << "\n";
+  for (int level = 0; level < core::TimerWheel::kLevelCount; ++level)
+    os << "wheel_occupancy_l" << level << ' ' << i.wheel_occupancy[level]
+       << "\n";
+  os << "far_pending " << i.far_pending << "\n"
+     << "far_inserts " << i.far_inserts << "\n"
+     << "arena_high_water " << i.arena_high_water << "\n"
+     << "arena_capacity " << i.arena_capacity << "\n";
+  if (recorder_ != nullptr) {
+    os << "# recent events (oldest first)\n";
+    recorder_->dump(os);
+  } else {
+    os << "# no flight recorder attached\n";
+  }
 }
 
 std::uint64_t Engine::run(std::uint64_t max_events) {

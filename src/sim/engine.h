@@ -22,14 +22,21 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/error.h"
 #include "sim/core/event_arena.h"
+#include "sim/core/flight_recorder.h"
 #include "sim/core/timer_wheel.h"
 #include "sim/core/types.h"
+
+namespace p2plb::obs {
+class MetricsRegistry;
+}
 
 namespace p2plb::sim {
 
@@ -44,6 +51,23 @@ using EventFn = core::EventFn;
 
 /// Which ordering structure backs the engine (see file comment).
 enum class QueueKind { kTimerWheel, kBinaryHeap };
+
+/// Point-in-time view of the engine's queue internals, for the flight
+/// recorder dump and the sim.* metrics.
+struct EngineIntrospection {
+  std::uint64_t executed = 0;      ///< events fired so far
+  std::uint64_t pending = 0;       ///< live events awaiting execution
+  std::uint64_t wheel_inserts = 0; ///< inserts bucketed by the wheel
+  std::uint64_t batch_splices = 0; ///< inserts spliced into the live batch
+  std::uint64_t early_inserts = 0; ///< side-heap hits (below the horizon)
+  std::uint64_t heap_inserts = 0;  ///< kBinaryHeap-mode inserts
+  std::uint64_t batch_refills = 0; ///< ticks drained from the wheel
+  std::uint64_t wheel_occupancy[core::TimerWheel::kLevelCount] = {};
+  std::uint64_t far_pending = 0;   ///< slots beyond the level-3 window
+  std::uint64_t far_inserts = 0;   ///< overflow-list hits (cumulative)
+  std::uint64_t arena_high_water = 0;  ///< peak concurrently-live events
+  std::uint64_t arena_capacity = 0;    ///< slots ever allocated
+};
 
 /// Deterministic discrete-event scheduler.
 class Engine {
@@ -98,6 +122,43 @@ class Engine {
   /// exactly t_end.  Returns the number of events executed by this call.
   std::uint64_t run_until(Time t_end);
 
+  // --- Flight recorder & post-mortem hooks -------------------------------
+
+  /// Stamp a record into `recorder` for every executed event (nullptr
+  /// detaches).  The recorder is caller-owned and must outlive the
+  /// engine's use of it; one pointer test per event when detached.
+  void attach_flight_recorder(core::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  [[nodiscard]] core::FlightRecorder* flight_recorder() const noexcept {
+    return recorder_;
+  }
+
+  /// Called once per detected anomaly (an exception escaping an event
+  /// callback -- every P2PLB_ASSERT failure throws -- or a stall) with a
+  /// one-line description, before the exception is rethrown.  Typical
+  /// hook: write_flight_dump to a file.
+  void set_anomaly_hook(std::function<void(const std::string&)> hook) {
+    anomaly_hook_ = std::move(hook);
+  }
+
+  /// Flag an anomaly whenever a single event callback holds the engine
+  /// for more than `wall_ms` of real time (the queue is not draining).
+  /// Observes the wall clock but never feeds it back into the schedule,
+  /// so determinism is unaffected.  <= 0 disables (the default).
+  void enable_stall_detector(double wall_ms) noexcept {
+    stall_wall_ms_ = wall_ms;
+  }
+
+  [[nodiscard]] EngineIntrospection introspection() const;
+
+  /// Export the introspection counters as sim.* gauges.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Introspection counters plus the flight-recorder ring (when one is
+  /// attached), as text, for post-mortem inspection.
+  void write_flight_dump(std::ostream& os) const;
+
  private:
   /// Heap entry for the binary-heap queue and the wheel's early side
   /// heap; `gen` detects entries whose slot has been released since.
@@ -134,6 +195,9 @@ class Engine {
   static constexpr EventId kPeriodicBit = EventId{1} << 63;
 
   EventId insert(Time t, EventFn fn);
+  /// fn() with the stall detector / anomaly hook engaged (cold path).
+  void fire_instrumented(EventFn& fn);
+  void notify_anomaly(const std::string& what);
   /// Drop dead heap entries from the top, releasing undrained slots.
   void clean_heap_top(Heap& heap);
   /// Locate the next live event across early heap / batch / wheel (or
@@ -163,6 +227,15 @@ class Engine {
   Heap heap_;
   // Armed periodic chains; lookup/erase only, never iterated.
   std::unordered_map<EventId, Periodic> periodics_;
+
+  core::FlightRecorder* recorder_ = nullptr;
+  std::function<void(const std::string&)> anomaly_hook_;
+  double stall_wall_ms_ = 0.0;
+  std::uint64_t wheel_inserts_ = 0;
+  std::uint64_t batch_splices_ = 0;
+  std::uint64_t early_inserts_ = 0;
+  std::uint64_t heap_inserts_ = 0;
+  std::uint64_t batch_refills_ = 0;
 };
 
 }  // namespace p2plb::sim

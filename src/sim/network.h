@@ -174,22 +174,30 @@ class Network {
         h.latency->add(lat);
       }
     }
+    std::uint64_t trace_id = 0;
     if (tracer_ != nullptr) {
       const std::string_view lane = tag.empty() ? std::string_view("net") : tag;
       // The message's causal envelope: a child span of whatever context
       // is ambient at scheduling time (the delivering message, or a
-      // protocol root's ContextScope).
+      // protocol root's ContextScope).  Ids are allocated whether or not
+      // the trace is sampled in -- sampling must never perturb the id
+      // sequence -- but event construction is skipped for sampled-out
+      // traces (the keeps() decision is a pure function of the trace id,
+      // so send and delivery always agree).
       const obs::SpanContext ctx = tracer_->child_of(ambient_);
-      tracer_->instant(engine_.now(), lane, "msg.send", ctx,
-                       {obs::arg("from", from), obs::arg("to", to),
-                        obs::arg("bytes", bytes), obs::arg("latency", lat)});
-      tracer_->flow_start(engine_.now(), lane, "msg", ctx.span);
+      trace_id = ctx.trace;
+      if (tracer_->keeps(ctx.trace)) {
+        tracer_->instant(engine_.now(), lane, "msg.send", ctx,
+                         {obs::arg("from", from), obs::arg("to", to),
+                          obs::arg("bytes", bytes), obs::arg("latency", lat)});
+        tracer_->flow_start(engine_.now(), lane, "msg", ctx.span);
+      }
       // Re-check tracer_ at delivery time: the sink may detach while the
       // message is in flight.  The wrapper fires inside the same engine
       // event as the payload, so tracing adds no events to the schedule.
       on_receive = [this, lane = std::string(lane), from, to, ctx,
                     inner = std::move(on_receive)]() {
-        if (tracer_ != nullptr) {
+        if (tracer_ != nullptr && tracer_->keeps(ctx.trace)) {
           tracer_->flow_end(engine_.now(), lane, "msg", ctx.span);
           tracer_->instant(engine_.now(), lane, "msg.deliver", ctx,
                            {obs::arg("from", from), obs::arg("to", to)});
@@ -198,6 +206,17 @@ class Network {
         const ContextScope scope(*this, ctx);
         inner();
       };
+    }
+    if (core::FlightRecorder* fr = engine_.flight_recorder();
+        fr != nullptr) {
+      core::FlightRecorder::Record r;
+      r.time = engine_.now();
+      r.trace = trace_id;
+      r.src = from;
+      r.dst = to;
+      r.tag = tag.empty() ? std::uint16_t{0} : fr->intern(tag);
+      r.kind = core::FlightRecorder::kSend;
+      fr->record(r);
     }
     return engine_.schedule_after(lat + processing_delay,
                                   std::move(on_receive));

@@ -1,0 +1,12 @@
+// The obs module implements the sink classes, so it is exactly where
+// ofstream is allowed (the obs-sink-only rule exempts it).
+#include <fstream>
+
+namespace p2plb::obs {
+
+void write_somewhere(const char* path) {
+  std::ofstream os(path);
+  os << "ok\n";
+}
+
+}  // namespace p2plb::obs

@@ -1,0 +1,9 @@
+// Tools own their outputs: the obs-sink-only rule governs src/ library
+// code only, so a CLI opening its report file is fine.
+#include <fstream>
+
+int write_report(const char* path) {
+  std::ofstream os(path);
+  os << "# report\n";
+  return os.good() ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+// Flags obs-sink-only: library code writing observability output
+// straight to disk instead of routing it through the obs sink classes.
+#include <fstream>
+
+void export_counters() {
+  std::ofstream os("counters.csv");
+  os << "events,42\n";
+}

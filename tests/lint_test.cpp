@@ -44,6 +44,7 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereExpected) {
   EXPECT_EQ(count(findings, "pointer_keys.cpp", kRulePointerKeys), 2u);
   EXPECT_EQ(count(findings, "missing_guard.h", kRuleHeaderGuard), 1u);
   EXPECT_EQ(count(findings, "using_ns.h", kRuleUsingNamespace), 1u);
+  EXPECT_EQ(count(findings, "ofstream_export.cpp", kRuleObsSink), 1u);
 
   // The allow() escape hatch suppresses both its forms.
   for (const Finding& f : findings)
@@ -51,7 +52,7 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereExpected) {
         << f.to_string();
 
   // Exact total: any extra finding is a false positive regression.
-  EXPECT_EQ(findings.size(), 15u);
+  EXPECT_EQ(findings.size(), 16u);
 
   // Findings carry file:line locations inside the fixture tree.
   for (const Finding& f : findings) {
@@ -66,10 +67,12 @@ TEST(LintFixtures, CleanFixtureProducesNoFindings) {
   for (const Finding& f : findings) ADD_FAILURE() << f.to_string();
 }
 
-TEST(LintRules, RuleListCoversLayeringPlusAtLeastSevenOthers) {
+TEST(LintRules, RuleListCoversLayeringPlusAtLeastEightOthers) {
   const std::vector<std::string>& rules = all_rules();
-  EXPECT_GE(rules.size(), 8u);
+  EXPECT_GE(rules.size(), 9u);
   EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleLayering),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleObsSink),
             rules.end());
 }
 
@@ -148,6 +151,25 @@ TEST(LintLayering, NestedSimCoreModuleEdges) {
       "src/chord/x.cpp", "#include \"sim/core/event_arena.h\"\n");
   ASSERT_EQ(in.size(), 1u);
   EXPECT_EQ(in[0].rule, kRuleLayering);
+}
+
+TEST(LintObsSink, GovernsSrcLibraryCodeOnlyAndExemptsObs) {
+  const std::vector<Finding> findings = lint_snippet(
+      "src/lb/export.cpp",
+      "#include <fstream>\n"
+      "void f() { std::ofstream os(\"x.csv\"); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleObsSink);
+  EXPECT_EQ(findings[0].line, 2u);
+
+  EXPECT_TRUE(lint_snippet("src/obs/sink.cpp",
+                           "#include <fstream>\n"
+                           "void f() { std::ofstream os(\"x.csv\"); }\n")
+                  .empty());
+  EXPECT_TRUE(lint_snippet("tools/trace/cli.cpp",
+                           "#include <fstream>\n"
+                           "void f() { std::ofstream os(\"x.md\"); }\n")
+                  .empty());
 }
 
 TEST(LintUnordered, AliasDeclaredElsewhereIsTracked) {

@@ -20,6 +20,7 @@
 
 #include "common/error.h"
 #include "lb/protocol_round.h"
+#include "obs/binary_trace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
@@ -83,6 +84,43 @@ TEST(Metrics, HistogramQuantiles) {
   EXPECT_NEAR(h.quantile(1.00), 20.0, 1e-12);
 }
 
+TEST(Metrics, HistogramQuantileEdgeCases) {
+  // Empty histogram: every quantile reads 0 (the "no data" convention).
+  obs::HistogramMetric empty({0.0, 1.0});
+  EXPECT_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(1.0), 0.0);
+
+  // Single bucket: q interpolates linearly across the one bin, pinned to
+  // its edges at q = 0 and q = 1.
+  obs::HistogramMetric one({0.0, 10.0});
+  one.observe(4.0, 2.0);
+  EXPECT_EQ(one.quantile(0.0), 0.0);
+  EXPECT_NEAR(one.quantile(0.25), 2.5, 1e-12);
+  EXPECT_NEAR(one.quantile(0.5), 5.0, 1e-12);
+  EXPECT_EQ(one.quantile(1.0), 10.0);
+
+  // Exact boundary: with equal weight in [0,10) and [10,20), the median
+  // target lands exactly on the shared edge and must return it (the
+  // crossing bin interpolates to its full width, not past it).
+  obs::HistogramMetric h({0.0, 10.0, 20.0});
+  h.observe(5.0);
+  h.observe(15.0);
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 1e-12);
+
+  // Underflow mass is attributed to the first edge, overflow to the
+  // last, so the estimate never leaves [edges.front(), edges.back()].
+  obs::HistogramMetric uo({0.0, 10.0});
+  uo.observe(-5.0);
+  uo.observe(100.0);
+  EXPECT_EQ(uo.quantile(0.25), 0.0);
+  EXPECT_EQ(uo.quantile(1.0), 10.0);
+
+  // q outside [0, 1] is a caller bug, not a clamp.
+  EXPECT_THROW((void)one.quantile(-0.1), PreconditionError);
+  EXPECT_THROW((void)one.quantile(1.1), PreconditionError);
+}
+
 TEST(Metrics, RegistryHandlesAreStableAndFindable) {
   obs::MetricsRegistry reg;
   obs::Counter& a = reg.counter("x", {{"tag", "t"}});
@@ -117,6 +155,43 @@ TEST(Metrics, SnapshotAndDiff) {
   EXPECT_EQ(d.value("late"), 1.0);
   EXPECT_EQ(d.value("h/count"), 1.0);
   EXPECT_EQ(d.value("h/weight"), 1.0);
+}
+
+TEST(Metrics, RemoveDropsTheIdentityAndSnapshotsOmitIt) {
+  obs::MetricsRegistry reg;
+  reg.counter("keep").add(1.0);
+  reg.counter("gone", {{"tag", "x"}}).add(2.0);
+  reg.gauge("g").set(3.0);
+  reg.histogram("h", {0.0, 1.0}).observe(0.5);
+  EXPECT_EQ(reg.size(), 4u);
+  const obs::MetricsSnapshot before = reg.snapshot();
+  EXPECT_EQ(before.value("gone{tag=x}"), 2.0);
+
+  // remove() works across all three metric types, by canonical identity.
+  EXPECT_TRUE(reg.remove("gone", {{"tag", "x"}}));
+  EXPECT_FALSE(reg.remove("gone", {{"tag", "x"}}));  // already gone
+  EXPECT_FALSE(reg.remove("never-existed"));
+  EXPECT_TRUE(reg.remove("g"));
+  EXPECT_TRUE(reg.remove("h"));
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.find_counter("gone", {{"tag", "x"}}), nullptr);
+
+  // Later snapshots simply omit the removed keys...
+  reg.counter("keep").add(4.0);
+  const obs::MetricsSnapshot after = reg.snapshot();
+  EXPECT_EQ(after.values.count("gone{tag=x}"), 0u);
+  EXPECT_EQ(after.values.count("g"), 0u);
+  EXPECT_EQ(after.values.count("h/count"), 0u);
+
+  // ...so a diff spanning the removal never sees them (diff iterates the
+  // newer snapshot's keys) and surviving metrics delta normally.
+  const obs::MetricsSnapshot d = after.diff(before);
+  EXPECT_EQ(d.value("keep"), 4.0);
+  EXPECT_EQ(d.values.count("gone{tag=x}"), 0u);
+
+  // Re-creating the identity after removal starts a fresh metric.
+  EXPECT_EQ(reg.counter("gone", {{"tag", "x"}}).value(), 0.0);
+  EXPECT_EQ(reg.size(), 2u);
 }
 
 TEST(Metrics, CsvExportIsCanonical) {
@@ -541,6 +616,62 @@ TEST(TraceGolden, JsonlMatchesPinnedOutput) {
   std::ostringstream os;
   tracer.write_jsonl(os);
   EXPECT_EQ(os.str(), kGoldenJsonl);
+}
+
+TEST(TraceGolden, BinaryRoundTripReproducesPinnedJsonlExactly) {
+  obs::Tracer tracer;
+  run_golden_round(&tracer);
+
+  std::ostringstream encoded;
+  {
+    obs::BinaryTraceSink sink(encoded);
+    for (const obs::TraceEvent& e : tracer.events()) sink.on_event(e);
+    sink.flush();
+    EXPECT_EQ(sink.events_encoded(), tracer.events().size());
+    EXPECT_EQ(sink.bytes_framed(), encoded.str().size());
+  }
+
+  std::istringstream is(encoded.str());
+  EXPECT_TRUE(obs::sniff_binary_trace(is));
+  std::ostringstream decoded;
+  const std::uint64_t n = obs::read_binary_trace(
+      is, [&decoded](const obs::TraceEvent& e) {
+        obs::write_jsonl_event(decoded, e);
+      });
+  EXPECT_EQ(n, tracer.events().size());
+  EXPECT_EQ(decoded.str(), kGoldenJsonl);
+  // Even this tiny trace compresses: the binary form must beat JSONL.
+  EXPECT_LT(encoded.str().size(), decoded.str().size() / 2);
+}
+
+TEST(TraceGolden, StreamingJsonlSinkMatchesBufferedWriter) {
+  // A sink attached before the round sees the identical byte stream the
+  // buffered exporter produces, while the tracer itself retains nothing.
+  obs::Tracer tracer;
+  std::ostringstream os;
+  obs::JsonlTraceSink sink(os);
+  tracer.set_sink(&sink);
+  run_golden_round(&tracer);
+  sink.flush();
+  EXPECT_EQ(os.str(), kGoldenJsonl);
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.event_count(), sink.events_written());
+  EXPECT_GT(sink.events_written(), 0u);
+}
+
+TEST(TraceBinary, DecoderRejectsBadMagicAndBadFrames) {
+  std::istringstream not_binary("{\"t\":0}\n");
+  EXPECT_FALSE(obs::sniff_binary_trace(not_binary));
+  // The sniff seeks back: the stream is still readable from the start.
+  std::string first;
+  EXPECT_TRUE(static_cast<bool>(std::getline(not_binary, first)));
+  EXPECT_EQ(first, "{\"t\":0}");
+  std::istringstream bad_magic("notatrace");
+  EXPECT_THROW(obs::read_binary_trace(bad_magic, [](const obs::TraceEvent&) {}),
+               PreconditionError);
+  std::istringstream bad_frame(std::string(obs::kBinaryTraceMagic) + "\x01");
+  EXPECT_THROW(obs::read_binary_trace(bad_frame, [](const obs::TraceEvent&) {}),
+               PreconditionError);
 }
 
 TEST(TraceGolden, ChromeTraceMatchesPinnedOutput) {

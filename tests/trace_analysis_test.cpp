@@ -203,5 +203,114 @@ TEST(TraceJsonlParser, RejectsMalformedLinesWithLineNumbers) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming analysis: incremental folding with per-round retirement.
+// ---------------------------------------------------------------------------
+
+/// Two golden rounds traced into ONE tracer: a stream holding two
+/// complete causal traces back to back, ids continuing across them.
+std::vector<tracetool::RawEvent> two_golden_rounds() {
+  obs::Tracer tracer;
+  for (int i = 0; i < 2; ++i) {
+    auto ring = golden_ring();
+    sim::Engine engine;
+    sim::Network net(engine, [](sim::Endpoint x, sim::Endpoint y) {
+      return x == y ? 0.0 : 1.0;
+    });
+    net.attach_tracer(&tracer);
+    Rng rng(7);
+    lb::ProtocolRound round(net, ring, {}, rng);
+    round.start();
+    engine.run();
+  }
+  std::stringstream jsonl;
+  tracer.write_jsonl(jsonl);
+  return tracetool::parse_jsonl(jsonl);
+}
+
+void expect_rounds_equal(const tracetool::RoundAnalysis& a,
+                         const tracetool::RoundAnalysis& b) {
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.critical_path_end, b.critical_path_end);
+  EXPECT_EQ(a.span_count, b.span_count);
+  EXPECT_EQ(a.message_count, b.message_count);
+  EXPECT_EQ(a.critical_path, b.critical_path);
+  EXPECT_EQ(a.hop_depth_by_lane, b.hop_depth_by_lane);
+  EXPECT_EQ(a.fan_out_by_lane, b.fan_out_by_lane);
+}
+
+TEST(StreamingAnalyzer, RetireModeMatchesBatchAnalysis) {
+  const std::vector<tracetool::RawEvent> events = two_golden_rounds();
+  const tracetool::TraceAnalysis batch = tracetool::analyze(events);
+  ASSERT_EQ(batch.rounds.size(), 2u);
+
+  tracetool::StreamingAnalyzer streaming;  // retire_completed = true
+  std::size_t sink_calls = 0;
+  streaming.set_round_sink(
+      [&sink_calls](const tracetool::RoundAnalysis&) { ++sink_calls; });
+  for (const tracetool::RawEvent& e : events) streaming.feed(e);
+
+  // Both root spans closed inside the stream, so both rounds were
+  // retired -- and their spans released -- before finish().
+  EXPECT_EQ(streaming.rounds().size(), 2u);
+  EXPECT_EQ(sink_calls, 2u);
+  EXPECT_EQ(streaming.retained_spans(), 0u);
+  EXPECT_EQ(streaming.active_traces(), 0u);
+  streaming.finish();
+
+  ASSERT_EQ(streaming.rounds().size(), 2u);
+  expect_rounds_equal(streaming.rounds()[0], batch.rounds[0]);
+  expect_rounds_equal(streaming.rounds()[1], batch.rounds[1]);
+  EXPECT_EQ(streaming.total_events(), events.size());
+}
+
+TEST(StreamingAnalyzer, PeakMemoryIsOneRoundNotTheWholeStream) {
+  const std::vector<tracetool::RawEvent> events = two_golden_rounds();
+  tracetool::StreamingAnalyzer streaming;
+  for (const tracetool::RawEvent& e : events) streaming.feed(e);
+  streaming.finish();
+
+  // 32 spans per golden round, 64 total -- but with retirement at most
+  // one round's spans (and one trace's id list) were ever resident.
+  EXPECT_EQ(streaming.total_spans(), 64u);
+  EXPECT_EQ(streaming.peak_retained_spans(), 32u);
+  EXPECT_EQ(streaming.peak_active_traces(), 1u);
+}
+
+TEST(StreamingAnalyzer, RetainModeFinalizesOnlyAtFinish) {
+  const std::vector<tracetool::RawEvent> events = two_golden_rounds();
+  tracetool::StreamingAnalyzer retain(/*retire_completed=*/false);
+  for (const tracetool::RawEvent& e : events) retain.feed(e);
+  // Nothing finalizes early in retain mode (this is what makes the
+  // batch analyze() wrapper byte-equivalent to the old 3-pass code).
+  EXPECT_TRUE(retain.rounds().empty());
+  EXPECT_EQ(retain.retained_spans(), 64u);
+  retain.finish();
+  ASSERT_EQ(retain.rounds().size(), 2u);
+  EXPECT_EQ(retain.rounds()[0].trace, 1u);
+  EXPECT_EQ(retain.rounds()[1].trace, 2u);
+  // finish() is idempotent.
+  retain.finish();
+  EXPECT_EQ(retain.rounds().size(), 2u);
+}
+
+TEST(StreamingAnalyzer, RejectsASpanClaimedByTwoTraces) {
+  tracetool::StreamingAnalyzer streaming;
+  tracetool::RawEvent first;
+  first.t = 0.0;
+  first.ph = 'B';
+  first.lane = "lb.round";
+  first.name = "round";
+  first.trace = 1;
+  first.span = 5;
+  streaming.feed(first);
+  tracetool::RawEvent second = first;
+  second.trace = 2;
+  EXPECT_THROW(streaming.feed(second), PreconditionError);
+}
+
 }  // namespace
 }  // namespace p2plb

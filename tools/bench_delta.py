@@ -10,12 +10,17 @@ Two inputs exist:
 markdown delta table of a current document against a baseline.  Compare
 is report-only by default (CI runners and the baseline machine differ);
 --max-regress N fails the run if any metric regresses by more than the
-given factor.
+given factor, --fail-above PCT if any metric regresses by more than the
+given percentage (report-only jobs omit both).
+
+Malformed input is an error, not a silent skip: a file that is not JSON,
+or a native document missing its "schema": "p2plb-bench-1" marker, exits
+non-zero naming the file.
 
 Usage:
   bench_delta.py merge timed.json micro.json -o current.json
   bench_delta.py compare --baseline BENCH_baseline.json \
-      --current current.json [--max-regress 3.0]
+      --current current.json [--max-regress 3.0 | --fail-above 200]
 """
 
 import argparse
@@ -26,14 +31,17 @@ SCHEMA = "p2plb-bench-1"
 
 
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    try:
+        with open(path) as f:
+            return json.load(f), path
+    except OSError as e:
+        raise SystemExit(f"bench_delta: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"bench_delta: {path} is not valid JSON: {e}")
 
 
-def normalize(doc):
+def normalize(doc, path):
     """Return (timed_rounds, micro) from either native or gbench format."""
-    if "timed_rounds" in doc or "micro" in doc:
-        return list(doc.get("timed_rounds", [])), dict(doc.get("micro", {}))
     if "benchmarks" in doc:  # google-benchmark output
         micro = {}
         for b in doc["benchmarks"]:
@@ -49,13 +57,22 @@ def normalize(doc):
             if "items_per_second" in b:
                 micro[b["name"]]["items_per_second"] = b["items_per_second"]
         return [], micro
-    raise SystemExit("unrecognized bench JSON document")
+    if "timed_rounds" in doc or "micro" in doc:
+        schema = doc.get("schema")
+        if schema != SCHEMA:
+            raise SystemExit(
+                f"bench_delta: {path} declares schema {schema!r}, "
+                f"expected {SCHEMA!r}")
+        return list(doc.get("timed_rounds", [])), dict(doc.get("micro", {}))
+    raise SystemExit(f"bench_delta: {path} is not a recognized bench JSON "
+                     "document (no \"timed_rounds\", \"micro\" or "
+                     "\"benchmarks\" key)")
 
 
 def merge(paths, out_path):
     rounds, micro = [], {}
     for p in paths:
-        r, m = normalize(load(p))
+        r, m = normalize(*load(p))
         rounds.extend(r)
         micro.update(m)
     doc = {"schema": SCHEMA, "timed_rounds": rounds, "micro": micro}
@@ -67,7 +84,7 @@ def merge(paths, out_path):
 
 
 def round_key(r):
-    return (r["nodes"], r.get("engine", "wheel"))
+    return (r["nodes"], r.get("engine", "wheel"), r.get("sink", "none"))
 
 
 def fmt_delta(cur, base):
@@ -78,27 +95,29 @@ def fmt_delta(cur, base):
 
 
 def compare(baseline_path, current_path, max_regress):
-    base_rounds, base_micro = normalize(load(baseline_path))
-    cur_rounds, cur_micro = normalize(load(current_path))
+    base_rounds, base_micro = normalize(*load(baseline_path))
+    cur_rounds, cur_micro = normalize(*load(current_path))
     base_by_key = {round_key(r): r for r in base_rounds}
     worst = 1.0
     worst_name = ""
 
     print("## Timed rounds (wall seconds; lower is better)\n")
-    print("| nodes | engine | baseline | current | delta | events/sec |")
-    print("|---|---|---|---|---|---|")
+    print("| nodes | engine | sink | baseline | current | delta | "
+          "events/sec |")
+    print("|---|---|---|---|---|---|---|")
     for r in cur_rounds:
         key = round_key(r)
         b = base_by_key.get(key)
         if b is None:
-            print(f"| {key[0]} | {key[1]} | (new) | "
+            print(f"| {key[0]} | {key[1]} | {key[2]} | (new) | "
                   f"{r['wall_seconds']:.3f} | | {r['events_per_sec']:.0f} |")
             continue
         ratio = (r["wall_seconds"] / b["wall_seconds"]
                  if b["wall_seconds"] > 0 else 1.0)
         if ratio > worst:
-            worst, worst_name = ratio, f"timed {key[0]}/{key[1]}"
-        print(f"| {key[0]} | {key[1]} | {b['wall_seconds']:.3f} | "
+            worst, worst_name = ratio, f"timed {key[0]}/{key[1]}/{key[2]}"
+        print(f"| {key[0]} | {key[1]} | {key[2]} | "
+              f"{b['wall_seconds']:.3f} | "
               f"{r['wall_seconds']:.3f} | "
               f"{fmt_delta(r['wall_seconds'], b['wall_seconds'])} | "
               f"{r['events_per_sec']:.0f} |")
@@ -142,11 +161,20 @@ def main():
     c.add_argument("--current", required=True)
     c.add_argument("--max-regress", type=float, default=None,
                    help="fail if any metric regresses beyond this factor")
+    c.add_argument("--fail-above", type=float, default=None, metavar="PCT",
+                   help="fail if any metric regresses by more than PCT "
+                        "percent (e.g. 200 = 3.0x); report-only jobs omit "
+                        "this")
     args = ap.parse_args()
     if args.cmd == "merge":
         merge(args.inputs, args.out)
         return 0
-    return compare(args.baseline, args.current, args.max_regress)
+    max_regress = args.max_regress
+    if args.fail_above is not None:
+        from_pct = 1.0 + args.fail_above / 100.0
+        max_regress = (from_pct if max_regress is None
+                       else min(max_regress, from_pct))
+    return compare(args.baseline, args.current, max_regress)
 
 
 if __name__ == "__main__":

@@ -618,6 +618,25 @@ void rule_determinism(const SourceFile& f, const DeclaredNames& declared,
   }
 }
 
+/// Library code must not open files behind the observability layer's
+/// back: every trace/metrics byte goes through the obs sink classes
+/// (obs::TraceSink implementations, write_*_file), so exporters stay
+/// byte-stable and the only file-format knowledge lives in src/obs.
+/// The obs module itself implements the sinks and is exempt; so are
+/// tools/bench/tests (drivers may open their own outputs).
+void rule_obs_sink(const SourceFile& f, Emit findings) {
+  if (f.module.empty() || f.module == "obs") return;
+  if (f.module.rfind("tools/", 0) == 0) return;
+  for (const auto& tok : f.tokens) {
+    if (tok.text == "ofstream")
+      emit(findings, f, tok.line, kRuleObsSink,
+           "'ofstream' outside the obs sink classes: src/ code must not "
+           "write observability files directly; emit through an "
+           "obs::TraceSink / MetricsRegistry and let obs/ own the "
+           "formats");
+  }
+}
+
 void rule_header_hygiene(const SourceFile& f, Emit findings) {
   if (!f.is_header) return;
   const auto& t = f.tokens;
@@ -649,7 +668,7 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> rules = {
       kRuleLayering,      kRuleStdRand,     kRuleRandomDevice,
       kRuleWallClock,     kRuleUnorderedIter, kRulePointerKeys,
-      kRuleHeaderGuard,   kRuleUsingNamespace};
+      kRuleHeaderGuard,   kRuleUsingNamespace, kRuleObsSink};
   return rules;
 }
 
@@ -709,6 +728,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files) {
   for (const SourceFile& f : files) {
     rule_layering(f, findings);
     rule_determinism(f, declared, findings);
+    rule_obs_sink(f, findings);
     rule_header_hygiene(f, findings);
   }
   std::sort(findings.begin(), findings.end(),

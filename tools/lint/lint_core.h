@@ -40,6 +40,7 @@ inline constexpr const char* kRuleUnorderedIter = "no-unordered-iteration";
 inline constexpr const char* kRulePointerKeys = "no-pointer-keys";
 inline constexpr const char* kRuleHeaderGuard = "header-guard";
 inline constexpr const char* kRuleUsingNamespace = "no-using-namespace-header";
+inline constexpr const char* kRuleObsSink = "obs-sink-only";
 
 /// All rule ids, for --list-rules and for validating allow() comments.
 [[nodiscard]] const std::vector<std::string>& all_rules();

@@ -13,9 +13,15 @@
 // a completion-time column plus a per-phase timing breakdown.
 //
 // `--trace FILE` / `--metrics FILE` (they imply `--timed`) export the
-// run's structured trace (Chrome trace_event JSON, or JSONL when FILE
-// ends in .jsonl) and the unified metrics registry (CSV when FILE ends
-// in .csv, aligned text otherwise; both suffix checks case-insensitive).
+// run's structured trace (Chrome trace_event JSON, JSONL when FILE ends
+// in .jsonl, compact binary p2plb-btrace-1 when it ends in .btrace --
+// override with `--trace-format`) and the unified metrics registry (CSV
+// when FILE ends in .csv, aligned text otherwise; all suffix checks
+// case-insensitive).  JSONL and binary traces stream to disk as the run
+// goes; `--trace-sample K/M` keeps a deterministic hash-selected subset
+// of traces.  `--flight-recorder FILE` dumps the engine's recent-event
+// ring and queue introspection at exit and on anomalies (see also
+// `--stall-ms`).
 //
 // `--sample-every T` / `--series FILE` (they also imply `--timed`)
 // attach an obs::Sampler: every T units of simulated time it records the
@@ -27,6 +33,8 @@
 //   $ p2plb_sim --topology ts5k-small --timed
 //   $ p2plb_sim --timed --trace trace.json --metrics metrics.csv
 //   $ p2plb_sim --sample-every 5 --series series.csv
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
@@ -36,6 +44,7 @@
 #include "lb/health.h"
 #include "lb/proximity.h"
 #include "lb/vst.h"
+#include "obs/binary_trace.h"
 #include "obs/format.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
@@ -48,6 +57,31 @@
 namespace {
 
 using namespace p2plb;
+
+/// Resolve --trace-format: "auto" follows the path suffix (the
+/// write_trace_file rule), anything else forces the format.
+std::string resolve_trace_format(const std::string& format,
+                                 const std::string& path) {
+  if (format != "auto") return format;
+  if (obs::path_has_extension(path, ".jsonl")) return "jsonl";
+  if (obs::path_has_extension(path, obs::kBinaryTraceExtension))
+    return "binary";
+  return "chrome";
+}
+
+/// Parse --trace-sample "K/M" (e.g. "1/64").  Returns false on
+/// malformed input.
+bool parse_sample_ratio(const std::string& s, std::uint64_t* keep,
+                        std::uint64_t* of) {
+  unsigned long long k = 0;
+  unsigned long long m = 0;
+  char tail = '\0';
+  if (std::sscanf(s.c_str(), "%llu/%llu%c", &k, &m, &tail) != 2) return false;
+  if (m == 0 || k > m) return false;
+  *keep = k;
+  *of = m;
+  return true;
+}
 
 int run(const Cli& cli) {
   const bool csv = cli.get_bool("csv");
@@ -156,13 +190,31 @@ int run(const Cli& cli) {
   const std::string trace_path = cli.get_string("trace");
   const std::string metrics_path = cli.get_string("metrics");
   const std::string series_path = cli.get_string("series");
+  const std::string trace_sample = cli.get_string("trace-sample");
+  const std::string flight_path = cli.get_string("flight-recorder");
+  const double stall_ms = cli.get_double("stall-ms");
+  const std::string trace_format =
+      resolve_trace_format(cli.get_string("trace-format"), trace_path);
+  if (trace_format != "jsonl" && trace_format != "binary" &&
+      trace_format != "chrome") {
+    std::cerr << "unknown --trace-format (auto|jsonl|binary|chrome)\n";
+    return 1;
+  }
+  std::uint64_t sample_keep = 1;
+  std::uint64_t sample_of = 1;
+  if (!trace_sample.empty() &&
+      !parse_sample_ratio(trace_sample, &sample_keep, &sample_of)) {
+    std::cerr << "--trace-sample must be K/M with 1 <= K <= M (e.g. 1/64)\n";
+    return 1;
+  }
   double sample_every = cli.get_double("sample-every");
   const bool sampling = sample_every > 0.0 || !series_path.empty();
   if (sampling && sample_every <= 0.0) sample_every = 5.0;
   bool timed = cli.get_bool("timed");
-  if (!timed && (!trace_path.empty() || !metrics_path.empty() || sampling)) {
-    std::cerr << "note: --trace/--metrics/--series/--sample-every imply "
-                 "--timed\n";
+  if (!timed && (!trace_path.empty() || !metrics_path.empty() || sampling ||
+                 !flight_path.empty())) {
+    std::cerr << "note: --trace/--metrics/--series/--sample-every/"
+                 "--flight-recorder imply --timed\n";
     timed = true;
   }
   lb::ControllerResult result;
@@ -183,7 +235,32 @@ int run(const Cli& cli) {
     }
     sim::Network net(engine, latency);
     obs::Tracer tracer;
-    if (!trace_path.empty()) net.attach_tracer(&tracer);
+    // Streaming sinks (jsonl / binary) keep trace memory O(1) in run
+    // length: events go straight to disk instead of the tracer buffer.
+    // Chrome output needs the whole buffer (one JSON document).
+    std::optional<obs::JsonlTraceSink> jsonl_sink;
+    std::optional<obs::BinaryTraceSink> binary_sink;
+    if (!trace_path.empty()) {
+      if (trace_format == "jsonl") {
+        tracer.set_sink(&jsonl_sink.emplace(trace_path));
+      } else if (trace_format == "binary") {
+        tracer.set_sink(&binary_sink.emplace(trace_path));
+      }
+      if (sample_of > 1)
+        tracer.set_trace_sampling(sample_keep, sample_of, seed);
+      net.attach_tracer(&tracer);
+    }
+    std::optional<sim::core::FlightRecorder> recorder;
+    if (!flight_path.empty()) {
+      engine.attach_flight_recorder(&recorder.emplace());
+      engine.set_anomaly_hook([&engine, &flight_path](const std::string& what) {
+        std::cerr << "p2plb_sim: ANOMALY: " << what << "\n";
+        std::ofstream os(flight_path);
+        engine.write_flight_dump(os);
+        std::cerr << "flight dump written to " << flight_path << "\n";
+      });
+    }
+    if (stall_ms > 0.0) engine.enable_stall_detector(stall_ms);
     obs::TimeSeriesSink sink;
     std::optional<obs::Sampler> sampler;
     lb::HealthProbe health(ring, {config.balancer.epsilon, "health"});
@@ -202,13 +279,26 @@ int run(const Cli& cli) {
                 << " samples)\n";
     }
     if (!trace_path.empty()) {
-      obs::write_trace_file(tracer, trace_path);
+      if (tracer.sink() != nullptr) {
+        tracer.sink()->flush();
+      } else {
+        obs::write_trace_file(tracer, trace_path);
+      }
       std::cerr << "trace written to " << trace_path << " ("
-                << tracer.event_count() << " events)\n";
+                << tracer.event_count() << " events";
+      if (sample_of > 1)
+        std::cerr << ", sampled " << sample_keep << "/" << sample_of;
+      std::cerr << ")\n";
     }
     if (!metrics_path.empty()) {
+      engine.export_metrics(net.metrics());
       obs::write_metrics_file(net.metrics(), metrics_path);
       std::cerr << "metrics written to " << metrics_path << "\n";
+    }
+    if (!flight_path.empty()) {
+      std::ofstream os(flight_path);
+      engine.write_flight_dump(os);
+      std::cerr << "flight dump written to " << flight_path << "\n";
     }
   } else {
     result = lb::balance_until_stable(ring, config, brng, keys);
@@ -292,6 +382,24 @@ int main(int argc, char** argv) {
   cli.add_flag("trace",
                std::string(p2plb::obs::kTraceFlagHelp) + "; implies --timed",
                "");
+  cli.add_flag("trace-format",
+               "auto | jsonl | binary | chrome -- auto follows the --trace "
+               "suffix; jsonl and binary stream to disk as the run goes",
+               "auto");
+  cli.add_flag("trace-sample",
+               "deterministic per-trace sampling ratio K/M (e.g. 1/64): "
+               "keep a trace iff hash(trace_id, --seed) mod M < K; empty "
+               "keeps everything",
+               "");
+  cli.add_flag("flight-recorder",
+               "dump the engine flight recorder (recent events + queue "
+               "introspection) to this file at exit and on any anomaly; "
+               "implies --timed",
+               "");
+  cli.add_flag("stall-ms",
+               "flag an anomaly when one event callback holds the engine "
+               "longer than this many wall-clock ms (0 = off)",
+               "0");
   cli.add_flag("metrics",
                std::string(p2plb::obs::kMetricsFlagHelp) + "; implies --timed",
                "");

@@ -1,32 +1,63 @@
-// p2plb_trace -- explain round latency from a causal JSONL trace.
+// p2plb_trace -- explain round latency from a causal trace.
 //
-// Reads the JSONL a traced run exported (p2plb_sim --trace out.jsonl, or
-// any obs::Tracer::write_jsonl output with a tracer attached to the
-// network), reconstructs each balancing round's causal span DAG, and
-// reports the critical path, per-phase hop-depth / fan-out histograms
-// and per-span slack:
+// Reads the trace a traced run exported -- flat JSONL (--trace
+// *.jsonl) or the compact p2plb-btrace-1 binary format (--trace
+// *.btrace); the format is sniffed from the file's magic, not its name
+// -- reconstructs each balancing round's causal span DAG, and reports
+// the critical path, per-phase hop-depth / fan-out histograms and
+// per-span slack:
 //
-//   $ p2plb_sim --nodes 64 --seed 7 --timed --trace trace.jsonl
-//   $ p2plb_trace --in trace.jsonl --md report.md --csv spans.csv
+//   $ p2plb_sim --nodes 64 --seed 7 --timed --trace trace.btrace
+//   $ p2plb_trace --in trace.btrace --md report.md --csv spans.csv
 //
-// With no --md the Markdown report goes to stdout.  The analyzer always
-// cross-checks the trace against itself -- every finished round's
-// critical path must end exactly completion_time after the round began,
-// and at least --min-connectivity of each round's spans must connect to
-// the round root -- and exits non-zero on any violation, so CI can gate
-// on a healthy causal DAG.
+// The analysis is streaming: each round's span DAG is retired the
+// moment its root span closes, so peak memory is proportional to the
+// largest concurrently-active round, not the file (the report's
+// "peak resident spans" line is the witness).  With no --md the
+// Markdown report goes to stdout.  The analyzer always cross-checks the
+// trace against itself -- every finished round's critical path must end
+// exactly completion_time after the round began, and at least
+// --min-connectivity of each round's spans must connect to the round
+// root -- and exits non-zero on any violation, so CI can gate on a
+// healthy causal DAG.
+//
+// --jsonl OUT instead decodes a binary trace losslessly back to the
+// JSONL the same run would have written directly (byte-identical; both
+// paths share obs::write_jsonl_event) and exits without analyzing.
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
-#include <sstream>
+#include <ostream>
 
 #include "common/cli.h"
 #include "common/error.h"
+#include "obs/binary_trace.h"
+#include "obs/trace.h"
 #include "trace_analysis.h"
 
 namespace {
 
 using namespace p2plb;
+
+/// Lift a decoded binary event into the analyzer's parsed-line shape
+/// (the same projection parse_jsonl applies: numeric args only).
+tracetool::RawEvent to_raw(const obs::TraceEvent& e) {
+  tracetool::RawEvent r;
+  r.t = e.time;
+  r.ph = obs::kind_phase_letter(e.kind);
+  r.lane = e.lane;
+  r.name = e.name;
+  r.id = e.id;
+  r.trace = e.ctx.trace;
+  r.span = e.ctx.span;
+  r.parent = e.ctx.parent;
+  for (const obs::Arg& a : e.args) {
+    if (!a.json.empty() && a.json.front() != '"')
+      r.num_args.emplace_back(a.key, std::strtod(a.json.c_str(), nullptr));
+  }
+  return r;
+}
 
 int run(const Cli& cli) {
   const std::string in_path = cli.get_string("in");
@@ -34,44 +65,95 @@ int run(const Cli& cli) {
     std::cerr << "p2plb_trace: --in is required\n";
     return 1;
   }
-  std::ifstream is(in_path);
+  std::ifstream is(in_path, std::ios::binary);
   if (!is.good()) {
     std::cerr << "p2plb_trace: cannot open " << in_path << "\n";
     return 1;
   }
-  const std::vector<tracetool::RawEvent> events = tracetool::parse_jsonl(is);
-  if (events.empty()) {
+  const bool binary = obs::sniff_binary_trace(is);
+
+  const std::string jsonl_path = cli.get_string("jsonl");
+  if (!jsonl_path.empty()) {
+    if (!binary) {
+      std::cerr << "p2plb_trace: --jsonl decodes binary traces, but "
+                << in_path << " is not p2plb-btrace-1\n";
+      return 1;
+    }
+    std::ofstream os(jsonl_path);
+    P2PLB_REQUIRE_MSG(os.good(), "cannot open " + jsonl_path);
+    const std::uint64_t n = obs::read_binary_trace(
+        is, [&os](const obs::TraceEvent& e) { obs::write_jsonl_event(os, e); });
+    std::cout << "p2plb_trace: decoded " << n << " events to " << jsonl_path
+              << "\n";
+    return 0;
+  }
+
+  // Streaming analysis: per-round report sections are rendered the
+  // moment the round finalizes, then its spans are retired.
+  std::ofstream md_file;
+  const std::string md_path = cli.get_string("md");
+  if (!md_path.empty()) {
+    md_file.open(md_path);
+    P2PLB_REQUIRE_MSG(md_file.good(), "cannot open " + md_path);
+  }
+  std::ostream& md = md_path.empty() ? std::cout : md_file;
+
+  std::ofstream csv_file;
+  const std::string csv_path = cli.get_string("csv");
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    P2PLB_REQUIRE_MSG(csv_file.good(), "cannot open " + csv_path);
+    tracetool::write_csv_header(csv_file);
+  }
+
+  md << "# Causal trace analysis\n";
+
+  tracetool::StreamingAnalyzer analyzer(/*retire_completed=*/true);
+  analyzer.set_round_sink([&](const tracetool::RoundAnalysis& r) {
+    const std::size_t index = analyzer.rounds().size() - 1;
+    tracetool::write_round_markdown(r, analyzer.spans(), index, md);
+    if (csv_file.is_open())
+      tracetool::write_round_csv(r, analyzer.spans(), index, csv_file);
+  });
+
+  if (binary) {
+    obs::read_binary_trace(
+        is, [&analyzer](const obs::TraceEvent& e) { analyzer.feed(to_raw(e)); });
+  } else {
+    tracetool::parse_jsonl(is, [&analyzer](const tracetool::RawEvent& e) {
+      analyzer.feed(e);
+    });
+  }
+  analyzer.finish();
+
+  md << "\n## Totals\n\n";
+  md << "- format: " << (binary ? "p2plb-btrace-1" : "jsonl") << "\n";
+  md << "- events: " << analyzer.total_events() << "\n";
+  md << "- spans: " << analyzer.total_spans() << "\n";
+  md << "- rounds: " << analyzer.rounds().size() << "\n";
+  md << "- other traces: " << analyzer.other_traces() << "\n";
+  md << "- peak resident spans: " << analyzer.peak_retained_spans() << "\n";
+  md << "- peak active traces: " << analyzer.peak_active_traces() << "\n";
+  if (!md_path.empty())
+    std::cout << "p2plb_trace: wrote " << md_path << "\n";
+  if (!csv_path.empty())
+    std::cout << "p2plb_trace: wrote " << csv_path << "\n";
+  // Echo the memory bound into the job log even when the report goes
+  // to a file.
+  std::cout << "p2plb_trace: " << analyzer.total_events() << " events, "
+            << analyzer.total_spans() << " spans, peak resident "
+            << analyzer.peak_retained_spans() << " spans / "
+            << analyzer.peak_active_traces() << " traces\n";
+
+  if (analyzer.total_events() == 0) {
     std::cerr << "p2plb_trace: " << in_path << " holds no events\n";
     return 1;
   }
-
-  const tracetool::TraceAnalysis analysis = tracetool::analyze(events);
-
-  std::ostringstream md;
-  tracetool::write_markdown(analysis, md);
-  const std::string md_path = cli.get_string("md");
-  if (md_path.empty()) {
-    std::cout << md.str();
-  } else {
-    std::ofstream os(md_path);
-    P2PLB_REQUIRE_MSG(os.good(), "cannot open " + md_path);
-    os << md.str();
-    std::cout << "p2plb_trace: wrote " << md_path << "\n";
-  }
-
-  const std::string csv_path = cli.get_string("csv");
-  if (!csv_path.empty()) {
-    std::ofstream os(csv_path);
-    P2PLB_REQUIRE_MSG(os.good(), "cannot open " + csv_path);
-    tracetool::write_csv(analysis, os);
-    std::cout << "p2plb_trace: wrote " << csv_path << "\n";
-  }
-
   const std::vector<std::string> violations = tracetool::validate(
-      analysis, cli.get_double("min-connectivity"));
+      analyzer.rounds(), cli.get_double("min-connectivity"));
   for (const std::string& v : violations)
     std::cerr << "p2plb_trace: VIOLATION: " << v << "\n";
-  if (analysis.rounds.empty()) {
+  if (analyzer.rounds().empty()) {
     std::cerr << "p2plb_trace: no balancing rounds in " << in_path << "\n";
     return 1;
   }
@@ -82,9 +164,16 @@ int run(const Cli& cli) {
 
 int main(int argc, char** argv) {
   Cli cli;
-  cli.add_flag("in", "input causal trace (JSONL, from --trace *.jsonl)", "");
+  cli.add_flag("in",
+               "input causal trace (JSONL or p2plb-btrace-1 binary, from "
+               "--trace *.jsonl / *.btrace; format auto-detected)",
+               "");
   cli.add_flag("md", "write the Markdown report here (default: stdout)", "");
   cli.add_flag("csv", "write the span-level CSV here", "");
+  cli.add_flag("jsonl",
+               "decode a binary trace losslessly to JSONL here and exit "
+               "(no analysis)",
+               "");
   cli.add_flag("min-connectivity",
                "fail unless this fraction of each round's spans connects "
                "to the round root",

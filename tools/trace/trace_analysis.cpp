@@ -218,29 +218,39 @@ constexpr double kTimeTolerance = 1e-9;
 
 std::vector<RawEvent> parse_jsonl(std::istream& is) {
   std::vector<RawEvent> events;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    events.push_back(LineParser(line, line_no).parse());
-  }
+  parse_jsonl(is, [&events](const RawEvent& e) { events.push_back(e); });
   return events;
 }
 
-TraceAnalysis analyze(const std::vector<RawEvent>& events) {
-  TraceAnalysis out;
-  out.total_events = events.size();
+std::size_t parse_jsonl(std::istream& is,
+                        const std::function<void(const RawEvent&)>& fn) {
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t parsed = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    fn(LineParser(line, line_no).parse());
+    ++parsed;
+  }
+  return parsed;
+}
 
-  // Pass 1: fold events into spans (span ids are globally unique).
-  std::unordered_map<std::uint64_t, double> completion_by_trace;
-  for (const RawEvent& e : events) {
-    if (e.name == "round" && e.ph == 'E') {
-      for (const auto& [key, value] : e.num_args)
-        if (key == "completion_time") completion_by_trace[e.trace] = value;
-    }
-    if (e.trace == 0 || e.span == 0) continue;  // annotation / flow / plain
-    auto [it, inserted] = out.spans.try_emplace(e.span);
+StreamingAnalyzer::StreamingAnalyzer(bool retire_completed)
+    : retire_(retire_completed) {}
+
+void StreamingAnalyzer::feed(const RawEvent& e) {
+  ++total_events_;
+  bool root_closed = false;
+  if (e.name == "round" && e.ph == 'E') {
+    for (const auto& [key, value] : e.num_args)
+      if (key == "completion_time") completion_by_trace_[e.trace] = value;
+    // The root "round" span closing is the retirement signal: a
+    // well-formed round emits it after its last delivery.
+    root_closed = e.trace != 0 && e.parent == 0;
+  }
+  if (e.trace != 0 && e.span != 0) {  // else annotation / flow / plain
+    auto [it, inserted] = spans_.try_emplace(e.span);
     Span& s = it->second;
     if (inserted) {
       s.id = e.span;
@@ -249,6 +259,11 @@ TraceAnalysis analyze(const std::vector<RawEvent>& events) {
       s.lane = e.lane;
       s.start = e.t;
       s.end = e.t;
+      ++spans_created_;
+      ids_by_trace_[e.trace].push_back(e.span);
+      if (spans_.size() > peak_spans_) peak_spans_ = spans_.size();
+      if (ids_by_trace_.size() > peak_traces_)
+        peak_traces_ = ids_by_trace_.size();
     } else {
       P2PLB_REQUIRE_MSG(s.trace == e.trace,
                         "span " + std::to_string(e.span) +
@@ -263,20 +278,46 @@ TraceAnalysis analyze(const std::vector<RawEvent>& events) {
       s.name = e.name;
     }
   }
+  if (root_closed && retire_) {
+    const auto it = ids_by_trace_.find(e.trace);
+    if (it != ids_by_trace_.end()) {
+      finalize_trace(e.trace, it->second);
+      for (const std::uint64_t id : it->second) spans_.erase(id);
+      ids_by_trace_.erase(it);
+      completion_by_trace_.erase(e.trace);
+    }
+  }
+}
+
+void StreamingAnalyzer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& [trace, ids] : ids_by_trace_) finalize_trace(trace, ids);
+  if (retire_) {
+    spans_.clear();
+    ids_by_trace_.clear();
+    completion_by_trace_.clear();
+  }
+}
+
+void StreamingAnalyzer::finalize_trace(std::uint64_t trace,
+                                       std::vector<std::uint64_t>& ids) {
+  // Ids arrive in first-appearance order, which for the tracer's causal
+  // allocation is already ascending -- but sort to guarantee the causal
+  // order the passes below rely on.
+  std::sort(ids.begin(), ids.end());
 
   // Pass 2 (ascending span id = causal order): connectivity, children,
   // message hop depth, fan-out.
-  std::map<std::uint64_t, std::vector<std::uint64_t>> spans_by_trace;
-  for (auto& [id, s] : out.spans) {
-    spans_by_trace[s.trace].push_back(id);
+  for (const std::uint64_t id : ids) {
+    Span& s = spans_.at(id);
     if (s.parent == 0) {
       s.connected = true;
       s.hop_depth = s.is_message ? 1 : 0;
       continue;
     }
-    const auto parent_it = out.spans.find(s.parent);
-    if (parent_it == out.spans.end() ||
-        parent_it->second.trace != s.trace) {
+    const auto parent_it = spans_.find(s.parent);
+    if (parent_it == spans_.end() || parent_it->second.trace != s.trace) {
       continue;  // orphan: counted against connectivity
     }
     Span& p = parent_it->second;
@@ -286,70 +327,83 @@ TraceAnalysis analyze(const std::vector<RawEvent>& events) {
     if (s.is_message) ++p.fan_out;
   }
 
-  // Pass 3: per-trace analysis.
-  for (const auto& [trace, ids] : spans_by_trace) {
-    const Span* root = nullptr;
-    for (const std::uint64_t id : ids) {
-      const Span& s = out.spans.at(id);
-      if (s.parent == 0 && s.name == "round") {
-        root = &s;
-        break;
-      }
+  // Pass 3: the per-trace round analysis.
+  const Span* root = nullptr;
+  for (const std::uint64_t id : ids) {
+    const Span& s = spans_.at(id);
+    if (s.parent == 0 && s.name == "round") {
+      root = &s;
+      break;
     }
-    if (root == nullptr) {
-      ++out.other_traces;
-      continue;
-    }
-
-    RoundAnalysis round;
-    round.trace = trace;
-    round.start = root->start;
-    round.span_count = ids.size();
-    const auto completion = completion_by_trace.find(trace);
-    if (completion != completion_by_trace.end())
-      round.completion_time = completion->second;
-
-    // Latest-ending span; ties go to the larger id (causally deeper).
-    const Span* last = root;
-    for (const std::uint64_t id : ids) {
-      const Span& s = out.spans.at(id);
-      round.end = std::max(round.end, s.end);
-      if (s.end > last->end || (s.end == last->end && s.id > last->id))
-        last = &s;
-      if (s.is_message) ++round.message_count;
-      if (s.connected) ++round.connected_count;
-      if (s.is_message) ++round.hop_depth_by_lane[s.lane][s.hop_depth];
-      if (s.fan_out > 0) ++round.fan_out_by_lane[s.lane][s.fan_out];
-    }
-
-    // Critical path: parent links back from the latest finisher.
-    round.critical_path_end = last->end;
-    for (const Span* s = last;;) {
-      round.critical_path.push_back(s->id);
-      if (s->parent == 0) break;
-      const auto it = out.spans.find(s->parent);
-      if (it == out.spans.end()) break;  // orphaned chain; validate() flags it
-      s = &it->second;
-    }
-    std::reverse(round.critical_path.begin(), round.critical_path.end());
-    for (const std::uint64_t id : round.critical_path)
-      out.spans.at(id).on_critical_path = true;
-
-    // Slack, leaves first: a parent's id is always smaller than its
-    // children's, so descending id order is reverse-topological.
-    std::unordered_map<std::uint64_t, double> down;
-    for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
-      Span& s = out.spans.at(*it);
-      double latest = s.end;
-      for (const std::uint64_t child : s.children)
-        latest = std::max(latest, down.at(child));
-      down[*it] = latest;
-      s.slack = round.end - latest;
-    }
-
-    out.rounds.push_back(std::move(round));
+  }
+  if (root == nullptr) {
+    ++other_traces_;
+    return;
   }
 
+  RoundAnalysis round;
+  round.trace = trace;
+  round.start = root->start;
+  round.span_count = ids.size();
+  const auto completion = completion_by_trace_.find(trace);
+  if (completion != completion_by_trace_.end())
+    round.completion_time = completion->second;
+
+  // Latest-ending span; ties go to the larger id (causally deeper).
+  const Span* last = root;
+  for (const std::uint64_t id : ids) {
+    const Span& s = spans_.at(id);
+    round.end = std::max(round.end, s.end);
+    if (s.end > last->end || (s.end == last->end && s.id > last->id))
+      last = &s;
+    if (s.is_message) ++round.message_count;
+    if (s.connected) ++round.connected_count;
+    if (s.is_message) ++round.hop_depth_by_lane[s.lane][s.hop_depth];
+    if (s.fan_out > 0) ++round.fan_out_by_lane[s.lane][s.fan_out];
+  }
+
+  // Critical path: parent links back from the latest finisher.
+  round.critical_path_end = last->end;
+  for (const Span* s = last;;) {
+    round.critical_path.push_back(s->id);
+    if (s->parent == 0) break;
+    const auto it = spans_.find(s->parent);
+    if (it == spans_.end()) break;  // orphaned chain; validate() flags it
+    s = &it->second;
+  }
+  std::reverse(round.critical_path.begin(), round.critical_path.end());
+  for (const std::uint64_t id : round.critical_path)
+    spans_.at(id).on_critical_path = true;
+
+  // Slack, leaves first: a parent's id is always smaller than its
+  // children's, so descending id order is reverse-topological.
+  std::unordered_map<std::uint64_t, double> down;
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    Span& s = spans_.at(*it);
+    double latest = s.end;
+    for (const std::uint64_t child : s.children)
+      latest = std::max(latest, down.at(child));
+    down[*it] = latest;
+    s.slack = round.end - latest;
+  }
+
+  rounds_.push_back(std::move(round));
+  if (sink_) sink_(rounds_.back());
+}
+
+TraceAnalysis analyze(const std::vector<RawEvent>& events) {
+  // Retain-everything mode folds the whole file before any per-round
+  // pass, which is what makes the result independent of where round
+  // roots close in the stream.
+  StreamingAnalyzer sa(/*retire_completed=*/false);
+  for (const RawEvent& e : events) sa.feed(e);
+  sa.finish();
+
+  TraceAnalysis out;
+  out.total_events = sa.total_events_;
+  out.other_traces = sa.other_traces_;
+  out.spans = std::move(sa.spans_);
+  out.rounds = std::move(sa.rounds_);
   std::sort(out.rounds.begin(), out.rounds.end(),
             [](const RoundAnalysis& a, const RoundAnalysis& b) {
               return a.start != b.start ? a.start < b.start
@@ -358,11 +412,11 @@ TraceAnalysis analyze(const std::vector<RawEvent>& events) {
   return out;
 }
 
-std::vector<std::string> validate(const TraceAnalysis& analysis,
+std::vector<std::string> validate(const std::vector<RoundAnalysis>& rounds,
                                   double min_connectivity) {
   std::vector<std::string> violations;
-  for (std::size_t i = 0; i < analysis.rounds.size(); ++i) {
-    const RoundAnalysis& r = analysis.rounds[i];
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const RoundAnalysis& r = rounds[i];
     const std::string label =
         "round " + std::to_string(i + 1) + " (trace " +
         std::to_string(r.trace) + ")";
@@ -384,6 +438,63 @@ std::vector<std::string> validate(const TraceAnalysis& analysis,
   return violations;
 }
 
+std::vector<std::string> validate(const TraceAnalysis& analysis,
+                                  double min_connectivity) {
+  return validate(analysis.rounds, min_connectivity);
+}
+
+void write_round_markdown(const RoundAnalysis& r,
+                          const std::map<std::uint64_t, Span>& spans,
+                          std::size_t index, std::ostream& os) {
+  os << "\n## Round " << (index + 1) << " (trace " << r.trace << ")\n\n";
+  os << "| metric | value |\n|---|---|\n";
+  os << "| interval | " << fmt_num(r.start) << " .. " << fmt_num(r.end)
+     << " |\n";
+  os << "| completion_time | "
+     << (r.completion_time < 0.0 ? std::string("(unfinished)")
+                                 : fmt_num(r.completion_time))
+     << " |\n";
+  os << "| critical path end | +" << fmt_num(r.critical_path_end - r.start)
+     << " |\n";
+  os << "| spans | " << r.span_count << " |\n";
+  os << "| connected | " << fmt_num(100.0 * r.connectivity()) << "% |\n";
+  os << "| messages | " << r.message_count << " |\n";
+
+  os << "\n### Critical path\n\n";
+  os << "| # | lane | name | span | start | end | wait |\n";
+  os << "|---|---|---|---|---|---|---|\n";
+  double prev_end = r.start;
+  for (std::size_t k = 0; k < r.critical_path.size(); ++k) {
+    const Span& s = spans.at(r.critical_path[k]);
+    os << "| " << (k + 1) << " | " << s.lane << " | " << s.name << " | "
+       << s.id << " | " << fmt_num(s.start) << " | " << fmt_num(s.end)
+       << " | ";
+    // The root span encloses the whole round; what it contributes to
+    // the path is its start, so its row shows no wait and the per-hop
+    // waits below it sum exactly to the critical path length.
+    if (k == 0 && s.parent == 0) {
+      os << "-";
+      prev_end = s.start;
+    } else {
+      os << "+" << fmt_num(s.end - prev_end);
+      prev_end = s.end;
+    }
+    os << " |\n";
+  }
+
+  os << "\n### Hop depth by phase (messages, depth:count)\n\n";
+  os << "| lane | histogram | max |\n|---|---|---|\n";
+  for (const auto& [lane, hist] : r.hop_depth_by_lane)
+    os << "| " << lane << " | " << fmt_histogram(hist) << " | "
+       << hist.rbegin()->first << " |\n";
+
+  os << "\n### Fan-out by phase (senders, fan-out:count)\n\n";
+  os << "| lane | histogram | max |\n|---|---|---|\n";
+  for (const auto& [lane, hist] : r.fan_out_by_lane)
+    os << "| " << lane << " | " << fmt_histogram(hist) << " | "
+       << hist.rbegin()->first << " |\n";
+}
+
 void write_markdown(const TraceAnalysis& analysis, std::ostream& os) {
   os << "# Causal trace analysis\n\n";
   os << "- events: " << analysis.total_events << "\n";
@@ -391,71 +502,31 @@ void write_markdown(const TraceAnalysis& analysis, std::ostream& os) {
   os << "- rounds: " << analysis.rounds.size() << "\n";
   os << "- other traces: " << analysis.other_traces << "\n";
 
-  for (std::size_t i = 0; i < analysis.rounds.size(); ++i) {
-    const RoundAnalysis& r = analysis.rounds[i];
-    os << "\n## Round " << (i + 1) << " (trace " << r.trace << ")\n\n";
-    os << "| metric | value |\n|---|---|\n";
-    os << "| interval | " << fmt_num(r.start) << " .. " << fmt_num(r.end)
-       << " |\n";
-    os << "| completion_time | "
-       << (r.completion_time < 0.0 ? std::string("(unfinished)")
-                                   : fmt_num(r.completion_time))
-       << " |\n";
-    os << "| critical path end | +" << fmt_num(r.critical_path_end - r.start)
-       << " |\n";
-    os << "| spans | " << r.span_count << " |\n";
-    os << "| connected | " << fmt_num(100.0 * r.connectivity()) << "% |\n";
-    os << "| messages | " << r.message_count << " |\n";
+  for (std::size_t i = 0; i < analysis.rounds.size(); ++i)
+    write_round_markdown(analysis.rounds[i], analysis.spans, i, os);
+}
 
-    os << "\n### Critical path\n\n";
-    os << "| # | lane | name | span | start | end | wait |\n";
-    os << "|---|---|---|---|---|---|---|\n";
-    double prev_end = r.start;
-    for (std::size_t k = 0; k < r.critical_path.size(); ++k) {
-      const Span& s = analysis.spans.at(r.critical_path[k]);
-      os << "| " << (k + 1) << " | " << s.lane << " | " << s.name << " | "
-         << s.id << " | " << fmt_num(s.start) << " | " << fmt_num(s.end)
-         << " | ";
-      // The root span encloses the whole round; what it contributes to
-      // the path is its start, so its row shows no wait and the per-hop
-      // waits below it sum exactly to the critical path length.
-      if (k == 0 && s.parent == 0) {
-        os << "-";
-        prev_end = s.start;
-      } else {
-        os << "+" << fmt_num(s.end - prev_end);
-        prev_end = s.end;
-      }
-      os << " |\n";
-    }
+void write_csv_header(std::ostream& os) {
+  os << "round,trace,span,parent,lane,name,start,end,slack,hop_depth,"
+        "fan_out,critical\n";
+}
 
-    os << "\n### Hop depth by phase (messages, depth:count)\n\n";
-    os << "| lane | histogram | max |\n|---|---|---|\n";
-    for (const auto& [lane, hist] : r.hop_depth_by_lane)
-      os << "| " << lane << " | " << fmt_histogram(hist) << " | "
-         << hist.rbegin()->first << " |\n";
-
-    os << "\n### Fan-out by phase (senders, fan-out:count)\n\n";
-    os << "| lane | histogram | max |\n|---|---|---|\n";
-    for (const auto& [lane, hist] : r.fan_out_by_lane)
-      os << "| " << lane << " | " << fmt_histogram(hist) << " | "
-         << hist.rbegin()->first << " |\n";
+void write_round_csv(const RoundAnalysis& r,
+                     const std::map<std::uint64_t, Span>& spans,
+                     std::size_t index, std::ostream& os) {
+  for (const auto& [id, s] : spans) {
+    if (s.trace != r.trace) continue;
+    os << (index + 1) << ',' << r.trace << ',' << s.id << ',' << s.parent
+       << ',' << s.lane << ',' << s.name << ',' << fmt_num(s.start) << ','
+       << fmt_num(s.end) << ',' << fmt_num(s.slack) << ',' << s.hop_depth
+       << ',' << s.fan_out << ',' << (s.on_critical_path ? 1 : 0) << '\n';
   }
 }
 
 void write_csv(const TraceAnalysis& analysis, std::ostream& os) {
-  os << "round,trace,span,parent,lane,name,start,end,slack,hop_depth,"
-        "fan_out,critical\n";
-  for (std::size_t i = 0; i < analysis.rounds.size(); ++i) {
-    const RoundAnalysis& r = analysis.rounds[i];
-    for (const auto& [id, s] : analysis.spans) {
-      if (s.trace != r.trace) continue;
-      os << (i + 1) << ',' << r.trace << ',' << s.id << ',' << s.parent
-         << ',' << s.lane << ',' << s.name << ',' << fmt_num(s.start) << ','
-         << fmt_num(s.end) << ',' << fmt_num(s.slack) << ',' << s.hop_depth
-         << ',' << s.fan_out << ',' << (s.on_critical_path ? 1 : 0) << '\n';
-    }
-  }
+  write_csv_header(os);
+  for (std::size_t i = 0; i < analysis.rounds.size(); ++i)
+    write_round_csv(analysis.rounds[i], analysis.spans, i, os);
 }
 
 }  // namespace p2plb::tracetool

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -53,6 +54,11 @@ struct RawEvent {
 /// Parse a whole JSONL stream; throws PreconditionError (with the line
 /// number) on malformed input.  Lines are independent, order preserved.
 [[nodiscard]] std::vector<RawEvent> parse_jsonl(std::istream& is);
+
+/// Streaming variant: invoke `fn` per parsed line without materializing
+/// the file.  Returns the number of events parsed.
+std::size_t parse_jsonl(std::istream& is,
+                        const std::function<void(const RawEvent&)>& fn);
 
 /// One reconstructed span: every event sharing a (trace, span) pair.
 /// For a message this is its send and its delivery, so [start, end] is
@@ -107,6 +113,90 @@ struct TraceAnalysis {
   std::size_t other_traces = 0;  ///< traces not rooted in a "round" span
 };
 
+/// Incremental analyzer: feed() events in file order and each round's
+/// DAG is finalized the moment its root "round" span closes (the 'E'
+/// event with parent 0, which a well-formed trace emits after the
+/// round's last delivery).  In retiring mode the finalized round's
+/// spans are then released, so peak memory is O(concurrently-active
+/// rounds), not O(file) -- what lets p2plb_trace digest 256k-node
+/// traces.  analyze() is a retain-everything wrapper over this class.
+///
+/// Traces never rooted in a "round" span (e.g. maintenance) have no
+/// close signal; their spans stay resident until finish().
+class StreamingAnalyzer {
+ public:
+  /// `retire_completed`: release a round's spans once it is finalized
+  /// (and skip the early finalize entirely when false, so a retaining
+  /// run folds every event before any per-round pass -- the analyze()
+  /// contract).
+  explicit StreamingAnalyzer(bool retire_completed = true);
+
+  /// Invoked once per finalized round, while the round's spans are
+  /// still resident in spans() -- render reports here; in retiring
+  /// mode they are gone when the callback returns.
+  void set_round_sink(std::function<void(const RoundAnalysis&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  void feed(const RawEvent& e);
+
+  /// Finalize every still-open trace (a round whose root never closed
+  /// keeps completion_time = -1).  Call exactly once, after the last
+  /// feed().
+  void finish();
+
+  /// Spans currently resident (keyed by global span id).
+  [[nodiscard]] const std::map<std::uint64_t, Span>& spans() const noexcept {
+    return spans_;
+  }
+  /// Every finalized round so far, in finalize order.
+  [[nodiscard]] const std::vector<RoundAnalysis>& rounds() const noexcept {
+    return rounds_;
+  }
+  [[nodiscard]] std::size_t total_events() const noexcept {
+    return total_events_;
+  }
+  /// Spans ever created (resident or retired).
+  [[nodiscard]] std::size_t total_spans() const noexcept {
+    return spans_created_;
+  }
+  [[nodiscard]] std::size_t other_traces() const noexcept {
+    return other_traces_;
+  }
+  /// Memory-bound witnesses: current and peak resident state.
+  [[nodiscard]] std::size_t active_traces() const noexcept {
+    return ids_by_trace_.size();
+  }
+  [[nodiscard]] std::size_t retained_spans() const noexcept {
+    return spans_.size();
+  }
+  [[nodiscard]] std::size_t peak_active_traces() const noexcept {
+    return peak_traces_;
+  }
+  [[nodiscard]] std::size_t peak_retained_spans() const noexcept {
+    return peak_spans_;
+  }
+
+ private:
+  friend TraceAnalysis analyze(const std::vector<RawEvent>& events);
+
+  void finalize_trace(std::uint64_t trace, std::vector<std::uint64_t>& ids);
+
+  bool retire_;
+  bool finished_ = false;
+  std::function<void(const RoundAnalysis&)> sink_;
+  std::map<std::uint64_t, Span> spans_;
+  /// Span ids of each trace with resident state, first-seen order.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> ids_by_trace_;
+  std::map<std::uint64_t, double> completion_by_trace_;
+  std::vector<RoundAnalysis> rounds_;
+  std::size_t total_events_ = 0;
+  std::size_t spans_created_ = 0;
+  std::size_t other_traces_ = 0;
+  std::size_t peak_traces_ = 0;
+  std::size_t peak_spans_ = 0;
+};
+
 /// Build spans, connectivity, critical paths, slack and histograms.
 [[nodiscard]] TraceAnalysis analyze(const std::vector<RawEvent>& events);
 
@@ -116,15 +206,31 @@ struct TraceAnalysis {
 ///   * each round's causal DAG connects at least `min_connectivity` of
 ///     its spans.
 [[nodiscard]] std::vector<std::string> validate(
+    const std::vector<RoundAnalysis>& rounds, double min_connectivity = 0.99);
+[[nodiscard]] std::vector<std::string> validate(
     const TraceAnalysis& analysis, double min_connectivity = 0.99);
 
 /// Markdown report: per-round summary, critical path table, per-phase
 /// hop-depth and fan-out histograms.
 void write_markdown(const TraceAnalysis& analysis, std::ostream& os);
 
+/// One round's Markdown section ("## Round <index+1> ..."), exactly as
+/// write_markdown lays it out; `spans` must still hold the round's
+/// spans (call from a StreamingAnalyzer round sink).
+void write_round_markdown(const RoundAnalysis& r,
+                          const std::map<std::uint64_t, Span>& spans,
+                          std::size_t index, std::ostream& os);
+
 /// Span-level CSV (one row per span of every round trace):
 /// round,trace,span,parent,lane,name,start,end,slack,hop_depth,fan_out,
 /// critical.
 void write_csv(const TraceAnalysis& analysis, std::ostream& os);
+
+/// The CSV header row, then one round's rows -- the streaming
+/// counterparts of write_csv.
+void write_csv_header(std::ostream& os);
+void write_round_csv(const RoundAnalysis& r,
+                     const std::map<std::uint64_t, Span>& spans,
+                     std::size_t index, std::ostream& os);
 
 }  // namespace p2plb::tracetool
