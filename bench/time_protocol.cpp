@@ -12,11 +12,14 @@
 //   * one full event-driven balancing round (lb::ProtocolRound) on a
 //     transit-stub topology with shortest-path latencies: per-phase
 //     message/byte/timing breakdown and end-to-end completion time.
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <string_view>
 
 #include "bench_util.h"
 #include "ktree/protocol.h"
@@ -25,6 +28,7 @@
 #include "obs/binary_trace.h"
 #include "obs/format.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/network.h"
@@ -39,7 +43,9 @@ struct TimedRoundResult {
   std::string engine;
   /// Observability config of this row: "none" (plain timed round),
   /// "null" (no tracer, the overhead baseline), "binary"
-  /// (p2plb-btrace-1 streaming sink) or "jsonl" (JSONL streaming sink).
+  /// (p2plb-btrace-1 streaming sink), "jsonl" (JSONL streaming sink) or
+  /// "profile" (host-time profiler attached, no tracer -- report-only in
+  /// the delta gate).
   std::string sink = "none";
   double wall_seconds = 0.0;
   std::uint64_t events = 0;
@@ -54,14 +60,18 @@ struct TimedRoundResult {
 /// ts5k-small latencies, timing the wall clock around the event loop.
 /// `obs_sink` != "none" attaches a local tracer streaming to a
 /// temporary file (removed afterwards) so the row measures tracing
-/// overhead; "null" runs tracer-free as the overhead baseline.
+/// overhead; "null" runs tracer-free as the overhead baseline and
+/// "profile" attaches a local host-time profiler instead of a tracer.
+/// A non-null `profiler` is attached to the engine and network so the
+/// caller can export the round's profile.
 TimedRoundResult run_timed_round(std::size_t nodes, std::size_t servers,
                                  std::uint64_t seed, sim::QueueKind kind,
                                  obs::Tracer* tracer,
                                  const std::string& metrics_path,
                                  lb::BalanceReport* report_out,
                                  double* mean_latency_out,
-                                 const std::string& obs_sink = "none") {
+                                 const std::string& obs_sink = "none",
+                                 obs::Profiler* profiler = nullptr) {
   TimedRoundResult r;
   r.nodes = nodes;
   r.engine = kind == sim::QueueKind::kTimerWheel ? "wheel" : "heap";
@@ -94,6 +104,12 @@ TimedRoundResult run_timed_round(std::size_t nodes, std::size_t servers,
     obs_tmp = "obs_overhead_tmp.jsonl";
     obs_tracer.set_sink(&jsonl_sink.emplace(obs_tmp));
     net.attach_tracer(&obs_tracer);
+  }
+  std::optional<obs::Profiler> own_profiler;
+  if (obs_sink == "profile") profiler = &own_profiler.emplace();
+  if (profiler != nullptr) {
+    engine.attach_profiler(profiler);
+    net.attach_profiler(profiler);
   }
   lb::ProtocolRound round(net, d.ring, {}, round_rng);
   const auto t0 = std::chrono::steady_clock::now();
@@ -180,7 +196,8 @@ int main(int argc, char** argv) {
   cli.add_flag("obs-sizes",
                "comma-separated ring sizes for the observability-overhead "
                "sweep (one timed round per sink: null tracer, binary, "
-               "jsonl); given alone it replaces the default timed round",
+               "jsonl, host-time profiler); given alone it replaces the "
+               "default timed round",
                "");
   cli.add_flag("engine", "event queue for timed rounds: wheel or heap",
                "wheel");
@@ -188,6 +205,10 @@ int main(int argc, char** argv) {
                "write timed-round measurements to this JSON file", "");
   cli.add_flag("trace", p2plb::obs::kTraceFlagHelp, "");
   cli.add_flag("metrics", p2plb::obs::kMetricsFlagHelp, "");
+  cli.add_flag("profile",
+               std::string(p2plb::obs::kProfileFlagHelp) +
+                   "; captures the first timed round",
+               "");
   cli.add_flag("csv", "emit CSV instead of aligned tables", "false");
   if (!cli.parse(argc, argv)) return 0;
   const bool csv = cli.get_bool("csv");
@@ -271,18 +292,36 @@ int main(int argc, char** argv) {
   obs::Tracer tracer;
   const std::string trace_path = cli.get_string("trace");
   const std::string metrics_path = cli.get_string("metrics");
+  const std::string profile_path = cli.get_string("profile");
+  std::optional<obs::Profiler> profiler;
+  if (!profile_path.empty()) profiler.emplace();
   std::vector<TimedRoundResult> results;
   for (std::size_t i = 0; i < timed_sizes.size(); ++i) {
-    // Trace and metrics capture the first size only; the rest are timing
-    // sweeps.
+    // Trace, metrics and profile capture the first size only; the rest
+    // are timing sweeps.
     const bool capture = i == 0;
     lb::BalanceReport report;
     double mean_latency = 0.0;
     results.push_back(run_timed_round(
         timed_sizes[i], servers, seed, kind,
         capture && !trace_path.empty() ? &tracer : nullptr,
-        capture ? metrics_path : std::string(), &report, &mean_latency));
+        capture ? metrics_path : std::string(), &report, &mean_latency,
+        "none", capture && profiler ? &*profiler : nullptr));
     const TimedRoundResult& r = results.back();
+    if (capture && profiler) {
+      // Sim-time axis for the crosstab: phase windows named after the
+      // network tags so they join the matching frames.
+      constexpr std::array<std::string_view, lb::kPhaseCount> kPhaseTags = {
+          lb::kTagAggregation, lb::kTagDissemination, lb::kTagVsa,
+          lb::kTagTransfer};
+      double round_end = report.phases[0].start;
+      for (std::size_t p = 0; p < lb::kPhaseCount; ++p) {
+        const lb::PhaseMetrics& m = report.phases[p];
+        profiler->note_span(kPhaseTags[p], m.start, m.end);
+        round_end = std::max(round_end, m.end);
+      }
+      profiler->note_span("round", report.phases[0].start, round_end);
+    }
 
     print_heading(std::cout,
                   "one event-driven balancing round, ts5k-small, N = " +
@@ -315,12 +354,16 @@ int main(int argc, char** argv) {
     std::cerr << "trace written to " << trace_path << " ("
               << tracer.event_count() << " events)\n";
   }
+  if (profiler) {
+    profiler->write_profile_file(profile_path);
+    std::cerr << "host-time profile written to " << profile_path << "\n";
+  }
 
   // --- observability overhead -------------------------------------------
-  // The same timed round, three ways: no tracer at all (the baseline),
-  // the streaming binary sink, the streaming JSONL sink.  The wall-clock
-  // deltas are the cost of tracing; the byte columns show the on-disk
-  // ratio between the two formats.
+  // The same timed round, four ways: no tracer at all (the baseline),
+  // the streaming binary sink, the streaming JSONL sink, the host-time
+  // profiler.  The wall-clock deltas are the cost of each instrument;
+  // the byte columns show the on-disk ratio between the trace formats.
   if (!obs_sizes.empty()) {
     print_heading(std::cout,
                   "observability overhead (one timed round per sink, " +
@@ -329,7 +372,7 @@ int main(int argc, char** argv) {
               "overhead %"});
     for (const std::size_t n : obs_sizes) {
       double base_wall = 0.0;
-      for (const std::string sink : {"null", "binary", "jsonl"}) {
+      for (const std::string sink : {"null", "binary", "jsonl", "profile"}) {
         results.push_back(run_timed_round(n, servers, seed, kind, nullptr,
                                           "", nullptr, nullptr, sink));
         const TimedRoundResult& r = results.back();

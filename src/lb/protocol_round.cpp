@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ktree/protocol.h"
+#include "obs/profiler.h"
 
 namespace p2plb::lb {
 
@@ -164,6 +165,12 @@ void ProtocolRound::start(
   // Ambient for the synchronous fan-out below: phase 1's report sends
   // (and reporter-less leaf folds) parent to the round span.
   const sim::Network::ContextScope scope(net_, round_ctx_);
+  // Host-time analogue: the first wave of sends carries a "round" frame,
+  // and the network propagates it down every causal chain, so the whole
+  // round's wall cost nests under one flame-graph root.
+  obs::Profiler* const prof = net_.profiler();
+  const obs::Profiler::Scope prof_scope(
+      prof, prof != nullptr ? prof->intern("round", "lb") : 0);
   begin_phase(Phase::kAggregation);
   start_aggregation();
 }
@@ -284,6 +291,9 @@ void ProtocolRound::vsa_process(ktree::KtIndex node) {
                      obs::arg("depth", a.rendezvous_depth)});
       }
       const sim::Network::ContextScope scope(net_, match_ctx);
+      obs::Profiler* const prof = net_.profiler();
+      const obs::Profiler::Scope prof_scope(
+          prof, prof != nullptr ? prof->intern("vsa.match", "lb") : 0);
       vsa_send(host_ep_[node], node_ep_[a.from], config_.wire.notify,
                [this, idx] { begin_transfer(idx); });
       vsa_send(host_ep_[node], node_ep_[a.to], config_.wire.notify,
@@ -337,6 +347,9 @@ void ProtocolRound::begin_transfer(std::size_t assignment_index) {
   // The payload message is a child of the transfer span (zero -- and
   // unused -- when untraced).
   const sim::Network::ContextScope scope(net_, transfer_ctx_[assignment_index]);
+  obs::Profiler* const prof = net_.profiler();
+  const obs::Profiler::Scope prof_scope(
+      prof, prof != nullptr ? prof->intern("transfer", "lb") : 0);
   net_.send(
       node_ep_[a.from], node_ep_[a.to],
       [this, assignment_index] {

@@ -32,5 +32,9 @@ inline constexpr const char* kMetricsFlagHelp =
 inline constexpr const char* kSeriesFlagHelp =
     "write the sampled time series here (JSONL if the name ends in "
     ".jsonl, case-insensitive; CSV otherwise)";
+inline constexpr const char* kProfileFlagHelp =
+    "write the host-time profile here (collapsed flamegraph stacks if "
+    "the name ends in .folded, case-insensitive; p2plb-prof-1 text "
+    "otherwise)";
 
 }  // namespace p2plb::obs

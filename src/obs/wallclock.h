@@ -1,0 +1,38 @@
+// The one audited wall-clock escape.
+//
+// Simulated time never comes from the host clock -- the `no-wall-clock`
+// lint rule bans clock reads across src/ precisely so a (seed, scenario)
+// pair replays byte-identically.  But two opt-in diagnostics legitimately
+// *observe* real time without ever feeding it back into the schedule: the
+// engine's stall detector (is one callback hogging the host?) and the
+// host-time profiler (where does the wall clock go?).  Both read the
+// monotonic clock through this shim and nothing else does: the linter's
+// confinement check flags any `allow(no-wall-clock)` escape outside this
+// file, so auditing wall-clock use means reading these two functions.
+//
+// steady_clock, not system_clock: the readings feed durations only, and a
+// monotonic source is immune to NTP steps and wall-time adjustments.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace p2plb::obs {
+
+/// Monotonic host time in nanoseconds since an arbitrary epoch.  Only
+/// differences are meaningful.
+[[nodiscard]] inline std::uint64_t wall_now_ns() noexcept {
+  using Clock = std::chrono::steady_clock;  // p2plb-lint: allow(no-wall-clock)
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic host time in (fractional) milliseconds since an arbitrary
+/// epoch; the stall detector's native unit.
+[[nodiscard]] inline double wall_now_ms() noexcept {
+  return static_cast<double>(wall_now_ns()) / 1e6;
+}
+
+}  // namespace p2plb::obs

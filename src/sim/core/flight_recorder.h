@@ -87,6 +87,20 @@ class FlightRecorder {
     return names_.at(index);
   }
 
+  /// Attach a free-form run-context note (trace-sampling policy, seed,
+  /// scenario size, ...) printed at the top of dump(), so a dump shipped
+  /// as a CI failure artifact is self-describing.  Re-setting a key
+  /// overwrites its value.
+  void set_note(std::string_view key, std::string_view value) {
+    P2PLB_REQUIRE_MSG(!key.empty(), "flight recorder note key must be non-empty");
+    notes_[std::string(key)] = std::string(value);
+  }
+  /// All notes, in key order (the order dump() prints them).
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& notes()
+      const noexcept {
+    return notes_;
+  }
+
   /// The retained records, oldest first.
   [[nodiscard]] std::vector<Record> recent() const {
     std::vector<Record> out;
@@ -100,8 +114,11 @@ class FlightRecorder {
     return out;
   }
 
-  /// Human-readable dump, oldest record first.
+  /// Human-readable dump: run-context notes first, then the retained
+  /// records, oldest first.
   void dump(std::ostream& os) const {
+    for (const auto& [key, value] : notes_)
+      os << "note " << key << ' ' << value << "\n";
     os << "records_total " << total_ << "\n"
        << "records_kept " << size() << "\n"
        << "seq kind time src dst tag trace\n";
@@ -125,6 +142,8 @@ class FlightRecorder {
   // Lookup/insert only, never iterated; ordered map for transparent
   // string_view lookup.
   std::map<std::string, std::uint16_t, std::less<>> index_;
+  // Ordered so dump() prints notes deterministically.
+  std::map<std::string, std::string, std::less<>> notes_;
 };
 
 }  // namespace p2plb::sim::core

@@ -1,27 +1,16 @@
 #include "sim/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <ostream>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/wallclock.h"
 
 namespace p2plb::sim {
 
-namespace {
-
-/// Wall-clock milliseconds since an arbitrary epoch.  Used ONLY by the
-/// opt-in stall detector, which observes real time to diagnose a hung
-/// callback but never feeds it back into the schedule.
-double wall_now_ms() {
-  using Clock = std::chrono::steady_clock;  // p2plb-lint: allow(no-wall-clock)
-  return std::chrono::duration<double, std::milli>(
-             Clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
+using obs::wall_now_ms;
 
 Engine::Engine(QueueKind kind) : kind_(kind), wheel_(arena_) {}
 
@@ -205,7 +194,7 @@ bool Engine::step() {
     r.kind = core::FlightRecorder::kExecute;
     recorder_->record(r);
   }
-  if (stall_wall_ms_ > 0.0 || anomaly_hook_) {
+  if (stall_wall_ms_ > 0.0 || anomaly_hook_ || profiler_ != nullptr) {
     fire_instrumented(fn);
     return true;
   }
@@ -213,7 +202,17 @@ bool Engine::step() {
   return true;
 }
 
+void Engine::attach_profiler(obs::Profiler* profiler) {
+  profiler_ = profiler;
+  profile_frame_ =
+      profiler != nullptr ? profiler->intern("engine.event", "sim") : 0;
+}
+
 void Engine::fire_instrumented(EventFn& fn) {
+  // Dispatch plus non-message callbacks accrue to "engine.event" itself;
+  // a message delivery re-enters its carried causal stack inside (see
+  // Network::send), leaving only the dispatch overhead here as self time.
+  const obs::Profiler::Scope prof_scope(profiler_, profile_frame_);
   const double start_ms = stall_wall_ms_ > 0.0 ? wall_now_ms() : 0.0;
   try {
     fn();

@@ -36,6 +36,7 @@
 
 namespace p2plb::obs {
 class MetricsRegistry;
+class Profiler;
 }
 
 namespace p2plb::sim {
@@ -150,6 +151,15 @@ class Engine {
     stall_wall_ms_ = wall_ms;
   }
 
+  /// Attribute every event callback's wall time to `profiler` under an
+  /// "engine.event" frame (layer "sim"); nullptr detaches.  Like the
+  /// stall detector, the profiler observes the monotonic clock but never
+  /// feeds the schedule -- attaching one leaves every trace byte
+  /// identical.  The profiler is caller-owned and must outlive the
+  /// engine's use of it.
+  void attach_profiler(obs::Profiler* profiler);
+  [[nodiscard]] obs::Profiler* profiler() const noexcept { return profiler_; }
+
   [[nodiscard]] EngineIntrospection introspection() const;
 
   /// Export the introspection counters as sim.* gauges.
@@ -231,6 +241,8 @@ class Engine {
   core::FlightRecorder* recorder_ = nullptr;
   std::function<void(const std::string&)> anomaly_hook_;
   double stall_wall_ms_ = 0.0;
+  obs::Profiler* profiler_ = nullptr;
+  std::uint32_t profile_frame_ = 0;  ///< interned "engine.event" frame
   std::uint64_t wheel_inserts_ = 0;
   std::uint64_t batch_splices_ = 0;
   std::uint64_t early_inserts_ = 0;

@@ -44,6 +44,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
 
@@ -158,6 +159,8 @@ class Network {
         last_counters_ = &it->second;
         last_handles_ = metrics_ != nullptr ? &tag_metric_handles(tag)
                                             : nullptr;
+        if (profiler_ != nullptr)
+          last_tag_frame_ = profiler_->intern(tag, obs::tag_layer(tag));
       }
       account(*last_counters_, lat, bytes);
     }
@@ -207,6 +210,22 @@ class Network {
         inner();
       };
     }
+    if (profiler_ != nullptr) {
+      // The profiler's analogue of the causal envelope above: capture the
+      // ambient stack extended by the message's tag frame now, and
+      // re-enter it around the delivery, so the handler's wall time lands
+      // under the chain of phases that caused it.  Outermost wrapper:
+      // the tracer's deliver instants are attributed to the message too.
+      // Runs inside the same engine event as the payload -- nothing is
+      // scheduled and no ids are allocated, so the schedule and every
+      // trace byte stay identical.
+      const obs::Profiler::StackId carried = profiler_->push(
+          profiler_->current(), tag.empty() ? net_frame_ : last_tag_frame_);
+      on_receive = [this, carried, inner = std::move(on_receive)]() {
+        const obs::Profiler::Scope scope(profiler_, carried);
+        inner();
+      };
+    }
     if (core::FlightRecorder* fr = engine_.flight_recorder();
         fr != nullptr) {
       core::FlightRecorder::Record r;
@@ -227,6 +246,21 @@ class Network {
   /// Record every send/deliver into `tracer` (nullptr detaches).
   void attach_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// Attribute every delivery's wall time to `profiler` under the
+  /// message's tag frame, nested in the causal stack that was ambient at
+  /// send time (nullptr detaches).  Tag frames are interned as
+  /// (tag, layer-prefix); untagged sends use ("net", "net").  Resets the
+  /// per-tag memo so the next send re-resolves its frame.
+  void attach_profiler(obs::Profiler* profiler) {
+    profiler_ = profiler;
+    last_tag_ = {};
+    last_counters_ = nullptr;
+    last_handles_ = nullptr;
+    last_tag_frame_ = 0;
+    net_frame_ = profiler != nullptr ? profiler->intern("net", "net") : 0;
+  }
+  [[nodiscard]] obs::Profiler* profiler() const noexcept { return profiler_; }
 
   /// Mirror all subsequent accounting into `registry` (non-null).  The
   /// registry counters are seeded from the current legacy counters, so a
@@ -345,6 +379,9 @@ class Network {
 
   obs::Tracer* tracer_ = nullptr;
   obs::SpanContext ambient_;
+  obs::Profiler* profiler_ = nullptr;
+  obs::Profiler::FrameId net_frame_ = 0;       ///< ("net","net"), untagged
+  obs::Profiler::FrameId last_tag_frame_ = 0;  ///< memoized with last_tag_
   obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   TagHandles totals_handles_;

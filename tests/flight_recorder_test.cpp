@@ -78,6 +78,28 @@ TEST(FlightRecorder, DumpListsRecordsOldestFirst) {
   EXPECT_LT(dump.find("exec"), dump.find("send 2"));
 }
 
+TEST(FlightRecorder, NotesMakeDumpsSelfDescribing) {
+  FlightRecorder fr(4);
+  fr.set_note("trace_sample_keep", "1");
+  fr.set_note("trace_sample_of", "16");
+  fr.set_note("nodes", "128");
+  fr.set_note("nodes", "16384");  // re-setting a key overwrites
+  EXPECT_THROW(fr.set_note("", "x"), PreconditionError);
+  ASSERT_EQ(fr.notes().size(), 3u);
+
+  std::ostringstream os;
+  fr.dump(os);
+  const std::string dump = os.str();
+  // Notes print first, in key order, before the record header.
+  EXPECT_EQ(dump.rfind("note nodes 16384\n", 0), 0u);
+  EXPECT_NE(dump.find("note trace_sample_keep 1\n"), std::string::npos);
+  EXPECT_NE(dump.find("note trace_sample_of 16\n"), std::string::npos);
+  EXPECT_LT(dump.find("note trace_sample_keep"),
+            dump.find("note trace_sample_of"));
+  EXPECT_LT(dump.find("note trace_sample_of"), dump.find("records_total"));
+  EXPECT_EQ(dump.find("note nodes 128"), std::string::npos);
+}
+
 TEST(EngineFlightRecorder, EveryExecutedEventIsStamped) {
   sim::Engine engine;
   FlightRecorder fr(16);

@@ -1,0 +1,16 @@
+// Fixture: the audited monotonic shim path.  src/obs/wallclock.h is the
+// one file where allow(no-wall-clock) is legal, so this must produce
+// zero findings even though it reads steady_clock.
+#pragma once
+
+#include <chrono>
+
+namespace p2plb_fixture {
+
+inline double wall_now() {
+  using Clock = std::chrono::steady_clock;  // p2plb-lint: allow(no-wall-clock)
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace p2plb_fixture

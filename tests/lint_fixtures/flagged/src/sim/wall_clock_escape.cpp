@@ -1,0 +1,10 @@
+// Fixture: an allow(no-wall-clock) escape outside src/obs/wallclock.h.
+// The suppression hides the steady_clock read it covers, but the
+// confinement check must flag the escape itself (exactly one finding).
+#include <chrono>
+
+double fixture_wall_clock_escape() {
+  using Clock = std::chrono::steady_clock;  // p2plb-lint: allow(no-wall-clock)
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}

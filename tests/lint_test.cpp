@@ -40,6 +40,7 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereExpected) {
   EXPECT_EQ(count(findings, "uses_rand.cpp", kRuleStdRand), 2u);
   EXPECT_EQ(count(findings, "uses_random_device.cpp", kRuleRandomDevice), 1u);
   EXPECT_EQ(count(findings, "wall_clock.cpp", kRuleWallClock), 2u);
+  EXPECT_EQ(count(findings, "wall_clock_escape.cpp", kRuleWallClock), 1u);
   EXPECT_EQ(count(findings, "unordered_iter.cpp", kRuleUnorderedIter), 1u);
   EXPECT_EQ(count(findings, "pointer_keys.cpp", kRulePointerKeys), 2u);
   EXPECT_EQ(count(findings, "missing_guard.h", kRuleHeaderGuard), 1u);
@@ -52,7 +53,7 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereExpected) {
         << f.to_string();
 
   // Exact total: any extra finding is a false positive regression.
-  EXPECT_EQ(findings.size(), 16u);
+  EXPECT_EQ(findings.size(), 17u);
 
   // Findings carry file:line locations inside the fixture tree.
   for (const Finding& f : findings) {
@@ -169,6 +170,41 @@ TEST(LintObsSink, GovernsSrcLibraryCodeOnlyAndExemptsObs) {
   EXPECT_TRUE(lint_snippet("tools/trace/cli.cpp",
                            "#include <fstream>\n"
                            "void f() { std::ofstream os(\"x.md\"); }\n")
+                  .empty());
+}
+
+TEST(LintWallClock, AllowEscapeConfinedToTheShim) {
+  // The audited shim may carry the escape...
+  EXPECT_TRUE(lint_snippet(
+                  "src/obs/wallclock.h",
+                  "#pragma once\n"
+                  "#include <chrono>\n"
+                  "using C = std::chrono::steady_clock;"
+                  "  // p2plb-lint: allow(no-wall-clock)\n")
+                  .empty());
+  // ...any other governed file may not: the escape itself is the
+  // finding, and its own allow comment cannot suppress it.
+  const std::vector<Finding> same_line = lint_snippet(
+      "src/sim/x.cpp",
+      "#include <chrono>\n"
+      "using C = std::chrono::steady_clock;"
+      "  // p2plb-lint: allow(no-wall-clock)\n");
+  ASSERT_EQ(same_line.size(), 1u);
+  EXPECT_EQ(same_line[0].rule, kRuleWallClock);
+  EXPECT_EQ(same_line[0].line, 2u);
+  // The directive-on-its-own-line form reports once, at the comment.
+  const std::vector<Finding> own_line = lint_snippet(
+      "src/sim/y.cpp",
+      "#include <chrono>\n"
+      "// p2plb-lint: allow(no-wall-clock)\n"
+      "using C = std::chrono::steady_clock;\n");
+  ASSERT_EQ(own_line.size(), 1u);
+  EXPECT_EQ(own_line[0].rule, kRuleWallClock);
+  EXPECT_EQ(own_line[0].line, 2u);
+  // Ungoverned code (tests, top-level drivers) stays free to read the
+  // clock, so it needs no allow and triggers no confinement finding.
+  EXPECT_TRUE(lint_snippet("tests/x_test.cpp",
+                           "using C = std::chrono::steady_clock;\n")
                   .empty());
 }
 

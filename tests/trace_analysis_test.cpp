@@ -9,12 +9,14 @@
 // every span connects to the round root.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "lb/protocol_round.h"
+#include "obs/binary_trace.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/network.h"
@@ -295,6 +297,99 @@ TEST(StreamingAnalyzer, RetainModeFinalizesOnlyAtFinish) {
   // finish() is idempotent.
   retain.finish();
   EXPECT_EQ(retain.rounds().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming analysis over a *sampled* binary trace: the rounds the
+// sampler keeps must analyze identically to the same rounds of an
+// unsampled run -- sampling drops whole traces, never corrupts them.
+// ---------------------------------------------------------------------------
+
+/// Project a decoded TraceEvent into the analyzer's RawEvent exactly as
+/// the JSONL parser would (numeric args only).
+tracetool::RawEvent to_raw(const obs::TraceEvent& e) {
+  tracetool::RawEvent r;
+  r.t = e.time;
+  r.ph = obs::kind_phase_letter(e.kind);
+  r.lane = e.lane;
+  r.name = e.name;
+  r.id = e.id;
+  r.trace = e.ctx.trace;
+  r.span = e.ctx.span;
+  r.parent = e.ctx.parent;
+  for (const obs::Arg& a : e.args)
+    if (!a.json.empty() && a.json[0] != '"')
+      r.num_args.emplace_back(a.key, std::stod(a.json));
+  return r;
+}
+
+/// Four golden rounds streamed through a BinaryTraceSink under the given
+/// sampling policy, decoded back and folded by the streaming analyzer.
+std::vector<tracetool::RoundAnalysis> analyze_sampled_binary(
+    std::uint64_t keep, std::uint64_t of, std::uint64_t seed) {
+  std::stringstream bin(std::ios::in | std::ios::out | std::ios::binary);
+  obs::Tracer tracer;
+  tracer.set_trace_sampling(keep, of, seed);
+  {
+    obs::BinaryTraceSink sink(bin);
+    tracer.set_sink(&sink);
+    for (int i = 0; i < 4; ++i) {
+      auto ring = golden_ring();
+      sim::Engine engine;
+      sim::Network net(engine, [](sim::Endpoint x, sim::Endpoint y) {
+        return x == y ? 0.0 : 1.0;
+      });
+      net.attach_tracer(&tracer);
+      Rng rng(7);
+      lb::ProtocolRound round(net, ring, {}, rng);
+      round.start();
+      engine.run();
+    }
+  }  // sink destructor frames out the tail
+  tracetool::StreamingAnalyzer streaming;
+  bin.seekg(0);
+  (void)obs::read_binary_trace(
+      bin, [&](const obs::TraceEvent& e) { streaming.feed(to_raw(e)); });
+  streaming.finish();
+  return streaming.rounds();
+}
+
+TEST(StreamingAnalyzer, SampledBinaryTraceKeepsRoundsIntact) {
+  // Pick a sampling seed (deterministically) under which keep-1-of-2
+  // drops some of traces 1..4 and keeps others.
+  obs::Tracer policy;
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    policy.set_trace_sampling(1, 2, s);
+    std::size_t kept = 0;
+    for (std::uint64_t t = 1; t <= 4; ++t) kept += policy.keeps(t) ? 1u : 0u;
+    if (kept > 0 && kept < 4) {
+      seed = s;
+      break;
+    }
+  }
+  policy.set_trace_sampling(1, 2, seed);
+
+  const std::vector<tracetool::RoundAnalysis> all =
+      analyze_sampled_binary(1, 1, 0);
+  ASSERT_EQ(all.size(), 4u);
+  const std::vector<tracetool::RoundAnalysis> sampled =
+      analyze_sampled_binary(1, 2, seed);
+
+  // Exactly the kept traces survive, in order...
+  std::vector<std::uint64_t> kept_ids;
+  for (std::uint64_t t = 1; t <= 4; ++t)
+    if (policy.keeps(t)) kept_ids.push_back(t);
+  ASSERT_EQ(sampled.size(), kept_ids.size());
+  ASSERT_GT(sampled.size(), 0u);
+  ASSERT_LT(sampled.size(), 4u);
+
+  // ...and each analyzes identically to the unsampled run's same round:
+  // same critical path, same histograms, same span/message counts.
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    EXPECT_EQ(sampled[i].trace, kept_ids[i]);
+    expect_rounds_equal(sampled[i], all[kept_ids[i] - 1]);
+  }
 }
 
 TEST(StreamingAnalyzer, RejectsASpanClaimedByTwoTraces) {

@@ -17,6 +17,10 @@ Malformed input is an error, not a silent skip: a file that is not JSON,
 or a native document missing its "schema": "p2plb-bench-1" marker, exits
 non-zero naming the file.
 
+Host-time rows (sink == "profile") are report-only: they appear in the
+delta table but never feed the worst-ratio gate, since wall-clock
+attribution overhead varies with the host and must not fail CI.
+
 Usage:
   bench_delta.py merge timed.json micro.json -o current.json
   bench_delta.py compare --baseline BENCH_baseline.json \
@@ -114,7 +118,9 @@ def compare(baseline_path, current_path, max_regress):
             continue
         ratio = (r["wall_seconds"] / b["wall_seconds"]
                  if b["wall_seconds"] > 0 else 1.0)
-        if ratio > worst:
+        # Profiler rows are report-only: host-time attribution cost is
+        # machine-dependent and never gates.
+        if ratio > worst and key[2] != "profile":
             worst, worst_name = ratio, f"timed {key[0]}/{key[1]}/{key[2]}"
         print(f"| {key[0]} | {key[1]} | {key[2]} | "
               f"{b['wall_seconds']:.3f} | "

@@ -39,8 +39,14 @@ constexpr std::initializer_list<LayerRule> kLayerDag = {
     // Tool subdirectories are modules too (the top-level tools/*.cpp
     // binaries stay ungoverned -- they compose every layer by design).
     {"tools/lint", {}},
+    {"tools/prof", {"common", "obs"}},
     {"tools/trace", {"common", "obs"}},
 };
+
+// The one audited wall-clock escape: the monotonic shim.  Every other
+// allow(no-wall-clock) in governed code is itself a finding (see
+// rule_wallclock_confinement).
+constexpr const char* kWallClockShim = "src/obs/wallclock.h";
 
 /// True when `name` is declared in the layer DAG (one- or two-component).
 bool declared_module(const std::string& name) {
@@ -637,6 +643,31 @@ void rule_obs_sink(const SourceFile& f, Emit findings) {
   }
 }
 
+/// The wall-clock ban stays meaningful only if its escape hatch cannot
+/// proliferate: the single audited `allow(no-wall-clock)` lives in
+/// src/obs/wallclock.h (the monotonic shim everything else calls), and
+/// writing that allow anywhere else in governed code is itself a
+/// finding.  Findings are pushed directly -- NOT through emit() -- so
+/// the very comment being reported cannot suppress its own report.
+void rule_wallclock_confinement(const SourceFile& f, Emit findings) {
+  if (f.module.empty()) return;  // determinism rules govern src/ + tools/
+  if (f.path.generic_string() == kWallClockShim) return;
+  std::set<std::size_t> lines;
+  for (const auto& [line, rules] : f.allows)
+    for (const std::string& r : rules)
+      if (r == kRuleWallClock) lines.insert(line);
+  for (const std::size_t line : lines) {
+    // A directive on its own line registers twice (its line and the
+    // next); report the comment's own line only.
+    if (line > 0 && lines.count(line - 1) > 0) continue;
+    findings.push_back(
+        {f.path.generic_string(), line, kRuleWallClock,
+         "allow(no-wall-clock) outside " + std::string(kWallClockShim) +
+             ": wall-clock escapes are confined to the audited shim; "
+             "call obs::wall_now_ns()/wall_now_ms() instead"});
+  }
+}
+
 void rule_header_hygiene(const SourceFile& f, Emit findings) {
   if (!f.is_header) return;
   const auto& t = f.tokens;
@@ -728,6 +759,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files) {
   for (const SourceFile& f : files) {
     rule_layering(f, findings);
     rule_determinism(f, declared, findings);
+    rule_wallclock_confinement(f, findings);
     rule_obs_sink(f, findings);
     rule_header_hygiene(f, findings);
   }

@@ -33,20 +33,25 @@
 //   $ p2plb_sim --topology ts5k-small --timed
 //   $ p2plb_sim --timed --trace trace.json --metrics metrics.csv
 //   $ p2plb_sim --sample-every 5 --series series.csv
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 
 #include "bench_util.h"
 #include "common/stats.h"
 #include "lb/controller.h"
 #include "lb/health.h"
+#include "lb/protocol_round.h"
 #include "lb/proximity.h"
 #include "lb/vst.h"
 #include "obs/binary_trace.h"
 #include "obs/format.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/sampler.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -192,6 +197,7 @@ int run(const Cli& cli) {
   const std::string series_path = cli.get_string("series");
   const std::string trace_sample = cli.get_string("trace-sample");
   const std::string flight_path = cli.get_string("flight-recorder");
+  const std::string profile_path = cli.get_string("profile");
   const double stall_ms = cli.get_double("stall-ms");
   const std::string trace_format =
       resolve_trace_format(cli.get_string("trace-format"), trace_path);
@@ -212,13 +218,14 @@ int run(const Cli& cli) {
   if (sampling && sample_every <= 0.0) sample_every = 5.0;
   bool timed = cli.get_bool("timed");
   if (!timed && (!trace_path.empty() || !metrics_path.empty() || sampling ||
-                 !flight_path.empty())) {
+                 !flight_path.empty() || !profile_path.empty())) {
     std::cerr << "note: --trace/--metrics/--series/--sample-every/"
-                 "--flight-recorder imply --timed\n";
+                 "--flight-recorder/--profile imply --timed\n";
     timed = true;
   }
   lb::ControllerResult result;
   std::optional<topo::DistanceOracle> oracle;
+  std::optional<obs::Profiler> profiler;
   if (timed) {
     // Event-driven rounds over real message latencies: shortest paths
     // between attachment vertices with a topology, unit latency without.
@@ -253,6 +260,17 @@ int run(const Cli& cli) {
     std::optional<sim::core::FlightRecorder> recorder;
     if (!flight_path.empty()) {
       engine.attach_flight_recorder(&recorder.emplace());
+      // Self-describing dumps: a CI failure artifact names the run that
+      // produced it, including the trace-sampling policy that decides
+      // which trace file it can be matched against.
+      recorder->set_note("nodes", std::to_string(nodes));
+      recorder->set_note("seed", std::to_string(seed));
+      recorder->set_note("trace_sample_keep",
+                         std::to_string(tracer.sample_keep()));
+      recorder->set_note("trace_sample_of",
+                         std::to_string(tracer.sample_of()));
+      recorder->set_note("trace_sample_seed",
+                         std::to_string(tracer.sample_seed()));
       engine.set_anomaly_hook([&engine, &flight_path](const std::string& what) {
         std::cerr << "p2plb_sim: ANOMALY: " << what << "\n";
         std::ofstream os(flight_path);
@@ -261,6 +279,14 @@ int run(const Cli& cli) {
       });
     }
     if (stall_ms > 0.0) engine.enable_stall_detector(stall_ms);
+    if (!profile_path.empty()) {
+      // Host-time attribution: the engine stamps dispatch, the network
+      // carries causal stacks through deliveries.  Observes the wall
+      // clock only -- the schedule and every trace byte stay identical.
+      profiler.emplace();
+      engine.attach_profiler(&*profiler);
+      net.attach_profiler(&*profiler);
+    }
     obs::TimeSeriesSink sink;
     std::optional<obs::Sampler> sampler;
     lb::HealthProbe health(ring, {config.balancer.epsilon, "health"});
@@ -271,8 +297,39 @@ int run(const Cli& cli) {
       });
       sampler->add_registry(net.metrics(), {"net."});
     }
-    result = lb::balance_until_stable(net, ring, config, brng, keys,
-                                      sampler ? &*sampler : nullptr);
+    {
+      // One top-level frame around the whole run: total measured wall
+      // time is exactly this scope's elapsed time, and every causal
+      // stack roots under it.  A disengaged profiler makes it a no-op.
+      const obs::Profiler::Scope run_scope(
+          profiler ? &*profiler : nullptr,
+          profiler ? profiler->intern("run", "driver") : 0);
+      result = lb::balance_until_stable(net, ring, config, brng, keys,
+                                        sampler ? &*sampler : nullptr);
+    }
+    if (profiler) {
+      // Sim-time axis for the crosstab: per-round phase windows (named
+      // after the network tags so they join the matching frames) plus
+      // the whole-run window.
+      constexpr std::array<std::string_view, lb::kPhaseCount> kPhaseTags = {
+          lb::kTagAggregation, lb::kTagDissemination, lb::kTagVsa,
+          lb::kTagTransfer};
+      for (const lb::RoundStats& s : result.rounds) {
+        double round_end = s.phases[0].start;
+        for (std::size_t p = 0; p < lb::kPhaseCount; ++p) {
+          const lb::PhaseMetrics& m = s.phases[p];
+          profiler->note_span(kPhaseTags[p], m.start, m.end);
+          round_end = std::max(round_end, m.end);
+        }
+        profiler->note_span("round", s.phases[0].start, round_end);
+      }
+      profiler->note_span("run", 0.0, engine.now());
+      profiler->write_profile_file(profile_path);
+      std::cerr << "profile written to " << profile_path << " ("
+                << Table::num(
+                       static_cast<double>(profiler->total_ns()) / 1e6, 1)
+                << " ms measured)\n";
+    }
     if (!series_path.empty()) {
       obs::write_series_file(sink, series_path);
       std::cerr << "series written to " << series_path << " (" << sink.size()
@@ -332,6 +389,49 @@ int run(const Cli& cli) {
                       Table::num(m.duration(), 1)});
     }
     bench::emit(phases, csv);
+  }
+
+  if (profiler) {
+    // Where the host's wall clock went, and the sim x host crosstab
+    // (p2plb_prof renders the same reports from the profile file).
+    print_heading(std::cout, "host-time hot frames");
+    std::vector<obs::Profiler::FrameStat> stats = profiler->frame_table();
+    std::sort(stats.begin(), stats.end(),
+              [](const obs::Profiler::FrameStat& a,
+                 const obs::Profiler::FrameStat& b) {
+                if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+                return a.name < b.name;
+              });
+    const double total_ns = profiler->total_ns() == 0
+                                ? 1.0
+                                : static_cast<double>(profiler->total_ns());
+    Table hot({"frame", "layer", "count", "self_ms", "total_ms", "self_pct"});
+    for (const obs::Profiler::FrameStat& r : stats)
+      hot.add_row({r.name, r.layer.empty() ? "-" : r.layer, r.count,
+                   Table::num(static_cast<double>(r.self_ns) / 1e6, 3),
+                   Table::num(static_cast<double>(r.total_ns) / 1e6, 3),
+                   Table::num(
+                       100.0 * static_cast<double>(r.self_ns) / total_ns, 2)});
+    bench::emit(hot, csv);
+
+    print_heading(std::cout, "sim-time x host-time crosstab");
+    std::map<std::string, double> sim_axis;
+    for (const obs::Profiler::SpanNote& n : profiler->notes())
+      sim_axis[n.name] += n.sim_end - n.sim_start;
+    Table cross({"span", "sim_time", "host_ms", "host_pct"});
+    for (const auto& [name, sim_time] : sim_axis) {
+      std::uint64_t host = 0;
+      for (const obs::Profiler::FrameStat& r : stats)
+        if (r.name == name) {
+          host = r.total_ns;
+          break;
+        }
+      cross.add_row(
+          {name, Table::num(sim_time, 1),
+           Table::num(static_cast<double>(host) / 1e6, 3),
+           Table::num(100.0 * static_cast<double>(host) / total_ns, 2)});
+    }
+    bench::emit(cross, csv);
   }
 
   print_heading(std::cout, "balance quality (load / fair share)");
@@ -395,6 +495,10 @@ int main(int argc, char** argv) {
                "dump the engine flight recorder (recent events + queue "
                "introspection) to this file at exit and on any anomaly; "
                "implies --timed",
+               "");
+  cli.add_flag("profile",
+               std::string(p2plb::obs::kProfileFlagHelp) +
+                   "; implies --timed (analyze with p2plb_prof)",
                "");
   cli.add_flag("stall-ms",
                "flag an anomaly when one event callback holds the engine "

@@ -1,0 +1,216 @@
+#include "prof_analysis.h"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace p2plb::proftool {
+
+namespace {
+
+constexpr std::string_view kMagic = "# p2plb-prof-1";
+
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  std::size_t used = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  P2PLB_REQUIRE_MSG(used == token.size() && !token.empty(),
+                    std::string("malformed profile ") + what + ": " + token);
+  return v;
+}
+
+double parse_f64(const std::string& token, const char* what) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  P2PLB_REQUIRE_MSG(used == token.size() && !token.empty(),
+                    std::string("malformed profile ") + what + ": " + token);
+  return v;
+}
+
+}  // namespace
+
+Profile parse_profile(std::istream& is) {
+  Profile out;
+  out.stacks.emplace_back();  // the implicit root
+  std::string line;
+  P2PLB_REQUIRE_MSG(std::getline(is, line) && line == kMagic,
+                    "not a p2plb-prof-1 profile (missing magic line)");
+  while (std::getline(is, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "total_ns") {
+      std::string v;
+      P2PLB_REQUIRE_MSG(static_cast<bool>(ls >> v),
+                        "malformed profile total_ns line");
+      out.total_ns = parse_u64(v, "total_ns");
+    } else if (kind == "span") {
+      ProfSpan s;
+      std::string a;
+      std::string b;
+      P2PLB_REQUIRE_MSG(static_cast<bool>(ls >> s.name >> a >> b),
+                        "malformed profile span line: " + line);
+      s.sim_start = parse_f64(a, "span start");
+      s.sim_end = parse_f64(b, "span end");
+      out.spans.push_back(std::move(s));
+    } else if (kind == "frame") {
+      std::string id;
+      ProfFrame f;
+      P2PLB_REQUIRE_MSG(static_cast<bool>(ls >> id >> f.layer >> f.name),
+                        "malformed profile frame line: " + line);
+      P2PLB_REQUIRE_MSG(parse_u64(id, "frame id") == out.frames.size(),
+                        "profile frame ids must be dense and in order");
+      if (f.layer == "-") f.layer.clear();
+      out.frames.push_back(std::move(f));
+    } else if (kind == "stack") {
+      std::string id;
+      std::string parent;
+      std::string frame;
+      std::string count;
+      std::string self;
+      P2PLB_REQUIRE_MSG(
+          static_cast<bool>(ls >> id >> parent >> frame >> count >> self),
+          "malformed profile stack line: " + line);
+      ProfStack s;
+      P2PLB_REQUIRE_MSG(parse_u64(id, "stack id") == out.stacks.size(),
+                        "profile stack ids must be dense and in order");
+      s.parent = static_cast<std::uint32_t>(parse_u64(parent, "stack parent"));
+      s.frame = static_cast<std::uint32_t>(parse_u64(frame, "stack frame"));
+      s.count = parse_u64(count, "stack count");
+      s.self_ns = parse_u64(self, "stack self_ns");
+      P2PLB_REQUIRE_MSG(s.parent < out.stacks.size(),
+                        "profile stack parent must precede the stack");
+      P2PLB_REQUIRE_MSG(s.frame < out.frames.size(),
+                        "profile stack references an unknown frame");
+      out.stacks.push_back(s);
+    } else {
+      P2PLB_REQUIRE_MSG(false, "unknown profile line kind: " + kind);
+    }
+  }
+  return out;
+}
+
+std::vector<FrameRow> frame_rows(const Profile& profile) {
+  std::vector<FrameRow> rows(profile.frames.size());
+  for (std::size_t f = 0; f < profile.frames.size(); ++f) {
+    rows[f].name = profile.frames[f].name;
+    rows[f].layer = profile.frames[f].layer;
+  }
+  // Same walk as obs::Profiler::frame_table: credit each node's self
+  // time to every distinct frame on its ancestor path.
+  std::vector<std::uint32_t> seen(profile.frames.size(), 0);
+  std::uint32_t pass = 0;
+  for (std::size_t i = 1; i < profile.stacks.size(); ++i) {
+    const ProfStack& n = profile.stacks[i];
+    rows[n.frame].count += n.count;
+    rows[n.frame].self_ns += n.self_ns;
+    if (n.self_ns == 0) continue;
+    ++pass;
+    for (std::uint32_t at = static_cast<std::uint32_t>(i); at != 0;
+         at = profile.stacks[at].parent) {
+      const std::uint32_t f = profile.stacks[at].frame;
+      if (seen[f] == pass) continue;
+      seen[f] = pass;
+      rows[f].total_ns += n.self_ns;
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const FrameRow& a, const FrameRow& b) {
+    if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+double coverage(const std::vector<FrameRow>& rows, std::uint64_t total_ns,
+                std::size_t top_k) {
+  if (total_ns == 0) return 1.0;
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < rows.size() && i < top_k; ++i)
+    covered += rows[i].self_ns;
+  return static_cast<double>(covered) / static_cast<double>(total_ns);
+}
+
+Table top_table(const Profile& profile, std::size_t top_k) {
+  const std::vector<FrameRow> rows = frame_rows(profile);
+  Table t({"frame", "layer", "count", "self_ms", "total_ms", "self_pct"});
+  const double total =
+      profile.total_ns == 0 ? 1.0 : static_cast<double>(profile.total_ns);
+  for (std::size_t i = 0; i < rows.size() && i < top_k; ++i) {
+    const FrameRow& r = rows[i];
+    t.add_row({r.name, r.layer.empty() ? "-" : r.layer, r.count,
+               Table::num(static_cast<double>(r.self_ns) / 1e6, 3),
+               Table::num(static_cast<double>(r.total_ns) / 1e6, 3),
+               Table::num(100.0 * static_cast<double>(r.self_ns) / total, 2)});
+  }
+  return t;
+}
+
+void write_collapsed(const Profile& profile, std::ostream& os) {
+  std::vector<std::string_view> path;
+  for (std::size_t i = 1; i < profile.stacks.size(); ++i) {
+    const ProfStack& n = profile.stacks[i];
+    if (n.self_ns == 0) continue;
+    path.clear();
+    for (std::uint32_t at = static_cast<std::uint32_t>(i); at != 0;
+         at = profile.stacks[at].parent)
+      path.push_back(profile.frames[profile.stacks[at].frame].name);
+    for (std::size_t d = path.size(); d-- > 0;) {
+      os << path[d];
+      if (d != 0) os << ';';
+    }
+    os << ' ' << (n.self_ns + 999) / 1000 << '\n';
+  }
+}
+
+std::vector<CrosstabRow> crosstab(const Profile& profile) {
+  // Aggregate same-name notes (one per round per phase, typically) into
+  // one row; ordered map so the output order is deterministic.
+  std::map<std::string, double> sim;
+  for (const ProfSpan& s : profile.spans)
+    sim[s.name] += s.sim_end - s.sim_start;
+  std::map<std::string, std::uint64_t> host;
+  for (const FrameRow& r : frame_rows(profile)) host[r.name] = r.total_ns;
+  std::vector<CrosstabRow> out;
+  out.reserve(sim.size());
+  for (const auto& [name, sim_time] : sim) {
+    CrosstabRow row;
+    row.name = name;
+    row.sim_time = sim_time;
+    const auto it = host.find(name);
+    row.host_ns = it == host.end() ? 0 : it->second;
+    row.host_share = profile.total_ns == 0
+                         ? 0.0
+                         : static_cast<double>(row.host_ns) /
+                               static_cast<double>(profile.total_ns);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Table crosstab_table(const Profile& profile) {
+  Table t({"span", "sim_time", "host_ms", "host_pct"});
+  for (const CrosstabRow& r : crosstab(profile))
+    t.add_row({r.name, Table::num(r.sim_time, 3),
+               Table::num(static_cast<double>(r.host_ns) / 1e6, 3),
+               Table::num(100.0 * r.host_share, 2)});
+  return t;
+}
+
+}  // namespace p2plb::proftool

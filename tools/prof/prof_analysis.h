@@ -1,0 +1,101 @@
+// Parsing and aggregation for "p2plb-prof-1" host-time profiles.
+//
+// obs::Profiler (src/obs/profiler.h) writes the profile: a total, the
+// sim-time span notes, an interned frame table and the stack trie with
+// per-node entry counts and telescoped self times.  This module parses
+// it back and derives the three reports the CLI (p2plb_prof) serves:
+// the top-K hot-frame table (self/total/count), collapsed stacks for
+// flamegraph.pl/speedscope, and the sim-time x host-time crosstab that
+// joins span notes to frame inclusive times by name.
+//
+// Kept as a library (like tools/trace) so tests can drive the parser
+// and the aggregations directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace p2plb::proftool {
+
+/// One interned frame: a name plus the layer it belongs to.
+struct ProfFrame {
+  std::string name;
+  std::string layer;
+};
+
+/// One stack-trie node.  Index 0 is the implicit root (no frame, no
+/// time); every other node's parent index is smaller than its own.
+struct ProfStack {
+  std::uint32_t parent = 0;
+  std::uint32_t frame = 0;
+  std::uint64_t count = 0;
+  std::uint64_t self_ns = 0;
+};
+
+/// A sim-time interval noted by the run (a phase, a round).
+struct ProfSpan {
+  std::string name;
+  double sim_start = 0.0;
+  double sim_end = 0.0;
+};
+
+/// A parsed p2plb-prof-1 profile.
+struct Profile {
+  std::uint64_t total_ns = 0;
+  std::vector<ProfFrame> frames;
+  std::vector<ProfStack> stacks;  ///< stacks[0] = the implicit root
+  std::vector<ProfSpan> spans;
+};
+
+/// Parse a p2plb-prof-1 stream.  Throws PreconditionError on a missing
+/// magic line, malformed rows, or dangling frame/parent references.
+[[nodiscard]] Profile parse_profile(std::istream& is);
+
+/// Per-frame aggregate: `self_ns` sums the frame's own time, `total_ns`
+/// everything at or beneath it (each nanosecond counted once per frame
+/// even when a frame repeats along one path).
+struct FrameRow {
+  std::string name;
+  std::string layer;
+  std::uint64_t count = 0;
+  std::uint64_t self_ns = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// Frame aggregates sorted hottest-first (by self time, ties by name so
+/// the order is total).
+[[nodiscard]] std::vector<FrameRow> frame_rows(const Profile& profile);
+
+/// Fraction of total_ns attributed by the first `top_k` of `rows`
+/// (1.0 when the profile measured nothing).
+[[nodiscard]] double coverage(const std::vector<FrameRow>& rows,
+                              std::uint64_t total_ns, std::size_t top_k);
+
+/// The top-K hot-frame table: frame, layer, count, self/total ms, self %.
+[[nodiscard]] Table top_table(const Profile& profile, std::size_t top_k);
+
+/// Re-emit the collapsed stacks ("a;b;c <self_us>", self rounded up to
+/// at least 1us) for flamegraph.pl / speedscope.
+void write_collapsed(const Profile& profile, std::ostream& os);
+
+/// One crosstab row: a noted sim-time span joined (by name) to the
+/// matching frame's inclusive host time.
+struct CrosstabRow {
+  std::string name;
+  double sim_time = 0.0;       ///< summed sim duration of same-name notes
+  std::uint64_t host_ns = 0;   ///< inclusive host time of the frame
+  double host_share = 0.0;     ///< host_ns / total_ns (0 when unmeasured)
+};
+
+/// Crosstab rows in note-name order.  A note with no matching frame
+/// keeps host_ns = 0 (sim-only row); frames nobody noted do not appear.
+[[nodiscard]] std::vector<CrosstabRow> crosstab(const Profile& profile);
+
+/// The crosstab as a printable table: span, sim time, host ms, host %.
+[[nodiscard]] Table crosstab_table(const Profile& profile);
+
+}  // namespace p2plb::proftool
