@@ -1,0 +1,67 @@
+// Capability annotations for parallel-readiness.
+//
+// The simulator is single-threaded today, but the ROADMAP's
+// deterministic-parallel item needs every piece of hot shared state
+// claimed by exactly one shard.  This header gives that claim two
+// enforcers from one spelling:
+//
+//   * p2plb-lint's shard-confinement rule (tools/lint/effects.cpp)
+//     reads the P2PLB_GUARDED_BY / P2PLB_REQUIRES tokens (and the
+//     equivalent `// p2plb: shared(...)` / `// p2plb: holds(...)`
+//     comments) and flags any write to guarded state from a function
+//     that does not hold the capability.
+//   * Clang's -Wthread-safety analysis reads the same macros when the
+//     build sets P2PLB_THREAD_SAFETY (CMake option of the same name);
+//     under any other compiler, or without the option, every macro
+//     expands to nothing and ShardGuard construction is a no-op the
+//     optimizer deletes, so golden traces stay byte-identical.
+//
+// ShardCapability is a *fake lock*: it has no state and its
+// acquire/release methods are empty.  It exists to name a shard's
+// ownership domain -- Engine, Network, Ring and Tracer each embed one
+// -- not to synchronize.  When a real parallel engine lands, the
+// capability members become the natural seam for real ownership.
+#pragma once
+
+#if defined(P2PLB_THREAD_SAFETY) && defined(__clang__)
+#define P2PLB_TS_ATTR(x) __attribute__((x))
+#else
+#define P2PLB_TS_ATTR(x)
+#endif
+
+#define P2PLB_CAPABILITY(name) P2PLB_TS_ATTR(capability(name))
+#define P2PLB_SCOPED_CAPABILITY P2PLB_TS_ATTR(scoped_lockable)
+#define P2PLB_GUARDED_BY(x) P2PLB_TS_ATTR(guarded_by(x))
+#define P2PLB_REQUIRES(...) P2PLB_TS_ATTR(requires_capability(__VA_ARGS__))
+#define P2PLB_ACQUIRE(...) P2PLB_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define P2PLB_RELEASE(...) P2PLB_TS_ATTR(release_capability(__VA_ARGS__))
+#define P2PLB_NO_THREAD_SAFETY_ANALYSIS P2PLB_TS_ATTR(no_thread_safety_analysis)
+
+namespace p2plb::common {
+
+/// A named ownership domain for one shard's state.  Stateless; see the
+/// header comment.
+class P2PLB_CAPABILITY("shard") ShardCapability {
+ public:
+  void acquire() const P2PLB_ACQUIRE() {}
+  void release() const P2PLB_RELEASE() {}
+};
+
+/// RAII grant of a shard capability for the enclosing scope.  Both the
+/// lint pass and clang treat the constructing function as holding the
+/// capability from here on.
+class P2PLB_SCOPED_CAPABILITY ShardGuard {
+ public:
+  explicit ShardGuard(const ShardCapability& cap) P2PLB_ACQUIRE(cap)
+      : cap_(cap) {
+    cap_.acquire();
+  }
+  ~ShardGuard() P2PLB_RELEASE() { cap_.release(); }
+  ShardGuard(const ShardGuard&) = delete;
+  ShardGuard& operator=(const ShardGuard&) = delete;
+
+ private:
+  const ShardCapability& cap_;
+};
+
+}  // namespace p2plb::common

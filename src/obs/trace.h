@@ -45,6 +45,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_safety.h"
+
 namespace p2plb::obs {
 
 /// One key/value argument of a trace event.  `json` holds the value
@@ -162,9 +164,11 @@ class Tracer {
                 std::uint64_t id);
 
   /// Allocate a fresh trace / span id (monotonic from 1; deterministic).
+  // p2plb: holds(trace_shard_)
   [[nodiscard]] std::uint64_t new_trace_id() noexcept {
     return ++last_trace_id_;
   }
+  // p2plb: holds(trace_shard_)
   [[nodiscard]] std::uint64_t new_span_id() noexcept {
     return ++last_span_id_;
   }
@@ -184,7 +188,7 @@ class Tracer {
   /// Forward events to `sink` as they happen instead of buffering them
   /// (nullptr restores buffering).  Already-buffered events stay put;
   /// events() sees nothing that arrives while a sink is attached.
-  void set_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  void set_sink(TraceSink* sink) noexcept { sink_ = sink; }  // p2plb: holds(trace_shard_)
   [[nodiscard]] TraceSink* sink() const noexcept { return sink_; }
 
   /// Keep `keep` of every `of` traces, chosen by a seeded hash of the
@@ -227,7 +231,7 @@ class Tracer {
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
     return events_;
   }
-  void clear() noexcept {
+  void clear() noexcept {  // p2plb: holds(trace_shard_)
     events_.clear();
     recorded_ = 0;
     last_trace_id_ = 0;
@@ -242,18 +246,24 @@ class Tracer {
   void write_chrome_trace(std::ostream& os) const;
 
  private:
+  // p2plb: holds(trace_shard_)
   void push(double t, EventKind kind, std::string_view lane,
             std::string_view name, std::uint64_t id, const SpanContext& ctx,
             std::vector<Arg> args);
 
-  std::vector<TraceEvent> events_;
-  TraceSink* sink_ = nullptr;
-  std::size_t recorded_ = 0;
-  std::uint64_t last_trace_id_ = 0;
-  std::uint64_t last_span_id_ = 0;
-  std::uint64_t sample_keep_ = 1;
-  std::uint64_t sample_of_ = 1;
-  std::uint64_t sample_seed_ = 0;
+  /// Ownership domain of the event buffer, the id allocators and the
+  /// sampling policy; a sharded run gives each shard its own Tracer and
+  /// merges afterwards, so nothing here may be written cross-shard.
+  common::ShardCapability trace_shard_;
+
+  std::vector<TraceEvent> events_;  // p2plb: shared(trace_shard_)
+  TraceSink* sink_ = nullptr;       // p2plb: shared(trace_shard_)
+  std::size_t recorded_ = 0;        // p2plb: shared(trace_shard_)
+  std::uint64_t last_trace_id_ = 0;  // p2plb: shared(trace_shard_)
+  std::uint64_t last_span_id_ = 0;   // p2plb: shared(trace_shard_)
+  std::uint64_t sample_keep_ = 1;  // p2plb: shared(trace_shard_)
+  std::uint64_t sample_of_ = 1;    // p2plb: shared(trace_shard_)
+  std::uint64_t sample_seed_ = 0;  // p2plb: shared(trace_shard_)
 };
 
 /// Write the trace to `path`: JSONL when the name ends in ".jsonl",

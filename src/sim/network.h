@@ -43,6 +43,7 @@
 #include <string_view>
 #include <utility>
 
+#include "common/thread_safety.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -117,10 +118,15 @@ class Network {
   class ContextScope {
    public:
     ContextScope(Network& net, const obs::SpanContext& ctx) noexcept
-        : net_(net), saved_(net.ambient_) {
+        : net_(net) {
+      const common::ShardGuard shard(net_.net_shard_);
+      saved_ = net_.ambient_;
       net_.ambient_ = ctx;
     }
-    ~ContextScope() { net_.ambient_ = saved_; }
+    ~ContextScope() {
+      const common::ShardGuard shard(net_.net_shard_);
+      net_.ambient_ = saved_;
+    }
     ContextScope(const ContextScope&) = delete;
     ContextScope& operator=(const ContextScope&) = delete;
 
@@ -133,6 +139,7 @@ class Network {
   /// innermost ContextScope); all-zero outside any scope or when no
   /// tracer is attached.
   [[nodiscard]] const obs::SpanContext& current_context() const noexcept {
+    const common::ShardGuard shard(net_shard_);
     return ambient_;
   }
 
@@ -144,6 +151,7 @@ class Network {
                double bytes = 0.0, Time processing_delay = 0.0,
                std::string_view tag = {}) {
     P2PLB_REQUIRE(processing_delay >= 0.0);
+    const common::ShardGuard shard(net_shard_);
     const Time lat = latency_(from, to);
     P2PLB_ASSERT_MSG(lat >= 0.0, "latency function returned negative delay");
     account(totals_, lat, bytes);
@@ -252,7 +260,7 @@ class Network {
   /// send time (nullptr detaches).  Tag frames are interned as
   /// (tag, layer-prefix); untagged sends use ("net", "net").  Resets the
   /// per-tag memo so the next send re-resolves its frame.
-  void attach_profiler(obs::Profiler* profiler) {
+  void attach_profiler(obs::Profiler* profiler) {  // p2plb: holds(net_shard_)
     profiler_ = profiler;
     last_tag_ = {};
     last_counters_ = nullptr;
@@ -268,7 +276,7 @@ class Network {
   /// counters exactly.  A registry shared across networks accumulates all
   /// of them, and reset_counters() clears only the legacy side -- in both
   /// cases the schemes intentionally diverge.
-  void attach_metrics(obs::MetricsRegistry* registry) {
+  void attach_metrics(obs::MetricsRegistry* registry) {  // p2plb: holds(net_shard_)
     P2PLB_REQUIRE(registry != nullptr);
     P2PLB_REQUIRE_MSG(metrics_ == nullptr || metrics_ == registry,
                       "a different metrics registry is already attached");
@@ -321,7 +329,7 @@ class Network {
     return totals_.mean_latency();
   }
 
-  void reset_counters() noexcept {
+  void reset_counters() noexcept {  // p2plb: holds(net_shard_)
     totals_ = TrafficCounters{};
     tagged_.clear();
     last_tag_ = {};  // the memo pointed into the cleared map
@@ -352,6 +360,7 @@ class Network {
     h.latency->add(c.latency_sum);
   }
 
+  // p2plb: holds(net_shard_)
   const TagHandles& tag_metric_handles(std::string_view tag) {
     const auto it = tag_handles_.find(tag);
     if (it != tag_handles_.end()) return it->second;
@@ -364,27 +373,35 @@ class Network {
         .first->second;
   }
 
+  /// Ownership domain of the accounting and causal-envelope state every
+  /// send touches.  The attach-time sink pointers (tracer_, profiler_,
+  /// metrics_) are setup-phase configuration and stay outside the shard.
+  common::ShardCapability net_shard_;
+
   Engine& engine_;
   LatencyFn owned_latency_;  ///< Backing store for the wrapping ctor only.
   Latency latency_;
-  TrafficCounters totals_;
+  TrafficCounters totals_;  // p2plb: shared(net_shard_)
   // Ordered so iteration (and therefore any derived output) is
   // deterministic; std::less<> enables string_view lookups.
+  // p2plb: shared(net_shard_)
   std::map<std::string, TrafficCounters, std::less<>> tagged_;
   // One-entry memo over tagged_ / tag_handles_ (sends burst per tag).
   // last_tag_ views the map node's key, which is stable until clear().
-  std::string_view last_tag_;
-  TrafficCounters* last_counters_ = nullptr;
-  const TagHandles* last_handles_ = nullptr;
+  std::string_view last_tag_;  // p2plb: shared(net_shard_)
+  TrafficCounters* last_counters_ = nullptr;  // p2plb: shared(net_shard_)
+  const TagHandles* last_handles_ = nullptr;  // p2plb: shared(net_shard_)
 
   obs::Tracer* tracer_ = nullptr;
-  obs::SpanContext ambient_;
+  obs::SpanContext ambient_ P2PLB_GUARDED_BY(net_shard_);
   obs::Profiler* profiler_ = nullptr;
   obs::Profiler::FrameId net_frame_ = 0;       ///< ("net","net"), untagged
-  obs::Profiler::FrameId last_tag_frame_ = 0;  ///< memoized with last_tag_
+  // Memoized with last_tag_.  p2plb: shared(net_shard_)
+  obs::Profiler::FrameId last_tag_frame_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
-  TagHandles totals_handles_;
+  TagHandles totals_handles_;  // p2plb: shared(net_shard_)
+  // p2plb: shared(net_shard_)
   std::map<std::string, TagHandles, std::less<>> tag_handles_;
 };
 

@@ -1,0 +1,34 @@
+// Clean counterpart of the parallel-readiness fixtures: const globals,
+// const statics, and shard-claimed state written only by holders --
+// through every grant spelling (comment, ShardGuard, REQUIRES macro).
+#include <cstdint>
+
+#include "common/thread_safety.h"
+
+namespace p2plb::sim {
+
+const std::uint64_t kMaxPending = 4096;  // const global: fine
+
+class Mailbox {
+ public:
+  // p2plb: holds(mail_shard_)
+  void deposit(std::uint64_t n) { pending_ += n; }
+
+  void drain() {
+    const common::ShardGuard shard(mail_shard_);
+    pending_ = 0;
+  }
+
+  void reset() P2PLB_REQUIRES(mail_shard_) { pending_ = 0; }
+
+ private:
+  common::ShardCapability mail_shard_;
+  std::uint64_t pending_ = 0;  // p2plb: shared(mail_shard_)
+};
+
+std::uint64_t bounded() {
+  static const std::uint64_t kCap = 64;  // const static local: fine
+  return kCap;
+}
+
+}  // namespace p2plb::sim

@@ -1,0 +1,9 @@
+// A suppression naming a rule that does not exist is silently inert;
+// bad-allow turns the typo itself into a finding.
+
+namespace p2plb::sim {
+
+// p2plb-lint: allow(no-such-rule)
+const int kConfigured = 3;
+
+}  // namespace p2plb::sim

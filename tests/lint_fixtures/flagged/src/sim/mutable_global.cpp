@@ -1,0 +1,14 @@
+// Namespace-scope mutable state: under a sharded engine no shard can
+// own it, so no-mutable-global flags every non-const definition.
+#include <cstdint>
+
+namespace p2plb::sim {
+
+std::uint64_t g_event_budget = 0;        // flagged: mutable global
+const std::uint64_t kMaxNodes = 100000;  // fine: immutable
+
+namespace {
+int g_tu_local_counter;  // flagged: anon-namespace state is still global
+}  // namespace
+
+}  // namespace p2plb::sim

@@ -1,0 +1,18 @@
+// State claimed by a shard capability written from a function that does
+// not hold it: the exact cross-shard mutation shard-confinement blocks.
+#include <cstdint>
+
+namespace p2plb::sim {
+
+class Mailbox {
+ public:
+  void deposit(std::uint64_t n) { pending_ += n; }  // flagged: no cap held
+
+  // p2plb: holds(mail_shard_)
+  void drain() { pending_ = 0; }  // fine: declared holder
+
+ private:
+  std::uint64_t pending_ = 0;  // p2plb: shared(mail_shard_)
+};
+
+}  // namespace p2plb::sim

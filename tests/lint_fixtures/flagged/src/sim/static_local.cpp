@@ -1,0 +1,17 @@
+// Function-local statics survive across calls from every shard -- a
+// hidden cross-shard channel no-static-local exists to catch.
+#include <cstdint>
+
+namespace p2plb::sim {
+
+std::uint64_t next_id() {
+  static std::uint64_t counter = 0;  // flagged: hidden mutable channel
+  return ++counter;
+}
+
+double scale() {
+  static const double kFactor = 1.5;  // fine: immutable
+  return kFactor;
+}
+
+}  // namespace p2plb::sim

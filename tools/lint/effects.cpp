@@ -1,0 +1,1170 @@
+#include "effects.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+
+namespace p2plb::lint {
+namespace {
+
+using Token = SourceFile::Token;
+
+bool is_ident_tok(const std::string& t) {
+  return !t.empty() && (std::isalpha(static_cast<unsigned char>(t[0])) != 0 ||
+                        t[0] == '_');
+}
+
+/// Declaration specifiers we classify on.  `friend` skips the whole
+/// declaration; the const-ish set decides mutability.
+constexpr std::array kConstSpecifiers = {"const", "constexpr", "constinit"};
+
+/// Tokens legal between a function declarator's `)` and its `;`/`{`
+/// (anything else there demotes the declaration back to a variable).
+constexpr std::array kPostParenQualifiers = {
+    "const", "noexcept", "override", "final", "volatile", "&", "&&",
+    "try" /* function-try-block */};
+
+/// Identifiers that look like calls but are control flow / operators.
+constexpr std::array kNotCalls = {
+    "if",         "for",          "while",    "switch",   "return",
+    "sizeof",     "alignof",      "alignas",  "catch",    "new",
+    "delete",     "throw",        "decltype", "typeid",   "noexcept",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "assert",     "defined",      "co_await", "co_return", "co_yield",
+    "operator",   "requires",     "this"};
+
+/// Member calls that mutate their object (the write-set treats
+/// `x.push_back(...)` as a write to x).  Approximate by construction:
+/// a non-const method outside this list is invisible.
+constexpr std::array kMutatingCalls = {
+    "push_back", "pop_back",  "push_front", "pop_front", "push",
+    "pop",       "clear",     "insert",     "erase",     "emplace",
+    "emplace_back", "emplace_front", "emplace_hint", "resize", "reserve",
+    "assign",    "swap",      "reset",      "store",     "fill",
+    "append",    "merge",     "splice",     "extract"};
+
+template <std::size_t N>
+bool in(const std::array<const char*, N>& list, const std::string& s) {
+  return std::any_of(list.begin(), list.end(),
+                     [&](const char* d) { return s == d; });
+}
+
+bool is_attribute_macro(const std::string& s) {
+  return s.rfind("P2PLB_", 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 0: drop preprocessor lines (backslash continuations included) so
+// brace matching never sees the inside of a macro definition.
+
+std::vector<Token> without_preprocessor(const std::vector<Token>& in) {
+  std::vector<Token> out;
+  out.reserve(in.size());
+  std::size_t skip_line = 0;  // drop tokens while on this line
+  std::size_t prev_line = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const Token& t = in[i];
+    const bool line_start = t.line != prev_line;
+    prev_line = t.line;
+    if (skip_line != 0 && t.line == skip_line) {
+      // A trailing backslash continues the directive onto the next line.
+      if (t.text == "\\" && (i + 1 == in.size() || in[i + 1].line != t.line))
+        skip_line = t.line + 1;
+      continue;
+    }
+    skip_line = 0;
+    if (t.text == "#" && line_start) {
+      skip_line = t.line;
+      continue;
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+/// Index one past the matching closer for the opener at `i` ("(", "[",
+/// "{"), or toks.size() on imbalance.
+std::size_t skip_balanced(const std::vector<Token>& t, std::size_t i) {
+  const std::string& open = t[i].text;
+  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].text == open) ++depth;
+    else if (t[i].text == close && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+/// Starting at '<', one past the matching '>' (same contract as the
+/// lint_core helper, re-derived here over the filtered token list).
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  int angle = 0;
+  int other = 0;
+  for (; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "(" || s == "[" || s == "{") ++other;
+    if (s == ")" || s == "]" || s == "}") --other;
+    if (other == 0 && s == "<") ++angle;
+    if (other == 0 && s == ">" && --angle == 0) return i + 1;
+    if (s == ";") break;
+  }
+  return t.size();
+}
+
+/// Last identifier inside the paren group opening at `open` (the
+/// capability named by P2PLB_GUARDED_BY(net.shard_) is "shard_").
+std::string last_ident_in_parens(const std::vector<Token>& t,
+                                 std::size_t open) {
+  const std::size_t end = skip_balanced(t, open);
+  std::string last;
+  for (std::size_t i = open + 1; i + 1 < end; ++i)
+    if (is_ident_tok(t[i].text)) last = t[i].text;
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// The per-file scanner: a scope-tracked linear walk that classifies
+// namespace/class-scope declarations and hands function bodies to the
+// body analyzer.
+
+struct Scope {
+  enum class Kind { kNamespace, kClass } kind;
+  std::string name;  ///< "" for anonymous namespaces.
+};
+
+struct ScanResult {
+  std::vector<VarInfo> vars;
+  std::vector<FunctionInfo> functions;
+  /// holds() gathered from bodyless declarations, merged by key later.
+  std::map<std::string, std::set<std::string>> declared_holds;
+};
+
+class Scanner {
+ public:
+  Scanner(const SourceFile& file, ScanResult& out)
+      : f_(file), t_(without_preprocessor(file.tokens)), out_(out) {}
+
+  void run() {
+    std::size_t i = 0;
+    while (i < t_.size()) i = top_level(i);
+  }
+
+ private:
+  [[nodiscard]] std::string scope_chain() const {
+    std::string chain;
+    for (const Scope& s : stack_) {
+      if (!chain.empty()) chain += "::";
+      chain += s.name.empty() ? "(anonymous)" : s.name;
+    }
+    return chain;
+  }
+
+  [[nodiscard]] bool in_class() const {
+    return !stack_.empty() && stack_.back().kind == Scope::Kind::kClass;
+  }
+
+  /// Comment annotations (// p2plb: shared(...) / holds(...)) on `line`.
+  void comment_caps(std::size_t line, bool want_holds,
+                    std::set<std::string>& out) const {
+    for (const auto& note : f_.notes)
+      if (note.line == line && note.holds == want_holds)
+        out.insert(note.caps.begin(), note.caps.end());
+  }
+
+  std::size_t top_level(std::size_t i) {
+    const std::string& s = t_[i].text;
+    if (s == "}") {
+      // Pop as many scope components as this brace's opener pushed
+      // (namespace a::b { ... } pushes two for one brace).
+      if (!brace_pops_.empty()) {
+        for (std::size_t n = brace_pops_.back(); n > 0 && !stack_.empty(); --n)
+          stack_.pop_back();
+        brace_pops_.pop_back();
+      }
+      return i + 1;
+    }
+    if (s == ";") return i + 1;
+    if (s == "{") {  // extern "C" { ... } and other transparent braces
+      brace_pops_.push_back(0);
+      return i + 1;
+    }
+    if (s == "namespace") return parse_namespace(i);
+    if (s == "template") {
+      std::size_t j = i + 1;
+      if (j < t_.size() && t_[j].text == "<") return skip_angles(t_, j);
+      return j;
+    }
+    if (s == "using" || s == "typedef" || s == "friend")
+      return skip_to_semicolon(i);
+    if (s == "enum") return parse_enum(i);
+    if ((s == "class" || s == "struct" || s == "union") && !prev_is_enum(i))
+      return parse_class(i);
+    if ((s == "public" || s == "private" || s == "protected") &&
+        i + 1 < t_.size() && t_[i + 1].text == ":")
+      return i + 2;
+    if (s == "extern" && i + 1 < t_.size() && t_[i + 1].text == "\"\"")
+      return i + 2;  // extern "C" -- the '{' case is handled above
+    return parse_declaration(i);
+  }
+
+  bool prev_is_enum(std::size_t i) const {
+    return i > 0 && t_[i - 1].text == "enum";
+  }
+
+  std::size_t skip_to_semicolon(std::size_t i) {
+    int depth = 0;
+    for (; i < t_.size(); ++i) {
+      const std::string& s = t_[i].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      else if (s == ")" || s == "]") --depth;
+      else if (s == "}") {
+        // An inline body ends the declaration too (friend operators).
+        if (--depth == 0) return i + 1;
+      } else if (s == ";" && depth == 0) {
+        return i + 1;
+      }
+    }
+    return t_.size();
+  }
+
+  std::size_t parse_namespace(std::size_t i) {
+    // namespace A::B { ... } | namespace { ... } | namespace X = ...;
+    std::string name;
+    std::size_t j = i + 1;
+    while (j < t_.size() && (is_ident_tok(t_[j].text) || t_[j].text == "::")) {
+      name += t_[j].text;
+      ++j;
+    }
+    if (j < t_.size() && t_[j].text == "=") return skip_to_semicolon(j);
+    if (j < t_.size() && t_[j].text == "{") {
+      // Nested shorthand (namespace a::b) pushes one scope per component.
+      std::size_t pos = 0;
+      std::size_t pushed = 0;
+      if (name.empty()) {
+        stack_.push_back({Scope::Kind::kNamespace, ""});
+        pushed = 1;
+      } else {
+        while (pos <= name.size()) {
+          const std::size_t sep = name.find("::", pos);
+          stack_.push_back({Scope::Kind::kNamespace,
+                            name.substr(pos, sep == std::string::npos
+                                                 ? std::string::npos
+                                                 : sep - pos)});
+          ++pushed;
+          if (sep == std::string::npos) break;
+          pos = sep + 2;
+        }
+      }
+      brace_pops_.push_back(pushed);
+      return j + 1;
+    }
+    return j;
+  }
+
+  std::size_t parse_enum(std::size_t i) {
+    std::size_t j = i + 1;
+    while (j < t_.size() && t_[j].text != "{" && t_[j].text != ";") ++j;
+    if (j < t_.size() && t_[j].text == "{") j = skip_balanced(t_, j);
+    // Trailing `;` (or declarator names for `enum {..} x;`) -- skip.
+    while (j < t_.size() && t_[j].text != ";") ++j;
+    return j < t_.size() ? j + 1 : j;
+  }
+
+  std::size_t parse_class(std::size_t i) {
+    // class [attrs/macros] Name [final] [: bases] { ... } [;]
+    // A `;` before '{' is a forward declaration.
+    std::string name;
+    std::size_t j = i + 1;
+    int depth = 0;
+    for (; j < t_.size(); ++j) {
+      const std::string& s = t_[j].text;
+      if (s == "(" || s == "[") { j = skip_balanced(t_, j) - 1; continue; }
+      if (s == "<") { j = skip_angles(t_, j) - 1; continue; }
+      if (s == ";" && depth == 0) return j + 1;  // forward declaration
+      if (s == ":" && depth == 0) {
+        // Base clause: name is fixed; scan on for the '{'.
+        for (std::size_t k = j + 1; k < t_.size(); ++k) {
+          const std::string& u = t_[k].text;
+          if (u == "<") { k = skip_angles(t_, k) - 1; continue; }
+          if (u == "{") { j = k; break; }
+          if (u == ";") return k + 1;
+        }
+        break;
+      }
+      if (s == "{" && depth == 0) break;
+      if (is_ident_tok(s) && s != "final" && !is_attribute_macro(s)) name = s;
+    }
+    if (j >= t_.size() || t_[j].text != "{") return t_.size();
+    stack_.push_back({Scope::Kind::kClass, name});
+    brace_pops_.push_back(1);
+    return j + 1;
+  }
+
+  /// One declaration at namespace/class scope: a variable, a function
+  /// declaration, or a function definition (whose body is analyzed).
+  std::size_t parse_declaration(std::size_t i) {
+    bool saw_static = false;
+    bool saw_const = false;
+    bool is_operator = false;
+    std::string chain;          // identifier chain being built
+    std::string fn_name;        // chain before the last real '(' group
+    std::size_t fn_line = 0;
+    std::size_t last_paren_end = 0;  // one past the fn params ')' token
+    std::string guarded_cap;    // P2PLB_GUARDED_BY / ACQUIRE / REQUIRES cap
+    std::set<std::string> requires_caps;
+    std::size_t last_ident_idx = 0;
+    std::size_t j = i;
+    for (; j < t_.size(); ++j) {
+      const std::string& s = t_[j].text;
+      if (s == "[") { j = skip_balanced(t_, j) - 1; continue; }
+      if (s == "typedef" || s == "using" || s == "friend")
+        return skip_to_semicolon(j);  // `__extension__ typedef ...`
+      if (s == "static") { saw_static = true; continue; }
+      if (in(kConstSpecifiers, s)) { saw_const = true; continue; }
+      if (s == "operator") {
+        is_operator = true;
+        chain = "operator";
+        continue;
+      }
+      if (s == "<" && j > i && is_ident_tok(t_[j - 1].text) &&
+          !(is_operator && fn_name.empty())) {
+        j = skip_angles(t_, j) - 1;
+        continue;
+      }
+      if (is_ident_tok(s)) {
+        if (is_attribute_macro(s)) {
+          // P2PLB_GUARDED_BY(c) / P2PLB_REQUIRES(c) / P2PLB_ACQUIRE(c):
+          // record the capability, consume the group, leave the chain.
+          if (j + 1 < t_.size() && t_[j + 1].text == "(") {
+            const std::string cap = last_ident_in_parens(t_, j + 1);
+            if (!cap.empty()) {
+              if (s == "P2PLB_GUARDED_BY") guarded_cap = cap;
+              else requires_caps.insert(cap);
+            }
+            j = skip_balanced(t_, j + 1) - 1;
+          }
+          continue;
+        }
+        if (is_operator && fn_name.empty()) {
+          chain += s;  // "operator bool"
+        } else if (j >= 1 && t_[j - 1].text == "::") {
+          chain += "::" + s;
+        } else if (j >= 1 && t_[j - 1].text == "~") {
+          chain = "~" + s;
+        } else {
+          chain = s;
+        }
+        last_ident_idx = j;
+        continue;
+      }
+      if (is_operator && fn_name.empty() && s.size() == 1 &&
+          std::string("+-*/%^&|~!=<>,").find(s[0]) != std::string::npos) {
+        chain += s;  // operator> , operator== , ...
+        continue;
+      }
+      if (s == "(") {
+        if (is_operator && j + 1 < t_.size() && t_[j + 1].text == ")" &&
+            j + 2 < t_.size() && t_[j + 2].text == "(") {
+          chain += "()";
+          j += 1;  // land on ')' so the next '(' is the parameter list
+          continue;
+        }
+        const bool after_ident =
+            (j > i && (is_ident_tok(t_[j - 1].text) || t_[j - 1].text == ")")) ||
+            (is_operator && chain.size() > 8 /* "operator" plus symbols */);
+        const std::size_t end = skip_balanced(t_, j);
+        if (after_ident && !chain.empty()) {
+          fn_name = chain;
+          fn_line = t_[last_ident_idx].line;
+          last_paren_end = end;
+        }
+        j = end - 1;
+        continue;
+      }
+      if (s == "=") {
+        // `= default / delete / 0` right after a declarator's parens is
+        // still a function declaration; any other initializer makes
+        // this a variable.
+        const bool fn_default =
+            last_paren_end != 0 && j + 1 < t_.size() &&
+            only_qualifiers(last_paren_end, j) &&
+            (t_[j + 1].text == "default" || t_[j + 1].text == "delete" ||
+             t_[j + 1].text == "0");
+        if (fn_default) {
+          const std::size_t next = skip_to_semicolon(j);
+          finish_function_decl(fn_name, fn_line, requires_caps);
+          return next;
+        }
+        const std::size_t next = skip_to_semicolon(j);
+        emit_variable(j, saw_static, saw_const, guarded_cap);
+        return next;
+      }
+      if (s == ":" && last_paren_end != 0 && only_qualifiers(last_paren_end, j)) {
+        // Constructor initializer list: scan to the body's '{'.
+        std::size_t k = j + 1;
+        int depth = 0;
+        for (; k < t_.size(); ++k) {
+          const std::string& u = t_[k].text;
+          if (u == "(" || u == "[") { k = skip_balanced(t_, k) - 1; continue; }
+          if (u == "<") { k = skip_angles(t_, k) - 1; continue; }
+          if (u == "{" && depth == 0) break;
+          if (u == ";") return k + 1;  // malformed; bail
+        }
+        if (k >= t_.size()) return t_.size();
+        return finish_function_def(fn_name, fn_line, requires_caps, j, k);
+      }
+      if (s == "{") {
+        if (last_paren_end != 0 && only_qualifiers(last_paren_end, j))
+          return finish_function_def(fn_name, fn_line, requires_caps, 0, j);
+        // Braced init (`T x{...};`) or an unrecognized scope: skip it.
+        const std::size_t end = skip_balanced(t_, j);
+        if (j > i && is_ident_tok(t_[j - 1].text) && !chain.empty())
+          emit_variable(j, saw_static, saw_const, guarded_cap);
+        std::size_t k = end;
+        while (k < t_.size() && t_[k].text == ";") ++k;
+        return k;
+      }
+      if (s == ";") {
+        if (last_paren_end != 0 && only_qualifiers(last_paren_end, j)) {
+          finish_function_decl(fn_name, fn_line, requires_caps);
+        } else if (!chain.empty() && last_ident_idx > i) {
+          emit_variable(j, saw_static, saw_const, guarded_cap);
+        }
+        return j + 1;
+      }
+      if (s == "->") {
+        // Trailing return type: consume up to the ';' or '{' decision
+        // points without resetting the declarator chain.
+        continue;
+      }
+    }
+    return t_.size();
+  }
+
+  /// True when tokens in [from, to) are only post-paren qualifiers,
+  /// attribute macros (with their groups) or trailing-return tokens.
+  bool only_qualifiers(std::size_t from, std::size_t to) const {
+    bool in_trailing_return = false;
+    for (std::size_t k = from; k < to; ++k) {
+      const std::string& s = t_[k].text;
+      if (s == "->") { in_trailing_return = true; continue; }
+      if (in_trailing_return) continue;
+      if (in(kPostParenQualifiers, s)) continue;
+      if (is_attribute_macro(s)) {
+        if (k + 1 < to && t_[k + 1].text == "(")
+          k = skip_balanced(t_, k + 1) - 1;
+        continue;
+      }
+      if (s == "(") { k = skip_balanced(t_, k) - 1; continue; }  // noexcept(..)
+      if (s == "[") { k = skip_balanced(t_, k) - 1; continue; }  // [[attr]]
+      return false;
+    }
+    return true;
+  }
+
+  /// The declared name just before the terminator at `term`, walking
+  /// back over attribute-macro groups and array suffixes.
+  std::pair<std::string, std::size_t> declared_name(std::size_t term) const {
+    std::size_t k = term;
+    while (k > 0) {
+      const std::string& s = t_[k - 1].text;
+      if (s == ")" || s == "]") {
+        // Walk back to the matching opener; if a P2PLB_* macro precedes
+        // a paren group, hop over the macro name too.
+        int depth = 0;
+        std::size_t m = k - 1;
+        const std::string close = s;
+        const std::string open = s == ")" ? "(" : "[";
+        for (; m > 0; --m) {
+          if (t_[m - 1].text == close) ++depth;
+          // (the token at k-1 itself counts once)
+          if (t_[m - 1].text == open && depth-- == 0) break;
+        }
+        // m-1 is the opener; include a preceding macro name.
+        if (m >= 2 && is_attribute_macro(t_[m - 2].text)) --m;
+        k = m - 1;
+        continue;
+      }
+      if (is_ident_tok(s)) return {s, t_[k - 1].line};
+      break;
+    }
+    return {"", 0};
+  }
+
+  void emit_variable(std::size_t term, bool saw_static, bool saw_const,
+                     const std::string& guarded_cap) {
+    const auto [name, line] = declared_name(term);
+    if (name.empty() || name == "default" || name == "delete") return;
+    VarInfo v;
+    v.name = name;
+    v.scope = scope_chain();
+    v.file = f_.path.generic_string();
+    v.line = line;
+    v.module = f_.module;
+    v.kind = in_class()
+                 ? (saw_static ? VarInfo::Kind::kStaticMember
+                               : VarInfo::Kind::kMember)
+                 : VarInfo::Kind::kNamespaceScope;
+    v.is_mutable = !saw_const;
+    v.capability = guarded_cap;
+    if (v.capability.empty()) {
+      std::set<std::string> caps;
+      comment_caps(line, /*want_holds=*/false, caps);
+      if (!caps.empty()) v.capability = *caps.begin();
+    }
+    out_.vars.push_back(std::move(v));
+  }
+
+  void finish_function_decl(const std::string& chain, std::size_t line,
+                            const std::set<std::string>& requires_caps) {
+    if (chain.empty()) return;
+    auto [scope, name] = split_chain(chain);
+    FunctionInfo probe;
+    probe.name = name;
+    probe.scope = scope;
+    std::set<std::string> holds = requires_caps;
+    comment_caps(line, /*want_holds=*/true, holds);
+    if (!holds.empty())
+      out_.declared_holds[probe.key()].insert(holds.begin(), holds.end());
+  }
+
+  std::size_t finish_function_def(const std::string& chain, std::size_t line,
+                                  const std::set<std::string>& requires_caps,
+                                  std::size_t init_list_at,
+                                  std::size_t body_open) {
+    const std::size_t body_end = skip_balanced(t_, body_open);
+    if (chain.empty()) return body_end;
+    auto [scope, name] = split_chain(chain);
+    FunctionInfo fn;
+    fn.name = name;
+    fn.scope = scope;
+    fn.file = f_.path.generic_string();
+    fn.line = line;
+    fn.module = f_.module;
+    fn.has_body = true;
+    fn.holds = requires_caps;
+    comment_caps(line, /*want_holds=*/true, fn.holds);
+    if (init_list_at != 0)
+      scan_ctor_init_list(fn, init_list_at + 1, body_open);
+    scan_body(fn, body_open + 1, body_end > 0 ? body_end - 1 : body_open + 1);
+    out_.functions.push_back(std::move(fn));
+    // Trailing `;` after `} ;` (rare for functions) falls out naturally.
+    return body_end;
+  }
+
+  /// chain "Engine::step" inside scope p2plb::sim -> scope
+  /// "p2plb::sim::Engine", name "step".
+  std::pair<std::string, std::string> split_chain(const std::string& chain) {
+    std::string scope = scope_chain();
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t sep = chain.find("::", pos);
+      if (sep == std::string::npos) break;
+      if (!scope.empty()) scope += "::";
+      scope += chain.substr(pos, sep - pos);
+      pos = sep + 2;
+    }
+    return {scope, chain.substr(pos)};
+  }
+
+  /// `: kind_(kind), wheel_(arena_)` -- each entry initializes a member.
+  void scan_ctor_init_list(FunctionInfo& fn, std::size_t i,
+                           std::size_t body_open) {
+    for (std::size_t k = i; k < body_open; ++k) {
+      const std::string& s = t_[k].text;
+      if (s == "(" || s == "{" || s == "[") {
+        k = skip_balanced(t_, k) - 1;
+        continue;
+      }
+      if (s == "<") { k = skip_angles(t_, k) - 1; continue; }
+      if (is_ident_tok(s) && k + 1 < body_open &&
+          (t_[k + 1].text == "(" || t_[k + 1].text == "{"))
+        record_write(fn, s);
+    }
+  }
+
+  // --- body analysis -----------------------------------------------------
+
+  void scan_body(FunctionInfo& fn, std::size_t i, std::size_t end) {
+    for (std::size_t k = i; k < end; ++k) {
+      const std::string& s = t_[k].text;
+      if (s == "static") {
+        k = parse_static_local(fn, k, end);
+        continue;
+      }
+      if (s == "ShardGuard") {
+        // `const ShardGuard guard(cap_);` grants the capability for the
+        // rest of the function (clang sees the same via scoped_lockable).
+        std::size_t m = k + 1;
+        while (m < end && t_[m].text != "(" && t_[m].text != ";") ++m;
+        if (m < end && t_[m].text == "(") {
+          const std::string cap = last_ident_in_parens(t_, m);
+          if (!cap.empty()) fn.holds.insert(cap);
+          k = skip_balanced(t_, m) - 1;
+        }
+        continue;
+      }
+      if (!is_ident_tok(s)) {
+        // Pre-increment / pre-decrement.
+        if ((s == "+" || s == "-") && k + 2 < end && t_[k + 1].text == s &&
+            is_ident_tok(t_[k + 2].text) &&
+            !(k > i && (t_[k - 1].text == "." || t_[k - 1].text == "->")))
+          record_write(fn, t_[k + 2].text);
+        continue;
+      }
+
+      const bool member_access =
+          k > i && (t_[k - 1].text == "." || t_[k - 1].text == "->");
+      const std::string& next = k + 1 < end ? t_[k + 1].text : empty_;
+
+      // Calls: bare or ::-qualified identifier directly before '('.
+      // A preceding identifier usually means a declaration
+      // (`Foo x(...)`) -- except statement keywords (`return f(x)`).
+      const bool prev_is_decl_type =
+          k > i && is_ident_tok(t_[k - 1].text) && !in(kNotCalls, t_[k - 1].text) &&
+          t_[k - 1].text != "else" && t_[k - 1].text != "do" &&
+          t_[k - 1].text != "case" && t_[k - 1].text != "default" &&
+          !is_attribute_macro(t_[k - 1].text);
+      if (next == "(" && !member_access && !in(kNotCalls, s) &&
+          !is_attribute_macro(s) && !prev_is_decl_type) {
+        std::string callee = s;
+        for (std::size_t b = k; b >= 2 && t_[b - 1].text == "::"; b -= 2) {
+          if (!is_ident_tok(t_[b - 2].text)) break;
+          callee = t_[b - 2].text + "::" + callee;
+        }
+        fn.calls.push_back(callee);
+      }
+
+      // Writes.  Walk the access chain from the head identifier
+      // (`totals_.messages += 1` writes totals_ AND messages; `x[i] = v`
+      // writes x; `vs_slot_.erase(id)` is a mutating call on vs_slot_).
+      // Field tokens re-enter this loop as their own heads, so a write
+      // to `net_.ambient_` records both net_ and ambient_ -- exactly
+      // what confinement needs.
+      std::size_t after = k + 1;
+      bool wrote = false;
+      while (after < end) {
+        if (t_[after].text == "[") {
+          after = skip_balanced(t_, after);
+          continue;
+        }
+        if ((t_[after].text == "." || t_[after].text == "->") &&
+            after + 1 < end && is_ident_tok(t_[after + 1].text)) {
+          // A hop whose target is invoked ends the chain: mutating
+          // methods count as a write to the head, others do not.
+          if (after + 2 < end && t_[after + 2].text == "(") {
+            wrote = in(kMutatingCalls, t_[after + 1].text);
+            after = end;  // chain fully classified
+            break;
+          }
+          after += 2;
+          continue;
+        }
+        break;
+      }
+      if (!wrote && after < end) {
+        const std::string& a = t_[after].text;
+        const std::string& a2 = after + 1 < end ? t_[after + 1].text : empty_;
+        const std::string& a3 = after + 2 < end ? t_[after + 2].text : empty_;
+        const bool plain_assign = a == "=" && a2 != "=";
+        const bool compound_assign =
+            (a == "+" || a == "-" || a == "*" || a == "/" || a == "%" ||
+             a == "&" || a == "|" || a == "^") &&
+            a2 == "=";
+        const bool shift_assign = (a == "<" || a == ">") && a2 == a && a3 == "=";
+        const bool post_incdec = (a == "+" || a == "-") && a2 == a &&
+                                 !(after + 2 < end && is_ident_tok(a3));
+        wrote = plain_assign || compound_assign || shift_assign || post_incdec;
+      }
+      if (wrote) record_write(fn, s);
+    }
+  }
+
+  std::size_t parse_static_local(FunctionInfo& fn, std::size_t k,
+                                 std::size_t end) {
+    // `static [const...] T name [init];` inside a body.  The next token
+    // being '(' would be a macro-ish use; bail.
+    bool saw_const = false;
+    std::size_t term = k + 1;
+    int depth = 0;
+    for (; term < end; ++term) {
+      const std::string& s = t_[term].text;
+      if (in(kConstSpecifiers, s)) saw_const = true;
+      if (s == "<") { term = skip_angles(t_, term) - 1; continue; }
+      if (s == "(" || s == "[" || s == "{") {
+        if (s == "{" && depth == 0) break;  // braced init
+        term = skip_balanced(t_, term) - 1;
+        continue;
+      }
+      if (s == "=" || s == ";") break;
+      (void)depth;
+    }
+    if (term >= end) return end;
+    const auto [name, line] = declared_name(term);
+    if (name.empty()) return term;
+    VarInfo v;
+    v.name = name;
+    v.scope = scope_chain();
+    v.file = f_.path.generic_string();
+    v.line = line != 0 ? line : t_[k].line;
+    v.module = f_.module;
+    v.kind = VarInfo::Kind::kStaticLocal;
+    v.is_mutable = !saw_const;
+    v.function = fn.key();
+    out_.vars.push_back(std::move(v));
+    return term;
+  }
+
+  void record_write(FunctionInfo& fn, const std::string& name) {
+    if (!is_ident_tok(name)) return;
+    fn.writes_member.insert(name);  // resolved/reclassified later
+  }
+
+  const SourceFile& f_;
+  std::vector<Token> t_;
+  ScanResult& out_;
+  std::vector<Scope> stack_;
+  std::vector<std::size_t> brace_pops_;  ///< Scope components per open brace.
+  const std::string empty_;
+};
+
+// ---------------------------------------------------------------------------
+// Resolution: writes -> variable keys, calls -> function keys,
+// transitive closure over the call graph.
+
+std::string var_key(const VarInfo& v) {
+  return v.scope.empty() ? v.name : v.scope + "::" + v.name;
+}
+
+/// True when `inner` equals `outer` or is nested inside it
+/// ("p2plb::sim::Network::ContextScope" is inside "p2plb::sim::Network").
+bool scope_within(const std::string& inner, const std::string& outer) {
+  if (outer.empty()) return true;
+  if (inner == outer) return true;
+  return inner.size() > outer.size() + 2 &&
+         inner.compare(0, outer.size(), outer) == 0 &&
+         inner.compare(outer.size(), 2, "::") == 0;
+}
+
+}  // namespace
+
+EffectsReport::Totals EffectsReport::totals() const {
+  Totals t;
+  t.functions = functions.size();
+  for (const FunctionInfo& f : functions) {
+    t.call_edges += f.calls.size();
+    t.unresolved_calls += f.unresolved_calls.size();
+    t.global_writes += f.writes_global.size();
+    t.member_writes += f.writes_member.size();
+  }
+  for (const VarInfo& v : vars) {
+    if (v.kind == VarInfo::Kind::kStaticLocal) {
+      if (v.is_mutable) ++t.static_locals;
+    } else if (v.kind != VarInfo::Kind::kMember && v.is_mutable) {
+      ++t.mutable_globals;
+    }
+    if (!v.capability.empty()) ++t.shared_vars;
+  }
+  return t;
+}
+
+EffectsReport analyze_effects(const std::vector<SourceFile>& files) {
+  ScanResult scan;
+  for (const SourceFile& f : files) {
+    if (f.module.empty() || f.module.rfind("tools/", 0) == 0) continue;
+    Scanner(f, scan).run();
+  }
+
+  EffectsReport report;
+  report.vars = std::move(scan.vars);
+  report.functions = std::move(scan.functions);
+
+  // Merge holds gathered from bodyless declarations (header prototypes
+  // carrying P2PLB_REQUIRES / `p2plb: holds(...)`).
+  for (FunctionInfo& fn : report.functions) {
+    const auto it = scan.declared_holds.find(fn.key());
+    if (it != scan.declared_holds.end())
+      fn.holds.insert(it->second.begin(), it->second.end());
+  }
+
+  // Index variables by bare name for write resolution.
+  std::multimap<std::string, const VarInfo*> vars_by_name;
+  for (const VarInfo& v : report.vars)
+    if (v.kind != VarInfo::Kind::kStaticLocal)
+      vars_by_name.emplace(v.name, &v);
+
+  for (FunctionInfo& fn : report.functions) {
+    std::set<std::string> raw = std::move(fn.writes_member);
+    fn.writes_member.clear();
+    for (const std::string& name : raw) {
+      const VarInfo* best = nullptr;
+      const auto [lo, hi] = vars_by_name.equal_range(name);
+      for (auto it = lo; it != hi; ++it) {
+        const VarInfo* v = it->second;
+        // Members resolve within the writer's class chain; anonymous-
+        // namespace and file-scope globals within their own file; named
+        // namespace globals anywhere their scope prefixes the writer's
+        // (or, for cross-namespace writes, by unique name).
+        const bool anon = v->scope.find("(anonymous)") != std::string::npos;
+        if (v->kind == VarInfo::Kind::kNamespaceScope) {
+          if (anon && v->file != fn.file) continue;
+          if (!anon && !scope_within(fn.scope, v->scope) && hi != std::next(lo))
+            continue;
+        } else {
+          if (!scope_within(fn.scope, v->scope)) continue;
+        }
+        if (best == nullptr || v->scope.size() > best->scope.size()) best = v;
+      }
+      if (best != nullptr) {
+        if (best->kind == VarInfo::Kind::kNamespaceScope)
+          fn.writes_global.insert(var_key(*best));
+        else
+          fn.writes_member.insert(var_key(*best));
+      } else if (!name.empty() && name.back() == '_') {
+        // Unresolved trailing-underscore write: count it as a member
+        // write of the writer's own class so nothing mutable hides.
+        fn.writes_member.insert(
+            (fn.scope.empty() ? std::string() : fn.scope + "::") + name);
+      }
+    }
+  }
+
+  // Call resolution: same class chain, then same file, then same module,
+  // then unique bare-name match anywhere.  std:: and other unmatched
+  // qualified calls fall out of the model (not "unresolved": the report
+  // tracks project functions only).
+  std::multimap<std::string, std::size_t> fns_by_name;
+  for (std::size_t idx = 0; idx < report.functions.size(); ++idx)
+    fns_by_name.emplace(report.functions[idx].name, idx);
+
+  for (FunctionInfo& fn : report.functions) {
+    std::vector<std::string> resolved;
+    std::set<std::string> unresolved;
+    for (const std::string& callee : fn.calls) {
+      const std::size_t sep = callee.rfind("::");
+      const std::string bare =
+          sep == std::string::npos ? callee : callee.substr(sep + 2);
+      const std::string qual =
+          sep == std::string::npos ? std::string() : callee.substr(0, sep);
+      if (qual == "std") continue;
+      const auto [lo, hi] = fns_by_name.equal_range(bare);
+      const FunctionInfo* best = nullptr;
+      int best_rank = -1;
+      for (auto it = lo; it != hi; ++it) {
+        const FunctionInfo& cand = report.functions[it->second];
+        if (!qual.empty()) {
+          // Qualified call: the candidate's scope must end with the
+          // qualifier ("Engine" matches "p2plb::sim::Engine").
+          const std::string& sc = cand.scope;
+          const bool ends = sc == qual ||
+                            (sc.size() > qual.size() + 2 &&
+                             sc.compare(sc.size() - qual.size() - 2, 2, "::") == 0 &&
+                             sc.compare(sc.size() - qual.size(), qual.size(),
+                                        qual) == 0);
+          if (!ends) continue;
+        }
+        int rank = 0;
+        if (cand.module == fn.module) rank = 1;
+        if (cand.file == fn.file) rank = 2;
+        if (scope_within(fn.scope, cand.scope) ||
+            scope_within(cand.scope, fn.scope))
+          rank = 3;
+        if (rank > best_rank) {
+          best_rank = rank;
+          best = &cand;
+        } else if (rank == best_rank && best != nullptr &&
+                   best_rank == 0) {
+          best = nullptr;  // ambiguous global match: drop, don't guess
+          best_rank = 0;
+        }
+      }
+      if (best != nullptr) resolved.push_back(best->key());
+      else if (lo != hi || !qual.empty())
+        ;  // ambiguous or foreign-qualified: outside the model
+      else if (bare.find("__") == std::string::npos)
+        unresolved.insert(bare);
+    }
+    std::sort(resolved.begin(), resolved.end());
+    resolved.erase(std::unique(resolved.begin(), resolved.end()),
+                   resolved.end());
+    fn.calls = std::move(resolved);
+    fn.unresolved_calls.assign(unresolved.begin(), unresolved.end());
+  }
+
+  // Telescope write-sets through the call graph to a fixpoint.
+  std::map<std::string, std::size_t> index;
+  for (std::size_t idx = 0; idx < report.functions.size(); ++idx)
+    index.emplace(report.functions[idx].key(), idx);
+  for (FunctionInfo& fn : report.functions) {
+    fn.transitive_writes_global = fn.writes_global;
+    fn.transitive_writes_member = fn.writes_member;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (FunctionInfo& fn : report.functions) {
+      for (const std::string& callee : fn.calls) {
+        const auto it = index.find(callee);
+        if (it == index.end()) continue;
+        const FunctionInfo& c = report.functions[it->second];
+        for (const std::string& w : c.transitive_writes_global)
+          changed |= fn.transitive_writes_global.insert(w).second;
+        for (const std::string& w : c.transitive_writes_member)
+          changed |= fn.transitive_writes_member.insert(w).second;
+      }
+    }
+  }
+
+  const auto by_location = [](const auto& a, const auto& b) {
+    return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+  };
+  std::sort(report.vars.begin(), report.vars.end(), by_location);
+  std::sort(report.functions.begin(), report.functions.end(), by_location);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Reports.
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') { out += '\\'; out += c; }
+    else if (c == '\n') out += "\\n";
+    else if (static_cast<unsigned char>(c) < 0x20) out += ' ';
+    else out += c;
+  }
+  return out;
+}
+
+void json_string_array(std::ostream& os, const char* field,
+                       const std::set<std::string>& values, bool comma) {
+  os << "\"" << field << "\":[";
+  bool first = true;
+  for (const std::string& v : values) {
+    os << (first ? "" : ",") << '"' << json_escape(v) << '"';
+    first = false;
+  }
+  os << "]" << (comma ? "," : "");
+}
+
+const char* var_kind_name(VarInfo::Kind k) {
+  switch (k) {
+    case VarInfo::Kind::kNamespaceScope: return "namespace-scope";
+    case VarInfo::Kind::kStaticMember: return "static-member";
+    case VarInfo::Kind::kMember: return "member";
+    case VarInfo::Kind::kStaticLocal: return "static-local";
+  }
+  return "?";
+}
+
+/// Per-module accumulator rows for the Markdown table.
+struct LayerRow {
+  std::size_t functions = 0;
+  std::size_t call_edges = 0;
+  std::size_t global_writes = 0;
+  std::size_t member_writes = 0;
+  std::size_t mutable_globals = 0;
+  std::size_t static_locals = 0;
+  std::size_t shared_vars = 0;
+};
+
+}  // namespace
+
+std::string effects_json(const EffectsReport& report) {
+  std::ostringstream os;
+  os << "{\"schema\":\"p2plb-effects-1\",\n\"globals\":[\n";
+  bool first = true;
+  for (const VarInfo& v : report.vars) {
+    if (v.kind == VarInfo::Kind::kMember && v.capability.empty())
+      continue;  // plain members matter only via write-sets
+    os << (first ? "" : ",\n");
+    first = false;
+    os << "{\"name\":\"" << json_escape(var_key(v)) << "\",\"file\":\""
+       << json_escape(v.file) << "\",\"line\":" << v.line << ",\"module\":\""
+       << json_escape(v.module) << "\",\"kind\":\"" << var_kind_name(v.kind)
+       << "\",\"mutable\":" << (v.is_mutable ? "true" : "false");
+    if (!v.capability.empty())
+      os << ",\"shared\":\"" << json_escape(v.capability) << "\"";
+    if (!v.function.empty())
+      os << ",\"function\":\"" << json_escape(v.function) << "\"";
+    os << "}";
+  }
+  os << "\n],\n\"functions\":[\n";
+  first = true;
+  for (const FunctionInfo& f : report.functions) {
+    os << (first ? "" : ",\n");
+    first = false;
+    os << "{\"name\":\"" << json_escape(f.key()) << "\",\"file\":\""
+       << json_escape(f.file) << "\",\"line\":" << f.line << ",\"module\":\""
+       << json_escape(f.module) << "\",";
+    json_string_array(os, "holds", f.holds, true);
+    std::set<std::string> calls(f.calls.begin(), f.calls.end());
+    json_string_array(os, "calls", calls, true);
+    std::set<std::string> unresolved(f.unresolved_calls.begin(),
+                                     f.unresolved_calls.end());
+    json_string_array(os, "unresolved_calls", unresolved, true);
+    json_string_array(os, "writes_global", f.writes_global, true);
+    json_string_array(os, "writes_member", f.writes_member, true);
+    json_string_array(os, "transitive_writes_global",
+                      f.transitive_writes_global, true);
+    json_string_array(os, "transitive_writes_member",
+                      f.transitive_writes_member, false);
+    os << "}";
+  }
+  const EffectsReport::Totals t = report.totals();
+  os << "\n],\n\"totals\":{\"functions\":" << t.functions
+     << ",\"call_edges\":" << t.call_edges
+     << ",\"unresolved_calls\":" << t.unresolved_calls
+     << ",\"global_writes\":" << t.global_writes
+     << ",\"member_writes\":" << t.member_writes
+     << ",\"mutable_globals\":" << t.mutable_globals
+     << ",\"static_locals\":" << t.static_locals
+     << ",\"shared_vars\":" << t.shared_vars << "}}\n";
+  return os.str();
+}
+
+std::string effects_markdown(const EffectsReport& report) {
+  std::map<std::string, LayerRow> rows;
+  for (const FunctionInfo& f : report.functions) {
+    LayerRow& r = rows[f.module];
+    ++r.functions;
+    r.call_edges += f.calls.size();
+    r.global_writes += f.writes_global.size();
+    r.member_writes += f.writes_member.size();
+  }
+  for (const VarInfo& v : report.vars) {
+    LayerRow& r = rows[v.module];
+    if (v.kind == VarInfo::Kind::kStaticLocal) {
+      if (v.is_mutable) ++r.static_locals;
+    } else if (v.kind != VarInfo::Kind::kMember && v.is_mutable) {
+      ++r.mutable_globals;
+    }
+    if (!v.capability.empty()) ++r.shared_vars;
+  }
+
+  std::ostringstream os;
+  os << "# Cross-layer mutation table (p2plb-effects-1)\n\n"
+     << "Per-function write-sets of member and global state, telescoped\n"
+     << "through the approximate call graph; see ARCHITECTURE.md\n"
+     << "\"Parallel-readiness & effect analysis\" for the model and its\n"
+     << "documented approximations.\n\n"
+     << "| layer | functions | call edges | global writes | member writes "
+     << "| mutable globals | static locals | shared vars |\n"
+     << "|---|---:|---:|---:|---:|---:|---:|---:|\n";
+  LayerRow sum;
+  for (const auto& [module, r] : rows) {
+    os << "| src/" << module << " | " << r.functions << " | " << r.call_edges
+       << " | " << r.global_writes << " | " << r.member_writes << " | "
+       << r.mutable_globals << " | " << r.static_locals << " | "
+       << r.shared_vars << " |\n";
+    sum.functions += r.functions;
+    sum.call_edges += r.call_edges;
+    sum.global_writes += r.global_writes;
+    sum.member_writes += r.member_writes;
+    sum.mutable_globals += r.mutable_globals;
+    sum.static_locals += r.static_locals;
+    sum.shared_vars += r.shared_vars;
+  }
+  os << "| **total** | " << sum.functions << " | " << sum.call_edges << " | "
+     << sum.global_writes << " | " << sum.member_writes << " | "
+     << sum.mutable_globals << " | " << sum.static_locals << " | "
+     << sum.shared_vars << " |\n";
+
+  // The totals line the acceptance gate checks: Σ(rows) must equal the
+  // independently recomputed totals (they do by construction; the test
+  // and the self-check below keep it that way).
+  const EffectsReport::Totals t = report.totals();
+  os << "\nTotals: functions=" << t.functions << " call_edges=" << t.call_edges
+     << " global_writes=" << t.global_writes
+     << " member_writes=" << t.member_writes
+     << " mutable_globals=" << t.mutable_globals
+     << " static_locals=" << t.static_locals
+     << " shared_vars=" << t.shared_vars << "\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// The three effect rules.
+
+std::vector<Finding> effects_rules(const std::vector<SourceFile>& files,
+                                   const EffectsReport& report) {
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files)
+    by_path.emplace(f.path.generic_string(), &f);
+  const auto emit = [&](const std::string& file, std::size_t line,
+                        const char* rule, std::string message,
+                        std::vector<Finding>& out) {
+    const auto it = by_path.find(file);
+    if (it != by_path.end() && it->second->allowed(line, rule)) return;
+    out.push_back({file, line, rule, std::move(message)});
+  };
+
+  std::vector<Finding> findings;
+
+  // Variable-table keyed by key for the confinement pass.
+  std::map<std::string, const VarInfo*> shared_vars;
+  for (const VarInfo& v : report.vars)
+    if (!v.capability.empty()) shared_vars.emplace(var_key(v), &v);
+
+  for (const VarInfo& v : report.vars) {
+    if (v.kind == VarInfo::Kind::kStaticLocal) {
+      if (!v.is_mutable) continue;
+      emit(v.file, v.line, kRuleStaticLocal,
+           "function-local static '" + v.name + "' in " + v.function +
+               "(): a hidden cross-shard channel under parallel "
+               "execution; hoist it into owned state or make it "
+               "constexpr",
+           findings);
+    } else if (v.kind != VarInfo::Kind::kMember && v.is_mutable) {
+      emit(v.file, v.line, kRuleMutableGlobal,
+           "mutable " +
+               std::string(v.kind == VarInfo::Kind::kStaticMember
+                               ? "static member"
+                               : "namespace-scope variable") +
+               " '" + var_key(v) +
+               "': global mutable state cannot be shard-partitioned; "
+               "move it into an owned object (or mark it const)",
+           findings);
+    }
+  }
+
+  // shard-confinement: every direct write to a shared(<cap>) variable
+  // must come from a function holding <cap>.  Reported at the writing
+  // function's definition line (the token-level pass does not keep
+  // per-write lines; the function is the actionable unit anyway).
+  for (const FunctionInfo& f : report.functions) {
+    // Constructors/destructors initializing their *own* class's members
+    // are exempt (the object is not yet shared); writes into another
+    // class's shared state (Network::ContextScope writing ambient_)
+    // stay checked.
+    const std::size_t tail = f.scope.rfind("::");
+    const std::string own_class =
+        tail == std::string::npos ? f.scope : f.scope.substr(tail + 2);
+    const bool is_ctor_dtor =
+        f.name == own_class || (!f.name.empty() && f.name[0] == '~');
+    for (const std::set<std::string>* writes :
+         {&f.writes_global, &f.writes_member}) {
+      for (const std::string& w : *writes) {
+        const auto it = shared_vars.find(w);
+        if (it == shared_vars.end()) continue;
+        if (is_ctor_dtor && it->second->scope == f.scope) continue;
+        const std::string& cap = it->second->capability;
+        if (f.holds.count(cap) != 0) continue;
+        emit(f.file, f.line, kRuleShardConfinement,
+             f.key() + "() writes '" + w + "' (shared under capability '" +
+                 cap + "') without holding it; annotate the function "
+                 "with P2PLB_REQUIRES(" + cap + ") / '// p2plb: holds(" +
+                 cap + ")' or take a ShardGuard",
+             findings);
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace p2plb::lint

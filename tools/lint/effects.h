@@ -1,0 +1,132 @@
+// Mutation-effect analysis: the semantic layer of p2plb-lint.
+//
+// The ROADMAP's deterministic-parallel-execution item needs a statically
+// checkable answer to "which state does this event handler touch?".
+// This pass builds, per translation unit, an approximate symbol table
+// (every namespace-scope / static / function-local-static variable, with
+// mutability) and an approximate call graph over every function
+// definition in src/, then computes per-function *write-sets* of global
+// and member state -- both direct and telescoped through callees.  The
+// result is emitted as a machine-readable JSON report (schema
+// "p2plb-effects-1") plus a Markdown cross-layer mutation table, and it
+// powers three rules:
+//
+//   no-mutable-global   any mutable namespace-scope / file-static /
+//                       static-member variable in src/ -- the first
+//                       casualties of shard-parallel execution.
+//   no-static-local     mutable function-local statics are hidden
+//                       cross-shard channels (const/constexpr locals,
+//                       which are pure after init, are exempt).
+//   shard-confinement   annotation-driven: state marked shared under a
+//                       capability may only be written by functions that
+//                       hold it.
+//
+// Annotation grammar (ARCHITECTURE.md "Parallel-readiness" has the
+// full table).  Both spellings feed one model -- the comment form for
+// fixtures and container members, the macro form shared verbatim with
+// clang's -Wthread-safety checker (src/common/thread_safety.h):
+//
+//   T x_;                          // p2plb: shared(<cap>)
+//   T x_ P2PLB_GUARDED_BY(<cap>);
+//   void f();                      // p2plb: holds(<cap>[, <cap>...])
+//   void f() P2PLB_REQUIRES(<cap>);
+//   void f() { const ShardGuard guard(<cap>); ... }   // grants <cap>
+//
+// Like the rest of the linter this is a tokenizer-level approximation,
+// not a compiler: declarations initialised with constructor parentheses
+// at namespace scope parse as function declarations, writes through
+// references/pointers and by-reference out-params are invisible, and a
+// declaration containing `const` anywhere counts as immutable.  The
+// boundaries are documented so the rules stay predictable; clang's
+// capability analysis (P2PLB_THREAD_SAFETY=ON) and the TSan CI job are
+// the semantic backstops.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace p2plb::lint {
+
+/// One variable the symbol table classified.
+struct VarInfo {
+  std::string name;
+  std::string scope;  ///< Enclosing namespace/class chain ("p2plb::sim::Engine").
+  std::string file;
+  std::size_t line = 0;
+  std::string module;  ///< Lint module ("sim", "chord", ...).
+  enum class Kind {
+    kNamespaceScope,  ///< namespace / file scope (incl. anonymous namespaces)
+    kStaticMember,    ///< static data member of a class
+    kMember,          ///< non-static data member (tracked for write-sets)
+    kStaticLocal,     ///< function-local static
+  } kind = Kind::kNamespaceScope;
+  bool is_mutable = false;  ///< No const/constexpr/constinit in the declaration.
+  std::string capability;   ///< shared(<cap>) / P2PLB_GUARDED_BY(<cap>), or "".
+  std::string function;     ///< For kStaticLocal: the declaring function.
+};
+
+/// One function definition (or annotated declaration) in the call graph.
+struct FunctionInfo {
+  std::string name;   ///< Bare name ("step").
+  std::string scope;  ///< Enclosing chain ("p2plb::sim::Engine").
+  std::string file;
+  std::size_t line = 0;
+  std::string module;
+  bool has_body = false;
+  std::set<std::string> holds;  ///< Capabilities held (holds/REQUIRES/guard).
+  std::vector<std::string> calls;            ///< Resolved callee keys.
+  std::vector<std::string> unresolved_calls; ///< Callee names with no definition.
+  /// Direct writes, as "scope::name" keys into the variable table.
+  std::set<std::string> writes_global;
+  std::set<std::string> writes_member;
+  /// Direct ∪ callees' transitive (the telescoped write-sets).
+  std::set<std::string> transitive_writes_global;
+  std::set<std::string> transitive_writes_member;
+
+  [[nodiscard]] std::string key() const {
+    return scope.empty() ? name : scope + "::" + name;
+  }
+};
+
+/// The whole report over one parsed tree.
+struct EffectsReport {
+  std::vector<VarInfo> vars;            ///< Sorted by (file, line).
+  std::vector<FunctionInfo> functions;  ///< Sorted by (file, line).
+
+  struct Totals {
+    std::size_t functions = 0;
+    std::size_t call_edges = 0;
+    std::size_t unresolved_calls = 0;
+    std::size_t global_writes = 0;      ///< Σ direct writes_global
+    std::size_t member_writes = 0;      ///< Σ direct writes_member
+    std::size_t mutable_globals = 0;
+    std::size_t static_locals = 0;      ///< mutable ones only
+    std::size_t shared_vars = 0;
+  };
+  /// Recompute the totals from the rows (the JSON/Markdown writers call
+  /// this; tests assert Σ(per-layer rows) == totals line).
+  [[nodiscard]] Totals totals() const;
+};
+
+/// Build the report over every src/ module file in `files` (tools/,
+/// bench/, examples/ and tests/ are outside the effect model).
+[[nodiscard]] EffectsReport analyze_effects(const std::vector<SourceFile>& files);
+
+/// The machine-readable report (schema "p2plb-effects-1").
+[[nodiscard]] std::string effects_json(const EffectsReport& report);
+
+/// The cross-layer mutation table: one row per module plus a totals row
+/// that equals the column sums exactly.
+[[nodiscard]] std::string effects_markdown(const EffectsReport& report);
+
+/// The three effect rules, evaluated against an already-built report.
+/// (run_rules() calls this; split out so tests can inspect the report
+/// and the findings together.)
+[[nodiscard]] std::vector<Finding> effects_rules(
+    const std::vector<SourceFile>& files, const EffectsReport& report);
+
+}  // namespace p2plb::lint

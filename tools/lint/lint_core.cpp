@@ -1,5 +1,7 @@
 #include "lint_core.h"
 
+#include "effects.h"
+
 #include <algorithm>
 #include <array>
 #include <cctype>
@@ -413,6 +415,43 @@ void collect_allows(const StrippedFile& stripped, SourceFile& out) {
   }
 }
 
+/// Capability annotations (`p2plb: shared(cap)` / `p2plb: holds(a, b)`)
+/// for the effect analyzer, with the same own-line-covers-next-line
+/// behaviour as allow directives.
+void collect_notes(const StrippedFile& stripped, SourceFile& out) {
+  for (const auto& comment : stripped.comments) {
+    const std::size_t tag = comment.text.find("p2plb:");
+    if (tag == std::string::npos) continue;
+    for (const char* verb : {"shared(", "holds("}) {
+      const std::size_t p = comment.text.find(verb, tag);
+      if (p == std::string::npos) continue;
+      const std::size_t open = comment.text.find('(', p);
+      const std::size_t close = comment.text.find(')', open);
+      if (close == std::string::npos) continue;
+      SourceFile::Note note;
+      note.line = comment.line;
+      note.holds = verb[0] == 'h';
+      std::string id;
+      for (std::size_t i = open + 1; i <= close; ++i) {
+        const char c = comment.text[i];
+        if (c == ',' || c == ')') {
+          if (!id.empty()) note.caps.push_back(id);
+          id.clear();
+        } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+          id += c;
+        }
+      }
+      if (note.caps.empty()) continue;
+      out.notes.push_back(note);
+      if (comment.line < stripped.line_has_code.size() &&
+          !stripped.line_has_code[comment.line]) {
+        note.line = comment.line + 1;
+        out.notes.push_back(note);
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Declared-name table for the unordered-iteration rule: every variable,
 // member or alias declared with an unordered container type, across the
@@ -668,6 +707,38 @@ void rule_wallclock_confinement(const SourceFile& f, Emit findings) {
   }
 }
 
+/// An allow() naming a rule that does not exist is silently inert -- the
+/// author believes something is suppressed when nothing is.  Make the
+/// typo itself a finding.  Pushed directly (not through emit()) so a
+/// broken directive cannot suppress its own report; `allow(all)` stays
+/// valid.
+void rule_bad_allow(const SourceFile& f, Emit findings) {
+  // line -> unknown rule ids named there (set: own-line directives
+  // register twice; report the comment's own line only).
+  std::map<std::string, std::set<std::size_t>> unknown;
+  for (const auto& [line, rules] : f.allows)
+    for (const std::string& r : rules) {
+      if (r == "all") continue;
+      // Prose describing the grammar ("allow(<rule>)") is not a
+      // directive: only rule-id-shaped arguments are validated.
+      if (!std::all_of(r.begin(), r.end(), [](char c) {
+            return is_ident_char(c) || c == '-';
+          }))
+        continue;
+      const auto& known = all_rules();
+      if (std::find(known.begin(), known.end(), r) == known.end())
+        unknown[r].insert(line);
+    }
+  for (const auto& [rule, lines] : unknown)
+    for (const std::size_t line : lines) {
+      if (line > 0 && lines.count(line - 1) > 0) continue;
+      findings.push_back(
+          {f.path.generic_string(), line, kRuleBadAllow,
+           "allow(" + rule + ") names no known rule, so it suppresses "
+           "nothing; see p2plb_lint --list-rules"});
+    }
+}
+
 void rule_header_hygiene(const SourceFile& f, Emit findings) {
   if (!f.is_header) return;
   const auto& t = f.tokens;
@@ -699,7 +770,9 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> rules = {
       kRuleLayering,      kRuleStdRand,     kRuleRandomDevice,
       kRuleWallClock,     kRuleUnorderedIter, kRulePointerKeys,
-      kRuleHeaderGuard,   kRuleUsingNamespace, kRuleObsSink};
+      kRuleHeaderGuard,   kRuleUsingNamespace, kRuleObsSink,
+      kRuleMutableGlobal, kRuleShardConfinement, kRuleStaticLocal,
+      kRuleBadAllow};
   return rules;
 }
 
@@ -741,6 +814,7 @@ SourceFile parse_source(const std::filesystem::path& rel_path,
   StrippedFile stripped = strip(contents);
   collect_includes(stripped.code, f);
   collect_allows(stripped, f);
+  collect_notes(stripped, f);
   f.tokens = tokenize(blank_literals(stripped.code));
   return f;
 }
@@ -760,9 +834,18 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files) {
     rule_layering(f, findings);
     rule_determinism(f, declared, findings);
     rule_wallclock_confinement(f, findings);
+    rule_bad_allow(f, findings);
     rule_obs_sink(f, findings);
     rule_header_hygiene(f, findings);
   }
+
+  // The mutation-effect pass (symbol table + call graph over src/).
+  const EffectsReport effects = analyze_effects(files);
+  std::vector<Finding> effect_findings = effects_rules(files, effects);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(effect_findings.begin()),
+                  std::make_move_iterator(effect_findings.end()));
+
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <
@@ -771,7 +854,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files) {
   return findings;
 }
 
-std::vector<Finding> lint_tree(const std::filesystem::path& root) {
+std::vector<SourceFile> load_tree(const std::filesystem::path& root) {
   namespace fs = std::filesystem;
   std::vector<fs::path> paths;
   for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
@@ -800,7 +883,11 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root) {
     buf << is.rdbuf();
     files.push_back(parse_source(fs::relative(p, root), buf.str()));
   }
-  return run_rules(files);
+  return files;
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root) {
+  return run_rules(load_tree(root));
 }
 
 }  // namespace p2plb::lint
