@@ -30,6 +30,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "sim/engine.h"
 #include "sim/network.h"
 
@@ -43,9 +44,10 @@ struct TimedRoundResult {
   std::string engine;
   /// Observability config of this row: "none" (plain timed round),
   /// "null" (no tracer, the overhead baseline), "binary"
-  /// (p2plb-btrace-1 streaming sink), "jsonl" (JSONL streaming sink) or
+  /// (p2plb-btrace-1 streaming sink), "jsonl" (JSONL streaming sink),
   /// "profile" (host-time profiler attached, no tracer -- report-only in
-  /// the delta gate).
+  /// the delta gate) or "windows" (WindowedAggregator fed from the send
+  /// path, no tracer).
   std::string sink = "none";
   double wall_seconds = 0.0;
   std::uint64_t events = 0;
@@ -107,6 +109,13 @@ TimedRoundResult run_timed_round(std::size_t nodes, std::size_t servers,
   }
   std::optional<obs::Profiler> own_profiler;
   if (obs_sink == "profile") profiler = &own_profiler.emplace();
+  std::optional<obs::WindowedAggregator> windows;
+  if (obs_sink == "windows") {
+    // The online metrics plane on the hot path: every send records into
+    // two counter series.  Bucket width 5 closes ~10 buckets per round.
+    windows.emplace(obs::WindowConfig{5.0, 64});
+    net.attach_windows(&*windows);
+  }
   if (profiler != nullptr) {
     engine.attach_profiler(profiler);
     net.attach_profiler(profiler);
@@ -196,8 +205,8 @@ int main(int argc, char** argv) {
   cli.add_flag("obs-sizes",
                "comma-separated ring sizes for the observability-overhead "
                "sweep (one timed round per sink: null tracer, binary, "
-               "jsonl, host-time profiler); given alone it replaces the "
-               "default timed round",
+               "jsonl, host-time profiler, windowed aggregator); given "
+               "alone it replaces the default timed round",
                "");
   cli.add_flag("engine", "event queue for timed rounds: wheel or heap",
                "wheel");
@@ -360,10 +369,11 @@ int main(int argc, char** argv) {
   }
 
   // --- observability overhead -------------------------------------------
-  // The same timed round, four ways: no tracer at all (the baseline),
+  // The same timed round, five ways: no tracer at all (the baseline),
   // the streaming binary sink, the streaming JSONL sink, the host-time
-  // profiler.  The wall-clock deltas are the cost of each instrument;
-  // the byte columns show the on-disk ratio between the trace formats.
+  // profiler, the windowed-metrics aggregator.  The wall-clock deltas
+  // are the cost of each instrument; the byte columns show the on-disk
+  // ratio between the trace formats.
   if (!obs_sizes.empty()) {
     print_heading(std::cout,
                   "observability overhead (one timed round per sink, " +
@@ -372,7 +382,8 @@ int main(int argc, char** argv) {
               "overhead %"});
     for (const std::size_t n : obs_sizes) {
       double base_wall = 0.0;
-      for (const std::string sink : {"null", "binary", "jsonl", "profile"}) {
+      for (const std::string sink :
+           {"null", "binary", "jsonl", "profile", "windows"}) {
         results.push_back(run_timed_round(n, servers, seed, kind, nullptr,
                                           "", nullptr, nullptr, sink));
         const TimedRoundResult& r = results.back();

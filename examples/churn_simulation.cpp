@@ -22,6 +22,12 @@
 // units, and the crash burst drops an `event.crash` marker into the same
 // series -- feed the file to tools/p2plb_report to measure how long the
 // system takes to re-converge.
+//
+// With `--alerts rules.conf` (and optional `--windows W` /
+// `--alerts-out FILE`) an obs::WindowedAggregator + obs::AlertEngine
+// watch the same signals online: the CI alert-smoke job runs this
+// scenario and requires the imbalance rule to fire during the crash
+// burst and resolve after re-convergence.
 #include <algorithm>
 #include <iostream>
 #include <memory>
@@ -33,11 +39,13 @@
 #include "common/table.h"
 #include "lb/health.h"
 #include "lb/protocol_round.h"
+#include "obs/alert.h"
 #include "obs/format.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "sim/engine.h"
 #include "sim/network.h"
 #include "workload/capacity.h"
@@ -117,6 +125,11 @@ int main(int argc, char** argv) {
   cli.add_flag("trace", obs::kTraceFlagHelp, "");
   cli.add_flag("metrics", obs::kMetricsFlagHelp, "");
   cli.add_flag("series", obs::kSeriesFlagHelp, "");
+  cli.add_flag("windows",
+               std::string(obs::kWindowsFlagHelp) + "; 0 = off", "0");
+  cli.add_flag("alerts",
+               std::string(obs::kAlertsFlagHelp) + ", default width 10", "");
+  cli.add_flag("alerts-out", obs::kAlertsOutFlagHelp, "");
   if (!cli.parse(argc, argv)) return 0;
 
   World world;
@@ -154,6 +167,33 @@ int main(int argc, char** argv) {
     sampler->add_registry(net.metrics(), {"net."});
   }
 
+  double window_width = cli.get_double("windows");
+  const std::string alerts_path = cli.get_string("alerts");
+  const std::string alerts_out = cli.get_string("alerts-out");
+  const bool windowing = window_width > 0.0 || !alerts_path.empty();
+  if (windowing && window_width <= 0.0) window_width = 10.0;
+  std::optional<obs::WindowedAggregator> windows;
+  std::optional<obs::AlertEngine> alerts;
+  if (windowing) {
+    // Online sensing: the aggregator is passive (it schedules nothing),
+    // fed by the network's sends and the health probe's boundary
+    // sampling; the alert engine evaluates at every bucket close.
+    windows.emplace(obs::WindowConfig{window_width, 64});
+    net.attach_windows(&*windows);
+    health.register_windows(*windows);
+    if (!alerts_path.empty()) {
+      alerts.emplace(*windows, obs::load_alert_rules_file(alerts_path));
+      if (!trace_path.empty()) alerts->attach_tracer(&tracer);
+      alerts->attach_metrics(&net.metrics());
+    }
+    if (sampler)
+      // The sampler's existing cadence drives window boundaries through
+      // quiet stretches between rounds (no new events are added).
+      sampler->add_probe([&windows](double time, obs::TimeSeriesSink&) {
+        windows->advance_to(time);
+      });
+  }
+
   Table t({"t (s)", "nodes", "heavy % pre", "max overload pre",
            "heavy % post", "max overload post", "moved load",
            "round time", "transfers"});
@@ -172,8 +212,14 @@ int main(int argc, char** argv) {
       self(self, is_join);
     });
   };
-  schedule_churn(schedule_churn, true);
-  schedule_churn(schedule_churn, false);
+  if (churn_rate > 0.0) {
+    // --churn-per-interval 0 isolates the crash burst: the only
+    // disturbance is the designated round's burst, so an alert's
+    // fire/resolve pair brackets it exactly (the CI alert-smoke
+    // scenario).
+    schedule_churn(schedule_churn, true);
+    schedule_churn(schedule_churn, false);
+  }
 
   int rounds_started = 0;
   const int crash_round = intervals / 2;  // this round loses nodes mid-flight
@@ -236,6 +282,8 @@ int main(int argc, char** argv) {
   // (The sampler chain never parks here: the churn keeps the engine busy.)
   if (sampler) sampler->start(engine);
   engine.run_until(kBalanceInterval * (intervals + 0.5));
+  // Close every bucket the horizon passed, so trailing resolves land.
+  if (windows) windows->advance_to(engine.now());
   std::cout << "churn simulation: " << intervals << " balancing intervals, "
             << engine.events_executed() << " events, final membership "
             << world.ring.live_node_count() << " nodes, "
@@ -266,6 +314,18 @@ int main(int argc, char** argv) {
     obs::write_series_file(sink, series_path);
     std::cerr << "series written to " << series_path << " (" << sink.size()
               << " samples)\n";
+  }
+  if (alerts) {
+    std::cout << "\nalert transitions (" << alerts->events().size()
+              << "):\n";
+    for (const obs::AlertEvent& e : alerts->events())
+      std::cout << "  t=" << Table::num(e.t, 1) << "  " << e.rule << "  "
+                << (e.fire ? "fire" : "resolve")
+                << "  value=" << Table::num(e.value, 3) << "\n";
+    if (!alerts_out.empty()) {
+      obs::write_alerts_file(*alerts, alerts_out);
+      std::cerr << "alerts written to " << alerts_out << "\n";
+    }
   }
   return 0;
 }

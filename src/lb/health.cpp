@@ -93,4 +93,36 @@ void HealthProbe::sample_into(double t, obs::TimeSeriesSink& sink) const {
   for (const auto& [key, value] : measure(t)) sink.append(t, key, value);
 }
 
+void HealthProbe::register_windows(obs::WindowedAggregator& windows) const {
+  const std::string p = config_.prefix + ".";
+  const obs::SeriesId heavy = windows.gauge_series(p + "heavy_fraction");
+  const obs::SeriesId imbalance = windows.gauge_series(p + "imbalance");
+  const obs::SeriesId mean_unit = windows.gauge_series(p + "mean_unit_load");
+  const obs::SeriesId max_unit = windows.gauge_series(p + "max_unit_load");
+  const obs::ColumnId units = windows.column_series(p + "unit_load");
+  windows.add_boundary_probe([this, &windows, heavy, imbalance, mean_unit,
+                              max_unit, units](double boundary) {
+    const std::vector<chord::NodeIndex> live = ring_.live_nodes();
+    const Lbi truth = ground_truth_lbi(ring_);
+    const Classification cls = classify_all(ring_, truth, config_.epsilon);
+    // Unit loads land in the SoA column (one dense double per node --
+    // the only state that scales with N) and fold into the
+    // `<prefix>.unit_load` histogram when this bucket closes.
+    std::vector<double>& col = windows.column_data(units, live.size());
+    const double fair =
+        truth.capacity > 0.0 ? truth.load / truth.capacity : 0.0;
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      const double share = fair * ring_.node(live[j]).capacity;
+      col[j] = share > 0.0 ? ring_.node_load(live[j]) / share : 0.0;
+    }
+    windows.record(heavy, boundary, cls.heavy_fraction());
+    windows.record(imbalance, boundary, imbalance_factor(col));
+    windows.record(mean_unit, boundary,
+                   col.empty() ? 0.0 : summarize(col).mean);
+    windows.record(max_unit, boundary,
+                   col.empty() ? 0.0
+                               : *std::max_element(col.begin(), col.end()));
+  });
+}
+
 }  // namespace p2plb::lb

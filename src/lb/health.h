@@ -22,6 +22,7 @@
 #include "ktree/protocol.h"
 #include "lb/continuous.h"
 #include "obs/timeseries.h"
+#include "obs/window.h"
 
 namespace p2plb::lb {
 
@@ -61,6 +62,15 @@ class HealthProbe {
 
   /// Append measure(t) to `sink` -- the obs::Sampler probe shape.
   void sample_into(double t, obs::TimeSeriesSink& sink) const;
+
+  /// Publish into the online metrics plane: registers
+  /// `<prefix>.{heavy_fraction,imbalance,mean_unit_load,max_unit_load}`
+  /// gauge series plus a per-node `<prefix>.unit_load` SoA column
+  /// (folded into a histogram each bucket), and adds a boundary probe
+  /// that samples them into every closing bucket -- the signals the
+  /// alert rules read.  Both the probe and `windows` must outlive each
+  /// other's use; call once per aggregator.
+  void register_windows(obs::WindowedAggregator& windows) const;
 
   [[nodiscard]] const HealthProbeConfig& config() const noexcept {
     return config_;

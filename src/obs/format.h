@@ -36,5 +36,16 @@ inline constexpr const char* kProfileFlagHelp =
     "write the host-time profile here (collapsed flamegraph stacks if "
     "the name ends in .folded, case-insensitive; p2plb-prof-1 text "
     "otherwise)";
+inline constexpr const char* kWindowsFlagHelp =
+    "bucket width for the online windowed-metrics plane (sim time; "
+    "attaches a WindowedAggregator fed from the network, health and "
+    "maintenance hooks)";
+inline constexpr const char* kAlertsFlagHelp =
+    "evaluate the alert rules in this file at window boundaries (one "
+    "'<name> <metric> <agg>[:k[,k2]] <op> <threshold> [for <dur>]' per "
+    "line; implies --windows)";
+inline constexpr const char* kAlertsOutFlagHelp =
+    "write fired/resolved alerts here (p2plb-alerts-1; JSONL if the "
+    "name ends in .jsonl, case-insensitive, CSV otherwise)";
 
 }  // namespace p2plb::obs

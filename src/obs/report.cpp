@@ -185,4 +185,50 @@ void write_markdown_report(std::ostream& os, const std::vector<Sample>& samples,
   write_metrics_sections(os, metrics);
 }
 
+void write_alert_timeline(std::ostream& os,
+                          const std::vector<AlertEvent>& alerts) {
+  os << "## Alert timeline\n\n";
+  if (alerts.empty()) {
+    os << "No alert transitions were recorded.\n\n";
+    return;
+  }
+  os << "Fire/resolve transitions from the online alert engine "
+        "(p2plb-alerts-1), in evaluation order.\n\n";
+  Table transitions({"time", "rule", "event", "value", "threshold"});
+  for (const AlertEvent& e : alerts)
+    transitions.add_row({Table::num(e.t, 6), e.rule,
+                         e.fire ? "fire" : "resolve", Table::num(e.value, 6),
+                         Table::num(e.threshold, 6)});
+  transitions.print_markdown(os);
+  os << '\n';
+
+  // Episodes: each fire paired with its rule's next resolve.  Their
+  // durations line up with the re-convergence table above -- an
+  // imbalance episode around a crash should span the measured recovery.
+  Table episodes({"rule", "fired", "resolved", "duration"});
+  std::map<std::string, double> open;  // rule -> fire time
+  bool any = false;
+  for (const AlertEvent& e : alerts) {
+    if (e.fire) {
+      open[e.rule] = e.t;
+      continue;
+    }
+    const auto it = open.find(e.rule);
+    if (it == open.end()) continue;
+    any = true;
+    episodes.add_row({e.rule, Table::num(it->second, 6), Table::num(e.t, 6),
+                      Table::num(e.t - it->second, 6)});
+    open.erase(it);
+  }
+  for (const auto& [rule, fired] : open) {
+    any = true;
+    episodes.add_row({rule, Table::num(fired, 6), "-", "still firing"});
+  }
+  if (any) {
+    os << "### Alert episodes\n\n";
+    episodes.print_markdown(os);
+    os << '\n';
+  }
+}
+
 }  // namespace p2plb::obs

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/alert.h"
 #include "obs/timeseries.h"
 
 namespace p2plb::obs {
@@ -66,5 +67,12 @@ struct ExperimentReport {
 void write_markdown_report(std::ostream& os, const std::vector<Sample>& samples,
                            const std::map<std::string, double>& metrics,
                            const ReportOptions& options = {});
+
+/// Render the "Alert timeline" Markdown section from a p2plb-alerts-1
+/// export: every fire/resolve transition, then per-rule episodes (fire
+/// paired with its resolve) whose durations line up with the
+/// re-convergence measurements in the main report.
+void write_alert_timeline(std::ostream& os,
+                          const std::vector<AlertEvent>& alerts);
 
 }  // namespace p2plb::obs

@@ -47,6 +47,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "sim/engine.h"
 
 namespace p2plb::sim {
@@ -185,6 +186,14 @@ class Network {
         h.latency->add(lat);
       }
     }
+    if (windows_ != nullptr) {
+      // The aggregator is passive (it schedules nothing) and the series
+      // ids were resolved at attach time, so this is pure arithmetic:
+      // no allocation, no lookups, no new events -- the schedule stays
+      // byte-identical with windows attached.
+      windows_->record(win_messages_, engine_.now(), 1.0);
+      windows_->record(win_bytes_, engine_.now(), bytes);
+    }
     std::uint64_t trace_id = 0;
     if (tracer_ != nullptr) {
       const std::string_view lane = tag.empty() ? std::string_view("net") : tag;
@@ -304,6 +313,20 @@ class Network {
     return metrics_;
   }
 
+  /// Feed every send into `windows`'s net.messages / net.bytes counter
+  /// series (nullptr detaches).  Series ids resolve once here, so the
+  /// per-send cost is one pointer test plus two record()s.
+  void attach_windows(obs::WindowedAggregator* windows) {  // p2plb: holds(net_shard_)
+    windows_ = windows;
+    if (windows != nullptr) {
+      win_messages_ = windows->counter_series("net.messages");
+      win_bytes_ = windows->counter_series("net.bytes");
+    }
+  }
+  [[nodiscard]] obs::WindowedAggregator* windows() const noexcept {
+    return windows_;
+  }
+
   /// The latency the next send between these endpoints would pay (no
   /// accounting side effects).
   [[nodiscard]] Time latency_between(Endpoint from, Endpoint to) const {
@@ -400,6 +423,9 @@ class Network {
   obs::Profiler::FrameId last_tag_frame_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::WindowedAggregator* windows_ = nullptr;
+  obs::SeriesId win_messages_;  ///< resolved at attach_windows time
+  obs::SeriesId win_bytes_;
   TagHandles totals_handles_;  // p2plb: shared(net_shard_)
   // p2plb: shared(net_shard_)
   std::map<std::string, TagHandles, std::less<>> tag_handles_;

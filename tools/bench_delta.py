@@ -21,10 +21,17 @@ Host-time rows (sink == "profile") are report-only: they appear in the
 delta table but never feed the worst-ratio gate, since wall-clock
 attribution overhead varies with the host and must not fail CI.
 
+`trajectory` takes a series of bench documents (oldest first, e.g. the
+BENCH_*.json snapshots committed one per PR) and prints one column per
+snapshot for every timed round and micro kernel, plus the net change
+from the first to the last snapshot -- the performance history of the
+repo at a glance.  It is always report-only.
+
 Usage:
   bench_delta.py merge timed.json micro.json -o current.json
   bench_delta.py compare --baseline BENCH_baseline.json \
       --current current.json [--max-regress 3.0 | --fail-above 200]
+  bench_delta.py trajectory BENCH_baseline.json BENCH_pr10.json ...
 """
 
 import argparse
@@ -156,12 +163,80 @@ def compare(baseline_path, current_path, max_regress):
     return 0
 
 
+def snapshot_label(path):
+    """BENCH_pr10.json -> pr10; anything else -> basename sans .json."""
+    name = path.rsplit("/", 1)[-1]
+    if name.endswith(".json"):
+        name = name[: -len(".json")]
+    if name.startswith("BENCH_"):
+        name = name[len("BENCH_"):]
+    return name
+
+
+def trajectory(paths):
+    docs = [normalize(*load(p)) for p in paths]
+    labels = [snapshot_label(p) for p in paths]
+
+    keys = []
+    per_doc_rounds = []
+    for rounds, _ in docs:
+        by_key = {round_key(r): r for r in rounds}
+        per_doc_rounds.append(by_key)
+        for k in by_key:
+            if k not in keys:
+                keys.append(k)
+
+    print("## Timed-round trajectory (wall seconds; lower is better)\n")
+    print("| nodes | engine | sink | " + " | ".join(labels) + " | net |")
+    print("|---" * (len(labels) + 4) + "|")
+    for key in sorted(keys):
+        cells, present = [], []
+        for by_key in per_doc_rounds:
+            r = by_key.get(key)
+            if r is None:
+                cells.append("-")
+            else:
+                cells.append(f"{r['wall_seconds']:.3f}")
+                present.append(r["wall_seconds"])
+        net = (fmt_delta(present[-1], present[0])
+               if len(present) >= 2 else "")
+        print(f"| {key[0]} | {key[1]} | {key[2]} | "
+              + " | ".join(cells) + f" | {net} |")
+
+    names = []
+    for _, micro in docs:
+        for name in micro:
+            if name not in names:
+                names.append(name)
+    print("\n## Micro-kernel trajectory (ns/op; lower is better)\n")
+    print("| kernel | " + " | ".join(labels) + " | net |")
+    print("|---" * (len(labels) + 2) + "|")
+    for name in sorted(names):
+        cells, present = [], []
+        for _, micro in docs:
+            b = micro.get(name)
+            if b is None:
+                cells.append("-")
+            else:
+                cells.append(f"{b['ns_per_op']:.1f}")
+                present.append(b["ns_per_op"])
+        net = (fmt_delta(present[-1], present[0])
+               if len(present) >= 2 else "")
+        print(f"| {name} | " + " | ".join(cells) + f" | {net} |")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
     m = sub.add_parser("merge", help="normalize + merge bench JSON files")
     m.add_argument("inputs", nargs="+")
     m.add_argument("-o", "--out", required=True)
+    t = sub.add_parser(
+        "trajectory",
+        help="print per-snapshot columns across a series of bench JSONs")
+    t.add_argument("inputs", nargs="+",
+                   help="bench JSON snapshots, oldest first")
     c = sub.add_parser("compare", help="delta a current doc vs a baseline")
     c.add_argument("--baseline", required=True)
     c.add_argument("--current", required=True)
@@ -175,6 +250,8 @@ def main():
     if args.cmd == "merge":
         merge(args.inputs, args.out)
         return 0
+    if args.cmd == "trajectory":
+        return trajectory(args.inputs)
     max_regress = args.max_regress
     if args.fail_above is not None:
         from_pct = 1.0 + args.fail_above / 100.0

@@ -10,6 +10,7 @@
 //   $ p2plb_report --series series.csv --out report.md
 //   $ p2plb_sim --sample-every 5 --series s.csv --metrics m.csv
 //   $ p2plb_report --series s.csv --metrics m.csv --out report.md
+//   $ p2plb_report --series s.csv --alerts alerts.csv --out report.md
 //
 // Exits non-zero (with a diagnostic on stderr) on missing, empty or
 // malformed input, so CI can gate on it.
@@ -59,6 +60,9 @@ int run(const Cli& cli) {
 
   std::ostringstream report;
   obs::write_markdown_report(report, samples, metrics, options);
+  const std::string alerts_path = cli.get_string("alerts");
+  if (!alerts_path.empty())
+    obs::write_alert_timeline(report, obs::load_alerts_file(alerts_path));
 
   const std::string out_path = cli.get_string("out");
   if (out_path.empty()) {
@@ -86,6 +90,11 @@ int main(int argc, char** argv) {
   cli.add_flag("metrics",
                "final metrics-registry CSV export (optional; adds the "
                "moved-load and traffic sections)",
+               "");
+  cli.add_flag("alerts",
+               "p2plb-alerts-1 export to render as an alert-timeline "
+               "section (optional; CSV, or JSONL if the name ends in "
+               ".jsonl, case-insensitive)",
                "");
   cli.add_flag("out", "write the Markdown report here (default: stdout)", "");
   cli.add_flag("title", "report title", "Experiment report");

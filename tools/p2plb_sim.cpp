@@ -31,8 +31,15 @@
 //   $ p2plb_sim --topology ts5k-large --workload gaussian --mode aware
 //   $ p2plb_sim --nodes 1024 --workload zipf --zipf 1.1 --rounds 4
 //   $ p2plb_sim --topology ts5k-small --timed
+// `--windows W` attaches the online metrics plane (obs::WindowedAggregator,
+// W-wide buckets over sim time) fed from the network and health hooks;
+// `--alerts rules.conf` (implies `--windows`) evaluates declarative alert
+// rules at every window boundary, prints the fired/resolved transitions,
+// and exports them with `--alerts-out alerts.csv` (p2plb-alerts-1).
+//
 //   $ p2plb_sim --timed --trace trace.json --metrics metrics.csv
 //   $ p2plb_sim --sample-every 5 --series series.csv
+//   $ p2plb_sim --alerts examples/alerts.conf --alerts-out alerts.csv
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -44,6 +51,8 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "lb/controller.h"
+#include "obs/alert.h"
+#include "obs/window.h"
 #include "lb/health.h"
 #include "lb/protocol_round.h"
 #include "lb/proximity.h"
@@ -216,16 +225,25 @@ int run(const Cli& cli) {
   double sample_every = cli.get_double("sample-every");
   const bool sampling = sample_every > 0.0 || !series_path.empty();
   if (sampling && sample_every <= 0.0) sample_every = 5.0;
+  double window_width = cli.get_double("windows");
+  const std::string alerts_path = cli.get_string("alerts");
+  const std::string alerts_out = cli.get_string("alerts-out");
+  const bool windowing = window_width > 0.0 || !alerts_path.empty();
+  if (windowing && window_width <= 0.0) window_width = 10.0;
   bool timed = cli.get_bool("timed");
   if (!timed && (!trace_path.empty() || !metrics_path.empty() || sampling ||
-                 !flight_path.empty() || !profile_path.empty())) {
+                 !flight_path.empty() || !profile_path.empty() ||
+                 windowing)) {
     std::cerr << "note: --trace/--metrics/--series/--sample-every/"
-                 "--flight-recorder/--profile imply --timed\n";
+                 "--flight-recorder/--profile/--windows/--alerts imply "
+                 "--timed\n";
     timed = true;
   }
   lb::ControllerResult result;
   std::optional<topo::DistanceOracle> oracle;
   std::optional<obs::Profiler> profiler;
+  std::vector<obs::AlertEvent> alert_events;
+  bool alerting = false;
   if (timed) {
     // Event-driven rounds over real message latencies: shortest paths
     // between attachment vertices with a topology, unit latency without.
@@ -290,12 +308,35 @@ int run(const Cli& cli) {
     obs::TimeSeriesSink sink;
     std::optional<obs::Sampler> sampler;
     lb::HealthProbe health(ring, {config.balancer.epsilon, "health"});
+    std::optional<obs::WindowedAggregator> windows;
+    std::optional<obs::AlertEngine> alerts;
+    if (windowing) {
+      // The online metrics plane: passive (no events scheduled), fed
+      // from the network's send path and the health probe's boundary
+      // sampling; the alert engine evaluates at every bucket close.
+      windows.emplace(obs::WindowConfig{window_width, 64});
+      net.attach_windows(&*windows);
+      health.register_windows(*windows);
+      if (!alerts_path.empty()) {
+        alerts.emplace(*windows, obs::load_alert_rules_file(alerts_path));
+        if (!trace_path.empty()) alerts->attach_tracer(&tracer);
+        alerts->attach_metrics(&net.metrics());
+        alerting = true;
+      }
+    }
     if (sampling) {
       sampler.emplace(sink, sample_every);
       sampler->add_probe([&health](double t, obs::TimeSeriesSink& s) {
         health.sample_into(t, s);
       });
       sampler->add_registry(net.metrics(), {"net."});
+      if (windows)
+        // Let the sampler's existing cadence drive window boundaries
+        // through quiet periods (no new events are added: the probe
+        // rides the sampler's tick).
+        sampler->add_probe([&windows](double t, obs::TimeSeriesSink&) {
+          windows->advance_to(t);
+        });
     }
     {
       // One top-level frame around the whole run: total measured wall
@@ -346,6 +387,19 @@ int run(const Cli& cli) {
       if (sample_of > 1)
         std::cerr << ", sampled " << sample_keep << "/" << sample_of;
       std::cerr << ")\n";
+    }
+    if (windows) {
+      // Close every bucket the run's end time passed, so trailing
+      // resolves (and the final windows) are evaluated.
+      windows->advance_to(engine.now());
+    }
+    if (alerts) {
+      alert_events = alerts->events();
+      if (!alerts_out.empty()) {
+        obs::write_alerts_file(*alerts, alerts_out);
+        std::cerr << "alerts written to " << alerts_out << " ("
+                  << alert_events.size() << " transitions)\n";
+      }
     }
     if (!metrics_path.empty()) {
       engine.export_metrics(net.metrics());
@@ -434,6 +488,19 @@ int run(const Cli& cli) {
     bench::emit(cross, csv);
   }
 
+  if (alerting) {
+    print_heading(std::cout, "alert transitions");
+    Table alerts_table({"time", "rule", "event", "value", "threshold"});
+    for (const obs::AlertEvent& e : alert_events)
+      alerts_table.add_row({Table::num(e.t, 1), e.rule,
+                            e.fire ? "fire" : "resolve",
+                            Table::num(e.value, 3),
+                            Table::num(e.threshold, 3)});
+    if (alert_events.empty())
+      alerts_table.add_row({"-", "-", "-", "-", "-"});
+    bench::emit(alerts_table, csv);
+  }
+
   print_heading(std::cout, "balance quality (load / fair share)");
   std::vector<double> unit_after;
   for (const chord::NodeIndex i : ring.live_nodes())
@@ -515,6 +582,15 @@ int main(int argc, char** argv) {
                std::string(p2plb::obs::kSeriesFlagHelp) +
                    "; implies --timed, default period 5",
                "");
+  cli.add_flag("windows",
+               std::string(p2plb::obs::kWindowsFlagHelp) +
+                   "; 0 = off; implies --timed",
+               "0");
+  cli.add_flag("alerts",
+               std::string(p2plb::obs::kAlertsFlagHelp) +
+                   ", default width 10; implies --timed",
+               "");
+  cli.add_flag("alerts-out", p2plb::obs::kAlertsOutFlagHelp, "");
   cli.add_flag("csv", "emit CSV tables", "false");
   if (!cli.parse(argc, argv)) return 0;
   return run(cli);
